@@ -1,0 +1,34 @@
+"""Helpers shared by the benchmark modules (table emission, sweeps)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the paper's processor sweep (Exp-1)
+N_SWEEP = (4, 8, 12, 16, 20)
+
+
+def emit_table(name: str, headers: Sequence[str], rows: List[Sequence]) -> str:
+    """Format, print and persist a results table.
+
+    The printed rows are the series the corresponding paper figure plots;
+    a copy lands in ``benchmarks/results/<name>.txt``.
+    """
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+    return text

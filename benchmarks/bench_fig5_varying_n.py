@@ -1,0 +1,92 @@
+"""Figure 5(a–c): parallel time vs. number of processors ``n``.
+
+The paper fixes |Q|=5, ‖Σ‖=50 and sweeps n from 4 to 20 on DBpedia,
+YAGO2 and Pokec, comparing repVal/repran/repnop and disVal/disran/disnop.
+Shapes to reproduce: all algorithms speed up with n (repVal ~3.7×,
+disVal ~2.4× over the sweep); optimised variants beat ``*ran``/``*nop``;
+repVal beats disVal (no data exchange).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    dis_nop,
+    dis_ran,
+    dis_val,
+    greedy_edge_cut_partition,
+    rep_nop,
+    rep_ran,
+    rep_val,
+)
+
+from _bench_utils import N_SWEEP, emit_table
+
+
+@pytest.fixture(scope="module")
+def sweep_results(bench_datasets, bench_workloads):
+    results = {}
+    for name, dataset in bench_datasets.items():
+        graph = dataset.graph
+        sigma = bench_workloads[name]
+        rows = []
+        expected = None
+        for n in N_SWEEP:
+            fragmentation = greedy_edge_cut_partition(graph, n, seed=1)
+            runs = {
+                "repVal": rep_val(sigma, graph, n=n),
+                "repran": rep_ran(sigma, graph, n=n),
+                "repnop": rep_nop(sigma, graph, n=n),
+                "disVal": dis_val(sigma, fragmentation),
+                "disran": dis_ran(sigma, fragmentation),
+                "disnop": dis_nop(sigma, fragmentation),
+            }
+            if expected is None:
+                expected = runs["repVal"].violations
+            assert all(r.violations == expected for r in runs.values())
+            rows.append(
+                (n, *(round(runs[a].parallel_time) for a in
+                      ("repVal", "repran", "repnop",
+                       "disVal", "disran", "disnop")))
+            )
+        results[name] = rows
+    return results
+
+
+@pytest.mark.parametrize("dataset_name", ["DBpedia", "YAGO2", "Pokec"])
+def test_fig5_varying_n(dataset_name, sweep_results, benchmark,
+                        bench_datasets, bench_workloads):
+    rows = sweep_results[dataset_name]
+    emit_table(
+        f"fig5_varying_n_{dataset_name}",
+        ["n", "repVal", "repran", "repnop", "disVal", "disran", "disnop"],
+        rows,
+    )
+    by_algo = {  # column → series over n
+        algo: [row[i + 1] for row in rows]
+        for i, algo in enumerate(
+            ("repVal", "repran", "repnop", "disVal", "disran", "disnop")
+        )
+    }
+    # Shape 1: parallel scalability — time falls from n=4 to n=20.
+    assert by_algo["repVal"][-1] < by_algo["repVal"][0]
+    assert by_algo["disVal"][-1] < by_algo["disVal"][0]
+    speedup_rep = by_algo["repVal"][0] / by_algo["repVal"][-1]
+    speedup_dis = by_algo["disVal"][0] / by_algo["disVal"][-1]
+    assert speedup_rep > 2.0, f"repVal speedup only {speedup_rep:.2f}"
+    assert speedup_dis > 1.5, f"disVal speedup only {speedup_dis:.2f}"
+    # Shape 2: optimisation gaps at every n.
+    for i in range(len(rows)):
+        assert by_algo["repVal"][i] <= by_algo["repnop"][i]
+        assert by_algo["disVal"][i] <= by_algo["disnop"][i]
+    # Shape 3: repVal ≤ disVal (no data exchange).
+    for i in range(len(rows)):
+        assert by_algo["repVal"][i] <= by_algo["disVal"][i]
+
+    # Wall-time datum for one representative configuration (n=16).
+    graph = bench_datasets[dataset_name].graph
+    sigma = bench_workloads[dataset_name]
+    benchmark.pedantic(
+        lambda: rep_val(sigma, graph, n=16), rounds=1, iterations=1
+    )

@@ -1,0 +1,71 @@
+"""Figure 5(e, g, i): parallel time vs. |Q| (pattern size).
+
+The paper fixes ‖Σ‖=50, n=16 and sweeps |Q| from 2 to 6 (here: pattern
+edge counts 1–4 with ‖Σ‖=6).  Shapes: time grows with |Q| (larger work
+units), and the optimised algorithms dominate their variants throughout.
+
+Patterns are single-component for this sweep: multi-component patterns'
+unit *count* scales with label-pool products, which would confound the
+per-unit size effect the figure isolates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    dis_nop,
+    dis_val,
+    generate_gfds,
+    greedy_edge_cut_partition,
+    rep_nop,
+    rep_val,
+)
+
+from _bench_utils import emit_table
+
+Q_SWEEP = (1, 2, 3, 4)
+N = 16
+SIGMA = 6
+
+
+@pytest.mark.parametrize("dataset_name", ["DBpedia", "YAGO2", "Pokec"])
+def test_fig5_varying_q(dataset_name, bench_datasets, benchmark):
+    graph = bench_datasets[dataset_name].graph
+    fragmentation = greedy_edge_cut_partition(graph, N, seed=1)
+    rows = []
+    for q in Q_SWEEP:
+        sigma = generate_gfds(graph, count=SIGMA, pattern_edges=q, seed=3,
+                              two_component_fraction=0.0)
+        runs = {
+            "repVal": rep_val(sigma, graph, n=N),
+            "repnop": rep_nop(sigma, graph, n=N),
+            "disVal": dis_val(sigma, fragmentation),
+            "disnop": dis_nop(sigma, fragmentation),
+        }
+        expected = runs["repVal"].violations
+        assert all(r.violations == expected for r in runs.values())
+        rows.append(
+            (q, *(round(runs[a].parallel_time) for a in
+                  ("repVal", "repnop", "disVal", "disnop")))
+        )
+    emit_table(
+        f"fig5_varying_q_{dataset_name}",
+        ["|Q| edges", "repVal", "repnop", "disVal", "disnop"],
+        rows,
+    )
+    rep_series = [row[1] for row in rows]
+    dis_series = [row[3] for row in rows]
+    # Shape 1: bigger patterns → bigger work units → longer runs.
+    assert rep_series[-1] > rep_series[0]
+    assert dis_series[-1] > dis_series[0]
+    # Shape 2: optimisation gap at every |Q|.
+    for q_row in rows:
+        assert q_row[1] <= q_row[2]
+        assert q_row[3] <= q_row[4]
+
+    sigma = generate_gfds(graph, count=SIGMA, pattern_edges=Q_SWEEP[-1], seed=3,
+                          two_component_fraction=0.0)
+    benchmark.pedantic(
+        lambda: rep_val(sigma, graph, n=N), rounds=1, iterations=1
+    )

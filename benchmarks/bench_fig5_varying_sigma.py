@@ -1,0 +1,70 @@
+"""Figure 5(d, f, h): parallel time vs. ‖Σ‖ (number of GFDs).
+
+The paper fixes |Q|=5, n=16 and sweeps ‖Σ‖ from 50 to 100 (scaled here to
+4..12).  Shapes: all algorithms take longer as Σ grows; repVal/disVal stay
+below their ``*ran``/``*nop`` variants throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    dis_nop,
+    dis_ran,
+    dis_val,
+    generate_gfds,
+    greedy_edge_cut_partition,
+    rep_nop,
+    rep_ran,
+    rep_val,
+)
+
+from _bench_utils import emit_table
+
+SIGMA_SWEEP = (4, 6, 8, 10, 12)
+N = 16
+
+
+@pytest.mark.parametrize("dataset_name", ["DBpedia", "YAGO2", "Pokec"])
+def test_fig5_varying_sigma(dataset_name, bench_datasets, benchmark):
+    graph = bench_datasets[dataset_name].graph
+    fragmentation = greedy_edge_cut_partition(graph, N, seed=1)
+    rows = []
+    for count in SIGMA_SWEEP:
+        sigma = generate_gfds(graph, count=count, pattern_edges=2, seed=2)
+        runs = {
+            "repVal": rep_val(sigma, graph, n=N),
+            "repran": rep_ran(sigma, graph, n=N),
+            "repnop": rep_nop(sigma, graph, n=N),
+            "disVal": dis_val(sigma, fragmentation),
+            "disran": dis_ran(sigma, fragmentation),
+            "disnop": dis_nop(sigma, fragmentation),
+        }
+        expected = runs["repVal"].violations
+        assert all(r.violations == expected for r in runs.values())
+        rows.append(
+            (count, *(round(runs[a].parallel_time) for a in
+                      ("repVal", "repran", "repnop",
+                       "disVal", "disran", "disnop")))
+        )
+    emit_table(
+        f"fig5_varying_sigma_{dataset_name}",
+        ["‖Σ‖", "repVal", "repran", "repnop", "disVal", "disran", "disnop"],
+        rows,
+    )
+    rep_series = [row[1] for row in rows]
+    nop_series = [row[3] for row in rows]
+    dis_series = [row[4] for row in rows]
+    dnop_series = [row[6] for row in rows]
+    # Shape 1: larger Σ costs more end-to-end.
+    assert rep_series[-1] > rep_series[0]
+    assert dis_series[-1] > dis_series[0]
+    # Shape 2: optimised variants win at every sweep point.
+    assert all(r <= p for r, p in zip(rep_series, nop_series))
+    assert all(d <= p for d, p in zip(dis_series, dnop_series))
+
+    sigma = generate_gfds(graph, count=SIGMA_SWEEP[-1], pattern_edges=2, seed=2)
+    benchmark.pedantic(
+        lambda: rep_val(sigma, graph, n=N), rounds=1, iterations=1
+    )

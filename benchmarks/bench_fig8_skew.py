@@ -1,0 +1,83 @@
+"""Figure 8 (Appendix): the impact of skewed graphs.
+
+The paper fixes |G|=(10M, 20M), n=16 and sweeps the skew measure from
+0.1 down to 0.02 (smaller = more skewed).  Shapes: all algorithms slow
+down as skew worsens, but disVal (with replicate-and-split) degrades the
+least — the paper reports 1.7× growth vs 2.0×/2.2× for disran/disnop over
+a 5× skew increase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    dis_nop,
+    dis_ran,
+    dis_val,
+    generate_gfds,
+    greedy_edge_cut_partition,
+    skewed_power_law_graph,
+)
+from repro.graph import skewness_ratio
+
+from _bench_utils import emit_table
+
+SKEW_SWEEP = (0.5, 0.3, 0.15, 0.08, 0.04)
+N = 8
+SIZE = (2000, 4000)
+
+
+def test_fig8_skew(benchmark):
+    rows = []
+    series = {"disVal": [], "disran": [], "disnop": []}
+    for skew in SKEW_SWEEP:
+        graph = skewed_power_law_graph(*SIZE, skew=skew, seed=8, domain_size=25)
+        sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=8)
+        fragmentation = greedy_edge_cut_partition(graph, N, seed=1)
+        runs = {
+            "disVal": dis_val(sigma, fragmentation),
+            "disran": dis_ran(sigma, fragmentation),
+            "disnop": dis_nop(sigma, fragmentation),
+        }
+        expected = runs["disVal"].violations
+        assert all(r.violations == expected for r in runs.values())
+        max_degree = max(graph.degree(node) for node in graph.nodes())
+        for name, run in runs.items():
+            series[name].append(run.parallel_time)
+        series.setdefault("hub", []).append(max_degree)
+        rows.append(
+            (
+                skew,
+                max_degree,
+                *(round(runs[a].parallel_time)
+                  for a in ("disVal", "disran", "disnop")),
+            )
+        )
+    emit_table(
+        "fig8_skew",
+        ["skew knob", "max hub degree", "disVal", "disran", "disnop"],
+        rows,
+    )
+    # Shape 1: more skew (rightwards in the sweep) costs more.
+    assert series["disVal"][-1] > series["disVal"][0]
+    # Shape 2: disVal is the most robust — its relative growth across the
+    # sweep is no worse than the variants' (replicate-and-split at work).
+    growth = {
+        name: values[-1] / values[0]
+        for name, values in series.items()
+        if name != "hub"
+    }
+    assert growth["disVal"] <= growth["disnop"] * 1.05, growth
+    # Shape 3: the generator knob actually concentrates edges on hubs
+    # (the neighbourhood-ratio measure of the paper saturates at this
+    # scale; hub degree is the finer-grained witness of skew).
+    assert series["hub"][-1] > series["hub"][0]
+
+    graph = skewed_power_law_graph(*SIZE, skew=SKEW_SWEEP[-1], seed=8,
+                                   domain_size=25)
+    sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=8)
+    fragmentation = greedy_edge_cut_partition(graph, N, seed=1)
+    benchmark.pedantic(
+        lambda: dis_val(sigma, fragmentation), rounds=1, iterations=1
+    )

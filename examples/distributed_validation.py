@@ -1,0 +1,61 @@
+"""Distributed validation: repVal vs disVal on a fragmented graph (§6).
+
+Generates a synthetic power-law graph and a mined GFD workload, then runs
+the full algorithm family — repVal/repran/repnop over the replicated graph
+and disVal/disran/disnop over a fragmented one — reporting parallel time,
+makespan balance and communication share as `n` grows.  This is a
+miniature of the paper's Exp-1/Exp-3.
+
+Run:  python examples/distributed_validation.py
+"""
+
+from repro import (
+    det_vio,
+    dis_nop,
+    dis_ran,
+    dis_val,
+    generate_gfds,
+    greedy_edge_cut_partition,
+    power_law_graph,
+    rep_nop,
+    rep_ran,
+    rep_val,
+)
+
+
+def main() -> None:
+    graph = power_law_graph(1500, 4000, seed=3, domain_size=20)
+    sigma = generate_gfds(graph, count=6, pattern_edges=2, seed=3)
+    expected = det_vio(sigma, graph)
+    print(f"Graph: |V|={graph.num_nodes}, |E|={graph.num_edges}; "
+          f"‖Σ‖={len(sigma)}; |Vio|={len(expected)}\n")
+
+    print(f"{'algorithm':10s} {'n':>3s} {'T (cost)':>12s} {'balance':>8s} "
+          f"{'comm %':>7s}")
+    for n in (4, 8, 16):
+        runs = [
+            rep_val(sigma, graph, n=n),
+            rep_ran(sigma, graph, n=n),
+            rep_nop(sigma, graph, n=n),
+        ]
+        fragmentation = greedy_edge_cut_partition(graph, n, seed=1)
+        runs += [
+            dis_val(sigma, fragmentation),
+            dis_ran(sigma, fragmentation),
+            dis_nop(sigma, fragmentation),
+        ]
+        for run in runs:
+            assert run.violations == expected  # all variants agree on Vio
+            print(
+                f"{run.algorithm:10s} {n:3d} {run.parallel_time:12,.0f} "
+                f"{run.report.balance:8.2f} "
+                f"{run.report.communication_share * 100:6.1f}%"
+            )
+        print()
+
+    print("Every algorithm computed the identical violation set; repVal is")
+    print("fastest (no data exchange), disVal pays communication but scales.")
+
+
+if __name__ == "__main__":
+    main()

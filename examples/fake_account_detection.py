@@ -1,0 +1,51 @@
+"""Fake-account detection on a social graph (Example 5(6), φ6).
+
+Builds the Pokec-like network with planted fake-account rings, then uses
+the constant GFD φ6 to propagate "confirmed fake" labels: if a confirmed
+fake x' and an account x co-like k blogs and both post blogs with the
+same peculiar keyword, x must be fake too.  Unmarked ring members surface
+as violations.
+
+Run:  python examples/fake_account_detection.py
+"""
+
+from repro import accuracy, det_vio, rep_val, violation_entities
+from repro.datasets import pokec_like
+
+
+def main() -> None:
+    dataset = pokec_like.build(scale=300, fake_rings=8, unmarked_rings=6, seed=7)
+    graph = dataset.graph
+    print(f"Social graph: |V|={graph.num_nodes}, |E|={graph.num_edges}")
+    confirmed = sum(
+        1 for node in graph.nodes_with_label("account")
+        if graph.get_attr(node, "is_fake") == "true"
+    )
+    print(f"Accounts already marked fake: {confirmed}")
+
+    # Sequential detection with φ6.
+    violations = det_vio(dataset.gfds, graph)
+    suspects = sorted(
+        {v.match["x"] for v in violations}
+    )
+    print(f"\nφ6 flags {len(suspects)} unmarked account(s) as fake:")
+    for account in suspects:
+        partner = sorted({v.match["x'"] for v in violations
+                          if v.match["x"] == account})
+        print(f"  {account} (co-behaving with confirmed fake {partner[0]})")
+
+    acc = accuracy(violation_entities(violations), dataset.truth_entities)
+    print(f"\nprecision={acc.precision:.2f}  recall={acc.recall:.2f}")
+
+    # The same detection, parallelised over 8 workers (Section 6.1).
+    run = rep_val(dataset.gfds, graph, n=8)
+    assert run.violations == violations
+    print(
+        f"\nrepVal with n=8: parallel time {run.parallel_time:,.0f} cost units "
+        f"across {run.num_units} work units "
+        f"(balance {run.report.balance:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Knowledge-graph cleaning with the paper's real-life GFDs (Fig. 7).
+
+Builds the YAGO2-like and DBpedia-like datasets with seeded
+inconsistencies — conflicting flights, double capitals, child-and-parent
+cycles, cross-country mayors, disjoint types — then runs error detection
+with the curated rule set and reports precision/recall against the seeded
+ground truth.
+
+Run:  python examples/knowledge_graph_cleaning.py
+"""
+
+from collections import Counter
+
+from repro import accuracy, det_vio, violation_entities
+from repro.datasets import dbpedia_like, yago_like
+
+
+def report(dataset) -> None:
+    print(f"=== {dataset.name} "
+          f"(|V|={dataset.graph.num_nodes}, |E|={dataset.graph.num_edges}) ===")
+    violations = det_vio(dataset.gfds, dataset.graph)
+    by_rule = Counter(v.gfd_name for v in violations)
+    for rule, count in sorted(by_rule.items()):
+        print(f"  {rule:24s} {count:4d} violating matches")
+    detected = violation_entities(violations)
+    acc = accuracy(detected, dataset.truth_entities)
+    print(f"  entities flagged: {len(detected)}  "
+          f"precision={acc.precision:.2f}  recall={acc.recall:.2f}\n")
+
+
+def show_sample_errors(dataset, limit=3) -> None:
+    graph = dataset.graph
+    print("Sample caught inconsistencies:")
+    shown = 0
+    for violation in sorted(det_vio(dataset.gfds, graph), key=str):
+        match = violation.match
+        if violation.gfd_name == "phi1-flight" and shown < limit:
+            x3 = graph.get_attr(match["x3"], "val")
+            y3 = graph.get_attr(match["y3"], "val")
+            fid = graph.get_attr(match["x1"], "val")
+            print(f"  flight {fid}: recorded destinations {x3} vs {y3}")
+            shown += 1
+        elif violation.gfd_name == "gfd3-mayor-party" and shown < limit:
+            mayor = graph.get_attr(match["x"], "val")
+            zc = graph.get_attr(match["z"], "val")
+            zc2 = graph.get_attr(match["z'"], "val")
+            print(f"  mayor {mayor}: city in {zc}, party in {zc2}")
+            shown += 1
+    print()
+
+
+def main() -> None:
+    yago = yago_like.build(scale=120, seed=42)
+    report(yago)
+    show_sample_errors(yago)
+
+    dbpedia = dbpedia_like.build(scale=300, seed=42)
+    report(dbpedia)
+
+
+if __name__ == "__main__":
+    main()

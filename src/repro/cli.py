@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main entry points for shell use:
+
+* ``validate``   — detect GFD violations in a graph file
+* ``reason``     — satisfiability / implication / cover analysis of a rule file
+* ``generate``   — emit a synthetic graph (and optionally a rule set)
+* ``bench``      — a one-shot repVal/disVal comparison on a graph file
+* ``discover``   — mine GFDs from a graph file
+
+Graphs use the line-JSON format of :mod:`repro.graph.io`.  Rules use a
+small text format, one GFD per ``[name]`` section::
+
+    [unique-capital]
+    pattern: x:country -capital-> y:city; x -capital-> z:city
+    when:
+    then: y.val = z.val
+
+(an empty/omitted ``when`` is ``X = ∅``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from .core import GFD, det_vio, generate_gfds, implies, is_satisfiable, parse_gfd
+from .core.implication import minimal_cover
+from .core.discovery import discover_gfds
+from .graph import load_graph, power_law_graph, save_graph
+from .graph.partition import greedy_edge_cut_partition
+from .parallel import dis_val, rep_val
+
+
+# ----------------------------------------------------------------------
+# rule files
+# ----------------------------------------------------------------------
+def parse_rule_file(text: str) -> List[GFD]:
+    """Parse the ``[name] / pattern: / when: / then:`` rule format."""
+    rules: List[GFD] = []
+    name: Optional[str] = None
+    fields = {}
+
+    def flush() -> None:
+        if name is None:
+            return
+        if "pattern" not in fields or "then" not in fields:
+            raise ValueError(f"rule [{name}] needs 'pattern:' and 'then:'")
+        rules.append(
+            parse_gfd(
+                fields["pattern"],
+                f"{fields.get('when', '')} => {fields['then']}",
+                name=name,
+            )
+        )
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            flush()
+            name = line[1:-1].strip()
+            fields = {}
+        elif ":" in line:
+            key, value = line.split(":", 1)
+            fields[key.strip()] = value.strip()
+        else:
+            raise ValueError(f"line {line_no}: unrecognised rule syntax {raw!r}")
+    flush()
+    return rules
+
+
+def format_rule_file(rules: Sequence[GFD]) -> str:
+    """Inverse of :func:`parse_rule_file` (used by ``discover``)."""
+    from .pattern.parser import format_pattern
+
+    blocks = []
+    for index, gfd in enumerate(rules):
+        lines = [f"[{gfd.name or f'rule{index}'}]"]
+        lines.append(f"pattern: {format_pattern(gfd.pattern)}")
+        if gfd.lhs:
+            lines.append("when: " + ", ".join(str(l) for l in gfd.lhs))
+        lines.append("then: " + ", ".join(str(l) for l in gfd.rhs))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_validate(args, out: TextIO) -> int:
+    graph = load_graph(args.graph)
+    rules = parse_rule_file(Path(args.rules).read_text())
+    violations = det_vio(rules, graph)
+    if args.json:
+        payload = [
+            {"rule": v.gfd_name, "match": {k: str(n) for k, n in v.assignment}}
+            for v in sorted(violations, key=str)
+        ]
+        json.dump(payload, out, indent=2)
+        out.write("\n")
+    else:
+        out.write(f"{len(violations)} violation(s) of {len(rules)} rule(s) "
+                  f"in {args.graph}\n")
+        for violation in sorted(violations, key=str)[: args.limit]:
+            out.write(f"  {violation}\n")
+        if len(violations) > args.limit:
+            out.write(f"  ... and {len(violations) - args.limit} more\n")
+    return 1 if violations else 0
+
+
+def cmd_reason(args, out: TextIO) -> int:
+    rules = parse_rule_file(Path(args.rules).read_text())
+    satisfiable = is_satisfiable(rules)
+    out.write(f"rules: {len(rules)}\n")
+    out.write(f"satisfiable: {satisfiable}\n")
+    if satisfiable:
+        cover = minimal_cover(rules)
+        removed = len(rules) - len(cover)
+        out.write(f"minimal cover: {len(cover)} rule(s) "
+                  f"({removed} implied by the rest)\n")
+        for gfd in rules:
+            if all(gfd.name != kept.name for kept in cover):
+                out.write(f"  redundant: {gfd.name}\n")
+    return 0 if satisfiable else 1
+
+
+def cmd_generate(args, out: TextIO) -> int:
+    graph = power_law_graph(
+        args.nodes, args.edges, alpha=args.alpha, seed=args.seed,
+        domain_size=args.domain,
+    )
+    save_graph(graph, args.output)
+    out.write(f"wrote {args.output}: |V|={graph.num_nodes}, "
+              f"|E|={graph.num_edges}\n")
+    if args.rules_output:
+        sigma = generate_gfds(graph, count=args.rules, seed=args.seed)
+        Path(args.rules_output).write_text(format_rule_file(sigma))
+        out.write(f"wrote {args.rules_output}: {len(sigma)} rule(s)\n")
+    return 0
+
+
+def cmd_bench(args, out: TextIO) -> int:
+    graph = load_graph(args.graph)
+    rules = parse_rule_file(Path(args.rules).read_text())
+    rep = rep_val(rules, graph, n=args.workers)
+    fragmentation = greedy_edge_cut_partition(graph, args.workers, seed=0)
+    dis = dis_val(rules, fragmentation)
+    out.write(f"{'algorithm':8s} {'T(cost)':>12s} {'makespan':>10s} "
+              f"{'comm%':>6s} {'|Vio|':>6s}\n")
+    for run in (rep, dis):
+        out.write(
+            f"{run.algorithm:8s} {run.parallel_time:12,.0f} "
+            f"{run.report.makespan:10,.0f} "
+            f"{run.report.communication_share * 100:5.1f}% "
+            f"{len(run.violations):6d}\n"
+        )
+    if rep.violations != dis.violations:
+        out.write("WARNING: algorithms disagree on Vio — this is a bug\n")
+        return 2
+    return 0
+
+
+def cmd_discover(args, out: TextIO) -> int:
+    graph = load_graph(args.graph)
+    mined = discover_gfds(
+        graph,
+        min_support=args.support,
+        min_confidence=args.confidence,
+    )
+    rules = [m.gfd for m in mined]
+    text = format_rule_file(rules) if rules else "# nothing discovered\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        out.write(f"wrote {args.output}: {len(rules)} rule(s)\n")
+    else:
+        out.write(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GFDs: functional dependencies for graphs "
+                    "(Fan, Wu, Xu — SIGMOD 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="detect GFD violations")
+    validate.add_argument("graph", help="graph file (line-JSON)")
+    validate.add_argument("rules", help="rule file")
+    validate.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    validate.add_argument("--limit", type=int, default=20,
+                          help="max violations to print")
+    validate.set_defaults(func=cmd_validate)
+
+    reason = sub.add_parser("reason", help="satisfiability / cover analysis")
+    reason.add_argument("rules", help="rule file")
+    reason.set_defaults(func=cmd_reason)
+
+    generate = sub.add_parser("generate", help="emit a synthetic graph")
+    generate.add_argument("output", help="graph file to write")
+    generate.add_argument("--nodes", type=int, default=1000)
+    generate.add_argument("--edges", type=int, default=2000)
+    generate.add_argument("--alpha", type=float, default=1.0,
+                          help="power-law skew exponent")
+    generate.add_argument("--domain", type=int, default=100,
+                          help="attribute active-domain size")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--rules", type=int, default=10,
+                          help="rules to generate with --rules-output")
+    generate.add_argument("--rules-output", help="also write a rule file")
+    generate.set_defaults(func=cmd_generate)
+
+    bench = sub.add_parser("bench", help="one-shot repVal/disVal comparison")
+    bench.add_argument("graph", help="graph file")
+    bench.add_argument("rules", help="rule file")
+    bench.add_argument("--workers", type=int, default=8)
+    bench.set_defaults(func=cmd_bench)
+
+    discover = sub.add_parser("discover", help="mine GFDs from a graph")
+    discover.add_argument("graph", help="graph file")
+    discover.add_argument("--support", type=int, default=5)
+    discover.add_argument("--confidence", type=float, default=0.95)
+    discover.add_argument("--output", help="rule file to write")
+    discover.set_defaults(func=cmd_discover)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: TextIO = sys.stdout) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""The paper's contribution: GFDs — syntax, semantics, static analyses
+(satisfiability, implication), sequential validation, CFD encodings,
+workload generation and discovery."""
+
+from .literals import (
+    ConstantLiteral,
+    Literal,
+    LiteralParseError,
+    VariableLiteral,
+    is_constant_literal,
+    is_variable_literal,
+    literal_variables,
+    parse_literal,
+    parse_literals,
+)
+from .gfd import GFD, GFDError, make_gfd, parse_gfd
+from .satisfaction import (
+    is_violation,
+    match_satisfies,
+    match_satisfies_all,
+    match_satisfies_literal,
+    satisfies_generic,
+)
+from .closure import EqualityClosure, Rule, literals_conflict, saturate
+from .embedded import embedded_rule_set, embedded_rules
+from .satisfiability import (
+    build_model,
+    canonical_graph,
+    find_conflicting_host,
+    is_satisfiable,
+    trivially_satisfiable,
+)
+from .implication import counterexample, implies, minimal_cover
+from .validation import (
+    Violation,
+    det_vio,
+    make_violation,
+    satisfies,
+    violation_entities,
+    violations_of,
+)
+from .cfd import CFD, FD, UNCONSTRAINED, relation_to_graph, type_requirement
+from .generator import GFDGenerator, generate_gfds, mine_frequent_edges
+from .discovery import DiscoveredGFD, discover_gfds
+from .incremental import IncrementalValidator, apply_updates
+from .typed import TypeSchema, is_satisfiable_typed, type_conflicts
+
+__all__ = [
+    "ConstantLiteral",
+    "Literal",
+    "LiteralParseError",
+    "VariableLiteral",
+    "is_constant_literal",
+    "is_variable_literal",
+    "literal_variables",
+    "parse_literal",
+    "parse_literals",
+    "GFD",
+    "GFDError",
+    "make_gfd",
+    "parse_gfd",
+    "is_violation",
+    "match_satisfies",
+    "match_satisfies_all",
+    "match_satisfies_literal",
+    "satisfies_generic",
+    "EqualityClosure",
+    "Rule",
+    "literals_conflict",
+    "saturate",
+    "embedded_rule_set",
+    "embedded_rules",
+    "build_model",
+    "canonical_graph",
+    "find_conflicting_host",
+    "is_satisfiable",
+    "trivially_satisfiable",
+    "counterexample",
+    "implies",
+    "minimal_cover",
+    "Violation",
+    "det_vio",
+    "make_violation",
+    "satisfies",
+    "violation_entities",
+    "violations_of",
+    "CFD",
+    "FD",
+    "UNCONSTRAINED",
+    "relation_to_graph",
+    "type_requirement",
+    "GFDGenerator",
+    "generate_gfds",
+    "mine_frequent_edges",
+    "DiscoveredGFD",
+    "discover_gfds",
+    "IncrementalValidator",
+    "apply_updates",
+    "TypeSchema",
+    "is_satisfiable_typed",
+    "type_conflicts",
+]

@@ -1,0 +1,154 @@
+"""Relational FDs and CFDs as special cases of GFDs (Section 3, Example 5).
+
+When an instance of a relation schema ``R`` is represented as a graph with
+one ``R``-labelled node per tuple (attributes carried on the node), a
+relational FD ``R(X → Y)`` becomes a *variable* GFD over the two-node
+pattern ``Q4``, and a CFD ``(R: X → Y, tp)`` becomes a GFD whose constant
+literals encode the pattern tuple ``tp`` — the paper's ``φ4``, ``φ'4`` and
+``φ''4``.  This module provides those encodings plus the tuple-to-node
+graph representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graph.graph import PropertyGraph
+from ..pattern.pattern import GraphPattern
+from .gfd import GFD
+from .literals import ConstantLiteral, Literal, VariableLiteral
+
+#: The tableau wildcard: an unconstrained attribute in a CFD pattern tuple.
+UNCONSTRAINED = "_"
+
+
+def relation_to_graph(
+    name: str, rows: Sequence[Mapping[str, Any]], start_id: int = 0
+) -> PropertyGraph:
+    """Represent a relation instance as a graph: one node per tuple.
+
+    Every node is labelled with the relation name and carries the tuple's
+    attributes, which is exactly the encoding Example 5(4) assumes.
+    """
+    graph = PropertyGraph()
+    for offset, row in enumerate(rows):
+        graph.add_node(start_id + offset, name, dict(row))
+    return graph
+
+
+def two_tuple_pattern(relation: str) -> GraphPattern:
+    """The pattern ``Q4``: two (edge-free) nodes denoting tuples of ``R``."""
+    pattern = GraphPattern()
+    pattern.add_node("x", relation)
+    pattern.add_node("y", relation)
+    return pattern
+
+
+def single_tuple_pattern(relation: str) -> GraphPattern:
+    """The pattern ``Q''4``: a single node denoting one tuple of ``R``."""
+    pattern = GraphPattern()
+    pattern.add_node("x", relation)
+    return pattern
+
+
+@dataclass(frozen=True)
+class FD:
+    """A relational functional dependency ``R(X → Y)``."""
+
+    relation: str
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+
+    def to_gfd(self, name: str = "") -> GFD:
+        """The variable GFD ``φ4``: agree on ``X`` ⟹ agree on ``Y``."""
+        lhs: List[Literal] = [
+            VariableLiteral("x", attr, "y", attr) for attr in self.lhs
+        ]
+        rhs: List[Literal] = [
+            VariableLiteral("x", attr, "y", attr) for attr in self.rhs
+        ]
+        return GFD(
+            pattern=two_tuple_pattern(self.relation),
+            lhs=tuple(lhs),
+            rhs=tuple(rhs),
+            name=name or f"FD:{self.relation}({','.join(self.lhs)}"
+                         f"->{','.join(self.rhs)})",
+        )
+
+
+@dataclass(frozen=True)
+class CFD:
+    """A conditional functional dependency ``(R: X → Y, tp)`` [16].
+
+    ``pattern_tuple`` maps each attribute of ``X ∪ Y`` to a constant or to
+    :data:`UNCONSTRAINED`.  Semantics (and hence the GFD encoding) split on
+    the right-hand side:
+
+    * ``tp[Y]`` a constant — a *constant CFD*: any single tuple matching
+      the constant part of ``tp[X]`` must have ``t[Y] = tp[Y]`` (``φ''4``);
+    * ``tp[Y] = '_'`` — a *variable CFD*: two tuples agreeing on ``X`` and
+      matching ``tp[X]`` must agree on ``Y`` (``φ'4``).
+    """
+
+    relation: str
+    lhs: Tuple[str, ...]
+    rhs: str
+    pattern_tuple: Mapping[str, Any] = field(default_factory=dict)
+
+    def is_constant(self) -> bool:
+        """Whether the RHS is bound to a constant in the pattern tuple."""
+        return self.pattern_tuple.get(self.rhs, UNCONSTRAINED) != UNCONSTRAINED
+
+    def to_gfd(self, name: str = "") -> GFD:
+        """Encode as a GFD per Example 5(4)."""
+        if self.is_constant():
+            lhs: List[Literal] = [
+                ConstantLiteral("x", attr, value)
+                for attr, value in self.pattern_tuple.items()
+                if attr != self.rhs and value != UNCONSTRAINED
+            ]
+            rhs: List[Literal] = [
+                ConstantLiteral("x", self.rhs, self.pattern_tuple[self.rhs])
+            ]
+            return GFD(
+                pattern=single_tuple_pattern(self.relation),
+                lhs=tuple(lhs),
+                rhs=tuple(rhs),
+                name=name or f"CFD:{self.relation}",
+            )
+        lhs = []
+        for attr in self.lhs:
+            value = self.pattern_tuple.get(attr, UNCONSTRAINED)
+            if value == UNCONSTRAINED:
+                lhs.append(VariableLiteral("x", attr, "y", attr))
+            else:
+                lhs.append(ConstantLiteral("x", attr, value))
+                lhs.append(ConstantLiteral("y", attr, value))
+        rhs = [VariableLiteral("x", self.rhs, "y", self.rhs)]
+        return GFD(
+            pattern=two_tuple_pattern(self.relation),
+            lhs=tuple(lhs),
+            rhs=tuple(rhs),
+            name=name or f"CFD:{self.relation}",
+        )
+
+
+def type_requirement(label: str, attr: str, name: str = "") -> GFD:
+    """The type-information GFD of Section 3(3): ``(Q[x], ∅ → x.A = x.A)``.
+
+    Under satisfaction semantics a ``Y``-literal requires its attributes to
+    *exist*, so this GFD enforces that every ``label`` node carries
+    attribute ``A``.  (For the *reasoning* analyses the same literal is a
+    tautology and trivially implied — the paper uses both readings, and so
+    do we: validation checks existence, ``normal_form``/closures treat it
+    as vacuous.)
+    """
+    pattern = GraphPattern()
+    pattern.add_node("x", label)
+    return GFD(
+        pattern=pattern,
+        lhs=(),
+        rhs=(VariableLiteral("x", attr, "x", attr),),
+        name=name or f"requires:{label}.{attr}",
+    )

@@ -1,0 +1,190 @@
+"""Equality-atom closures: ``enforced(Σ_Q)`` and ``closure(Σ_Q, X)`` (§4).
+
+Both static analyses reduce to saturating a set of equality atoms under
+(a) the transitivity of equality and (b) rule application: an embedded GFD
+``X' → Y'`` contributes ``Y'`` once every literal of ``X'`` is derivable.
+We represent atoms in a union-find over *terms* — attribute occurrences
+``x.A`` and constants — where a class containing two distinct constants is
+a **conflict** (the certificate of unsatisfiability in Lemma 3).
+
+The paper notes both closures are computable in PTIME "along the same
+lines as closures for traditional FDs"; the fixpoint below is the standard
+O(rules × literals × α) construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .literals import ConstantLiteral, Literal, VariableLiteral
+
+# A term is either an attribute occurrence ("v", var, attr) or a constant
+# ("c", value).  Constants of equal value share a term, which is what makes
+# the paper's transitivity example work: x.A = c and y.B = c put x.A and
+# y.B in the same class, hence x.A = y.B is derived.
+Term = Tuple
+
+
+def attr_term(var: str, attr: str) -> Term:
+    """The term for attribute occurrence ``var.attr``."""
+    return ("v", var, attr)
+
+
+def const_term(value: Any) -> Term:
+    """The term for constant ``value``."""
+    return ("c", type(value).__name__, value)
+
+
+class EqualityClosure:
+    """A union-find over terms with conflict detection.
+
+    ``add_literal`` asserts an equality; ``entails`` tests derivability;
+    ``conflicting`` reports whether two distinct constants were ever
+    merged (directly or transitively).
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._constant: Dict[Term, Optional[Term]] = {}
+        self._conflict: Optional[Tuple[Term, Term]] = None
+
+    # ------------------------------------------------------------------
+    # union-find internals
+    # ------------------------------------------------------------------
+    def _ensure(self, term: Term) -> Term:
+        if term not in self._parent:
+            self._parent[term] = term
+            self._constant[term] = term if term[0] == "c" else None
+        return term
+
+    def find(self, term: Term) -> Term:
+        """Root of ``term``'s class (path-compressed)."""
+        self._ensure(term)
+        root = term
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[term] != root:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def union(self, a: Term, b: Term) -> None:
+        """Merge the classes of ``a`` and ``b``; record conflicts."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        ca, cb = self._constant[ra], self._constant[rb]
+        if ca is not None and cb is not None and ca != cb:
+            if self._conflict is None:
+                self._conflict = (ca, cb)
+            # Still merge, so saturation keeps going deterministically.
+        self._parent[ra] = rb
+        if cb is None:
+            self._constant[rb] = ca
+
+    # ------------------------------------------------------------------
+    # literal-level API
+    # ------------------------------------------------------------------
+    def add_literal(self, literal: Literal) -> None:
+        """Assert a literal as an equality atom."""
+        if isinstance(literal, ConstantLiteral):
+            self.union(
+                attr_term(literal.var, literal.attr), const_term(literal.const)
+            )
+        else:
+            self.union(
+                attr_term(literal.var1, literal.attr1),
+                attr_term(literal.var2, literal.attr2),
+            )
+
+    def add_all(self, literals: Iterable[Literal]) -> None:
+        """Assert every literal of a conjunction."""
+        for literal in literals:
+            self.add_literal(literal)
+
+    def entails(self, literal: Literal) -> bool:
+        """Whether ``literal`` is derivable via transitivity of equality."""
+        if isinstance(literal, ConstantLiteral):
+            root = self.find(attr_term(literal.var, literal.attr))
+            return self._constant[root] == const_term(literal.const)
+        if literal.is_tautology():
+            return True
+        root1 = self.find(attr_term(literal.var1, literal.attr1))
+        root2 = self.find(attr_term(literal.var2, literal.attr2))
+        if root1 == root2:
+            return True
+        c1, c2 = self._constant[root1], self._constant[root2]
+        return c1 is not None and c1 == c2
+
+    def entails_all(self, literals: Iterable[Literal]) -> bool:
+        """Whether every literal of the conjunction is derivable."""
+        return all(self.entails(l) for l in literals)
+
+    @property
+    def conflicting(self) -> bool:
+        """Whether two distinct constants were merged (``x.A = a ∧ x.A = b``)."""
+        return self._conflict is not None
+
+    @property
+    def conflict_witness(self) -> Optional[Tuple[Term, Term]]:
+        """The first pair of clashing constant terms, if any."""
+        return self._conflict
+
+    def constant_of(self, var: str, attr: str) -> Optional[Any]:
+        """The constant forced on ``var.attr``, if any."""
+        root = self.find(attr_term(var, attr))
+        constant = self._constant[root]
+        return constant[2] if constant is not None else None
+
+    def copy(self) -> "EqualityClosure":
+        """An independent copy of the current state."""
+        clone = EqualityClosure()
+        clone._parent = dict(self._parent)
+        clone._constant = dict(self._constant)
+        clone._conflict = self._conflict
+        return clone
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An embedded dependency ``X' → Y'`` over a common host pattern."""
+
+    lhs: Tuple[Literal, ...]
+    rhs: Tuple[Literal, ...]
+
+
+def saturate(
+    rules: Sequence[Rule], seed: Iterable[Literal] = ()
+) -> EqualityClosure:
+    """Least fixpoint of rule application from ``seed``.
+
+    With ``seed = ∅`` this computes ``enforced(Σ_Q)``: rules with an empty
+    (or derivable) premise contribute their conclusions, transitively.
+    With ``seed = X`` it computes ``closure(Σ_Q, X)`` (Section 4.2).
+    """
+    closure = EqualityClosure()
+    closure.add_all(seed)
+    pending: List[Rule] = list(rules)
+    changed = True
+    while changed and pending:
+        changed = False
+        still_pending: List[Rule] = []
+        for rule in pending:
+            if closure.entails_all(rule.lhs):
+                closure.add_all(rule.rhs)
+                changed = True
+            else:
+                still_pending.append(rule)
+        pending = still_pending
+    return closure
+
+
+def literals_conflict(literals: Iterable[Literal]) -> bool:
+    """Whether a conjunction is unsatisfiable on its own.
+
+    Used for the implication preamble (Section 4.2): if ``X`` is not
+    satisfiable, ``Σ ⊨ φ`` holds trivially.
+    """
+    closure = EqualityClosure()
+    closure.add_all(literals)
+    return closure.conflicting

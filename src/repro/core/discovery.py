@@ -1,0 +1,171 @@
+"""GFD discovery (the paper's first "future work" topic, Section 8).
+
+A pragmatic discovery algorithm in the spirit the conclusion sketches:
+enumerate candidate patterns from frequent features, propose dependencies
+over their matches, and keep those meeting *support* (enough matches
+satisfy ``X``) and *confidence* (the fraction of ``X``-satisfying matches
+that also satisfy ``Y``) thresholds.  Confidence 1.0 yields GFDs that hold
+exactly on the input graph; slightly lower thresholds surface "almost"
+dependencies whose violators are candidate errors.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.graph import PropertyGraph
+from ..matching.vf2 import SubgraphMatcher
+from ..pattern.pattern import GraphPattern
+from .gfd import GFD
+from .generator import EdgeType, mine_frequent_edges
+from .literals import ConstantLiteral, Literal, VariableLiteral
+from .satisfaction import match_satisfies_all
+
+
+@dataclass(frozen=True)
+class DiscoveredGFD:
+    """A mined GFD with its evidence."""
+
+    gfd: GFD
+    support: int
+    confidence: float
+
+
+def candidate_patterns(
+    graph: PropertyGraph, max_edges: int = 2, top_edges: int = 5
+) -> List[GraphPattern]:
+    """Small candidate patterns built from frequent edge types.
+
+    Single edges plus two-edge combinations sharing an endpoint — the
+    pattern shapes that dominate real-world GFDs (99% of pattern
+    components have radius ≤ 2, Section 5.2).
+    """
+    seeds = mine_frequent_edges(graph, top=top_edges)
+    patterns: List[GraphPattern] = []
+    for src_label, elabel, dst_label in seeds:
+        single = GraphPattern()
+        single.add_node("x", src_label)
+        single.add_node("y", dst_label)
+        single.add_edge("x", "y", elabel)
+        patterns.append(single)
+    if max_edges < 2:
+        return patterns
+    for first in seeds:
+        for second in seeds:
+            if first[0] == second[0]:  # shared source: x -a-> y, x -b-> z
+                fan = GraphPattern()
+                fan.add_node("x", first[0])
+                fan.add_node("y", first[2])
+                fan.add_node("z", second[2])
+                fan.add_edge("x", "y", first[1])
+                fan.add_edge("x", "z", second[1])
+                if fan.num_edges == 2:
+                    patterns.append(fan)
+            if first[2] == second[0]:  # chain: x -a-> y -b-> z
+                chain = GraphPattern()
+                chain.add_node("x", first[0])
+                chain.add_node("y", first[2])
+                chain.add_node("z", second[2])
+                chain.add_edge("x", "y", first[1])
+                chain.add_edge("y", "z", second[1])
+                if chain.num_edges == 2:
+                    patterns.append(chain)
+    # Deduplicate by signature.
+    unique: Dict[Tuple, GraphPattern] = {}
+    for pattern in patterns:
+        unique.setdefault(pattern.signature(), pattern)
+    return list(unique.values())
+
+
+def candidate_dependencies(
+    pattern: GraphPattern,
+    graph: PropertyGraph,
+    matches: Sequence[dict],
+    max_attrs: int = 4,
+) -> List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]]:
+    """Propose ``X → Y`` candidates from attributes seen on the matches."""
+    attrs_by_var: Dict[str, Counter] = defaultdict(Counter)
+    for match in matches[:200]:
+        for var, node in match.items():
+            attrs_by_var[var].update(graph.attrs(node).keys())
+    out: List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]] = []
+    variables = pattern.variables
+    for var1 in variables:
+        for var2 in variables:
+            if var1 >= var2:
+                continue
+            common = [
+                attr
+                for attr, _ in (attrs_by_var[var1] & attrs_by_var[var2]).most_common(
+                    max_attrs
+                )
+            ]
+            for lhs_attr in common:
+                for rhs_attr in common:
+                    if lhs_attr == rhs_attr:
+                        continue
+                    out.append(
+                        (
+                            (VariableLiteral(var1, lhs_attr, var2, lhs_attr),),
+                            (VariableLiteral(var1, rhs_attr, var2, rhs_attr),),
+                        )
+                    )
+    # Single-variable constant rules: X = ∅ → x.A = c (capital-style).
+    for var in variables:
+        for attr, _ in attrs_by_var[var].most_common(max_attrs):
+            values = Counter(
+                graph.get_attr(match[var], attr)
+                for match in matches[:200]
+                if graph.has_attr(match[var], attr)
+            )
+            if len(values) == 1:
+                value = next(iter(values))
+                out.append(((), (ConstantLiteral(var, attr, value),)))
+    return out
+
+
+def discover_gfds(
+    graph: PropertyGraph,
+    min_support: int = 5,
+    min_confidence: float = 0.95,
+    max_edges: int = 2,
+    max_matches: int = 5000,
+) -> List[DiscoveredGFD]:
+    """Mine GFDs from ``graph``.
+
+    ``min_support`` counts matches whose premise holds; ``min_confidence``
+    is the fraction of those that also satisfy the conclusion.  Matching is
+    capped at ``max_matches`` per candidate pattern to bound the cost.
+    """
+    results: List[DiscoveredGFD] = []
+    for pattern in candidate_patterns(graph, max_edges=max_edges):
+        matcher = SubgraphMatcher(pattern, graph)
+        matches = []
+        for match in matcher.matches(limit=max_matches):
+            matches.append(match)
+        if len(matches) < min_support:
+            continue
+        for lhs, rhs in candidate_dependencies(pattern, graph, matches):
+            supported = 0
+            satisfied = 0
+            for match in matches:
+                if match_satisfies_all(graph, match, lhs):
+                    supported += 1
+                    if match_satisfies_all(graph, match, rhs):
+                        satisfied += 1
+            if supported < min_support:
+                continue
+            confidence = satisfied / supported
+            if confidence >= min_confidence:
+                name = f"mined{len(results)}"
+                results.append(
+                    DiscoveredGFD(
+                        gfd=GFD(pattern=pattern, lhs=lhs, rhs=rhs, name=name),
+                        support=supported,
+                        confidence=confidence,
+                    )
+                )
+    return results

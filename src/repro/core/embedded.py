@@ -1,0 +1,44 @@
+"""Embedded GFDs (Section 4).
+
+If pattern ``Q'`` is embeddable in ``Q`` via ``f``, then for any GFD
+``φ' = (Q'[x̄'], X' → Y')``, the GFD ``(Q[x̄], f(X') → f(Y'))`` is an
+*embedded GFD* of ``φ'`` in ``Q``.  The sets ``Σ_Q`` used by both static
+analyses collect the embedded GFDs of every member of Σ over a common host
+pattern; we materialise them as :class:`repro.core.closure.Rule` objects
+(the host pattern is implicit — all literals speak about host variables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from ..pattern.embedding import embeddings
+from ..pattern.pattern import GraphPattern
+from .closure import Rule
+from .gfd import GFD
+
+
+def embedded_rules(gfd: GFD, host: GraphPattern) -> Iterator[Rule]:
+    """All embedded GFDs of ``gfd`` in ``host``, one per embedding."""
+    for f in embeddings(gfd.pattern, host):
+        yield Rule(
+            lhs=tuple(l.rename(f) for l in gfd.lhs),
+            rhs=tuple(l.rename(f) for l in gfd.rhs),
+        )
+
+
+def embedded_rule_set(sigma: Iterable[GFD], host: GraphPattern) -> List[Rule]:
+    """The maximal ``Σ_Q`` for host ``Q``: every embedding of every GFD.
+
+    Using the maximal set is complete — larger embedded sets only grow the
+    closure, and Lemmas 3/7 quantify existentially over embedded sets.
+    """
+    rules: List[Rule] = []
+    seen = set()
+    for gfd in sigma:
+        for rule in embedded_rules(gfd, host):
+            key = (rule.lhs, rule.rhs)
+            if key not in seen:
+                seen.add(key)
+                rules.append(rule)
+    return rules

@@ -1,0 +1,194 @@
+"""GFDs — graph functional dependencies (Section 3).
+
+A GFD is a pair ``φ = (Q[x̄], X → Y)``: a graph pattern imposing a
+*topological constraint* (the scope of the dependency, playing the role a
+relation schema plays for relational FDs) plus an *attribute dependency*
+``X → Y`` over the pattern's variables.
+
+GFDs subsume relational FDs and CFDs (see :mod:`repro.core.cfd`), and the
+two syntactic fragments the paper singles out:
+
+* **constant GFDs** — ``X`` and ``Y`` contain constant literals only
+  (subsume constant CFDs);
+* **variable GFDs** — ``X`` and ``Y`` contain variable literals only
+  (analogous to traditional FDs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..pattern.components import PivotVector, pivot_vector
+from ..pattern.parser import parse_pattern
+from ..pattern.pattern import GraphPattern
+from .literals import (
+    ConstantLiteral,
+    Literal,
+    VariableLiteral,
+    is_constant_literal,
+    is_variable_literal,
+    parse_literals,
+)
+
+
+class GFDError(ValueError):
+    """Raised for structurally invalid GFDs."""
+
+
+@dataclass(frozen=True)
+class GFD:
+    """A graph functional dependency ``(Q[x̄], X → Y)``.
+
+    ``X`` and ``Y`` are conjunctions (tuples) of literals over the
+    pattern's variables; either may be empty.  ``name`` is an optional
+    identifier used in violation reports.
+    """
+
+    pattern: GraphPattern
+    lhs: Tuple[Literal, ...]
+    rhs: Tuple[Literal, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for literal in (*self.lhs, *self.rhs):
+            for var in literal.variables():
+                if var not in self.pattern:
+                    raise GFDError(
+                        f"literal {literal} uses variable {var!r} "
+                        f"not bound by the pattern"
+                    )
+
+    # ------------------------------------------------------------------
+    # classification (Section 3, "Special cases")
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """Whether all literals are constant literals (a *constant GFD*)."""
+        return all(
+            is_constant_literal(l) for l in (*self.lhs, *self.rhs)
+        )
+
+    @property
+    def is_variable(self) -> bool:
+        """Whether all literals are variable literals (a *variable GFD*)."""
+        return all(
+            is_variable_literal(l) for l in (*self.lhs, *self.rhs)
+        )
+
+    @property
+    def has_empty_lhs(self) -> bool:
+        """Whether the GFD has the form ``(Q, ∅ → Y)`` (Corollary 4)."""
+        return not self.lhs
+
+    @property
+    def is_tree_patterned(self) -> bool:
+        """Whether ``Q`` is a forest (tractable cases, Cor. 4 and 8)."""
+        return self.pattern.is_tree()
+
+    # ------------------------------------------------------------------
+    # derived forms
+    # ------------------------------------------------------------------
+    @cached_property
+    def pivot(self) -> PivotVector:
+        """The pivot vector ``PV(φ)`` (Section 5.2), computed once."""
+        return pivot_vector(self.pattern)
+
+    def normal_form(self) -> List["GFD"]:
+        """Split into single-RHS-literal GFDs, dropping tautologies.
+
+        Section 4.2: a GFD with ``|Y| > 1`` is equivalent to one GFD per
+        literal of ``Y``; tautological literals (``x.A = x.A``) are
+        trivially implied and removed.  An empty result means the GFD holds
+        vacuously.
+        """
+        out = []
+        for index, literal in enumerate(self.rhs):
+            if literal.is_tautology():
+                continue
+            out.append(
+                GFD(
+                    pattern=self.pattern,
+                    lhs=self.lhs,
+                    rhs=(literal,),
+                    name=f"{self.name or 'gfd'}#{index}",
+                )
+            )
+        return out
+
+    def rename(self, mapping: Dict[str, str]) -> "GFD":
+        """The GFD with pattern variables and literals renamed by ``mapping``."""
+        return GFD(
+            pattern=self.pattern.rename(mapping),
+            lhs=tuple(l.rename(mapping) for l in self.lhs),
+            rhs=tuple(l.rename(mapping) for l in self.rhs),
+            name=self.name,
+        )
+
+    @property
+    def size(self) -> int:
+        """``|φ|`` — pattern size plus literal count (complexity measure)."""
+        return self.pattern.size + len(self.lhs) + len(self.rhs)
+
+    def __str__(self) -> str:
+        lhs = " & ".join(str(l) for l in self.lhs) or "∅"
+        rhs = " & ".join(str(l) for l in self.rhs) or "∅"
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}({self.pattern!r}, {lhs} → {rhs})"
+
+    def __hash__(self) -> int:
+        return hash((self.pattern.signature(), self.lhs, self.rhs))
+
+
+def make_gfd(
+    pattern: GraphPattern,
+    lhs: Iterable[Literal] = (),
+    rhs: Iterable[Literal] = (),
+    name: str = "",
+) -> GFD:
+    """Construct a GFD from a pattern and literal iterables."""
+    return GFD(pattern=pattern, lhs=tuple(lhs), rhs=tuple(rhs), name=name)
+
+
+def denial(pattern: GraphPattern, name: str = "") -> GFD:
+    """A denial constraint: the pattern must not match at all.
+
+    The paper's GFD 1 (Fig. 7) encodes "a person cannot have y as both a
+    child and a parent" as ``(Q, ∅ → x.val = c ∧ y.val = d)`` for distinct
+    ``c, d`` — an unsatisfiable conclusion, so *every* match is a
+    violation.  We use reserved constants no real data carries.
+    """
+    variables = pattern.variables
+    first = variables[0]
+    return GFD(
+        pattern=pattern,
+        lhs=(),
+        rhs=(
+            ConstantLiteral(first, "val", "⊤impossible"),
+            ConstantLiteral(first, "val", "⊥impossible"),
+        ),
+        name=name or "denial",
+    )
+
+
+def parse_gfd(pattern_text: str, dependency_text: str, name: str = "") -> GFD:
+    """Parse a GFD from the pattern DSL plus a dependency string.
+
+    ``dependency_text`` has the form ``"X => Y"`` where each side is a
+    comma-separated conjunction of literals (empty side = ∅)::
+
+        parse_gfd("x:flight -from-> x2:city; y:flight -from-> y2:city; "
+                  "x -number-> x1:id; y -number-> y1:id",
+                  "x1.val = y1.val => x2.val = y2.val",
+                  name="flight")
+    """
+    if "=>" not in dependency_text:
+        raise GFDError(f"dependency needs '=>': {dependency_text!r}")
+    lhs_text, rhs_text = dependency_text.split("=>", 1)
+    return GFD(
+        pattern=parse_pattern(pattern_text),
+        lhs=parse_literals(lhs_text),
+        rhs=parse_literals(rhs_text),
+        name=name,
+    )

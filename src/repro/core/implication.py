@@ -1,0 +1,151 @@
+"""The implication problem for GFDs (Section 4.2).
+
+``Σ ⊨ φ`` iff every graph satisfying Σ also satisfies φ.  Implication lets
+a rule engine drop redundant data-quality rules before validation (the
+Appendix's *workload reduction*); the problem is NP-complete (Theorem 5).
+
+Lemma 7 characterises implication through deducibility: writing φ in
+normal form ``(Q, X → l)`` per conclusion literal ``l``, ``Σ ⊨ φ`` iff
+``l ∈ closure(Σ_Q, X)`` where ``Σ_Q`` is the set of GFDs embedded in
+``Q`` and derived from Σ.  Taking the *maximal* embedded set (every
+embedding of every pattern of Σ into ``Q``) maximises the closure, so the
+existential over embedded sets reduces to a single saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..graph.graph import PropertyGraph
+from .closure import literals_conflict, saturate
+from .embedded import embedded_rule_set
+from .gfd import GFD
+from .satisfiability import is_satisfiable
+
+
+def implies(
+    sigma: Sequence[GFD],
+    gfd: GFD,
+    check_satisfiability: bool = False,
+) -> bool:
+    """Decide ``Σ ⊨ φ`` (Theorem 5 / Lemma 7).
+
+    The paper's convention: when Σ is unsatisfiable the question is
+    meaningless (every graph violating Σ makes the implication vacuous);
+    pass ``check_satisfiability=True`` to get that preamble — unsatisfiable
+    Σ then yields ``True`` vacuously, mirroring the extended algorithm in
+    the proof of Theorem 5.  When the premise ``X`` of φ is itself
+    unsatisfiable, φ holds trivially and we return ``True``.
+    """
+    sigma = list(sigma)
+    if literals_conflict(gfd.lhs):
+        return True
+    if check_satisfiability and not is_satisfiable(sigma):
+        return True
+
+    targets = [l for l in gfd.rhs if not l.is_tautology()]
+    if not targets:
+        return True
+
+    rules = embedded_rule_set(sigma, gfd.pattern)
+    closure = saturate(rules, seed=gfd.lhs)
+    if closure.conflicting:
+        # X together with Σ's embedded consequences is contradictory: no
+        # match of Q in any G ⊨ Σ can satisfy X, so φ holds vacuously.
+        return True
+    return all(closure.entails(l) for l in targets)
+
+
+def minimal_cover(sigma: Sequence[GFD]) -> List[GFD]:
+    """A non-redundant subset of Σ with the same logical consequences.
+
+    Greedily removes each GFD implied by the remaining ones (Appendix,
+    *workload reduction*: "if Σ \\ {φ} ⊨ φ, we can safely remove φ from Σ
+    without impacting Vio(Σ, G)").  The result depends on iteration order,
+    as for relational covers; any output is a valid cover.
+    """
+    cover = list(sigma)
+    index = 0
+    while index < len(cover):
+        candidate = cover[index]
+        rest = cover[:index] + cover[index + 1:]
+        if rest and all(
+            implies(rest, single) for single in candidate.normal_form()
+        ):
+            cover.pop(index)
+        else:
+            index += 1
+    return cover
+
+
+def counterexample(
+    sigma: Sequence[GFD], gfd: GFD
+) -> Optional[PropertyGraph]:
+    """A witness graph for ``Σ ⊭ φ``: satisfies Σ but violates φ.
+
+    Returns ``None`` when ``Σ ⊨ φ``.  Construction mirrors the Lemma 7
+    completeness argument: instantiate φ's pattern, seed the premise ``X``
+    as attribute values, saturate Σ's embedded consequences, and leave the
+    conclusion's attributes absent (or distinct) — used by the property
+    tests to cross-validate :func:`implies`.
+    """
+    import itertools
+
+    from ..graph.graph import WILDCARD
+    from ..matching.vf2 import SubgraphMatcher
+    from .closure import ConstantLiteral, Rule
+    from .literals import VariableLiteral
+    from .satisfiability import canonical_graph
+
+    if implies(sigma, gfd):
+        return None
+
+    # Instantiate Q alone; ground every GFD of Σ over it; fire to fixpoint
+    # with X seeded; assign values per class.
+    graph, instantiations = canonical_graph([gfd])
+    mapping = instantiations[0]
+    str_map = {var: str(node) for var, node in mapping.items()}
+    seed = [l.rename(str_map) for l in gfd.lhs]
+
+    rules: List[Rule] = []
+    for member in sigma:
+        matcher = SubgraphMatcher(member.pattern, graph)
+        for match in matcher.matches():
+            ground = {var: str(node) for var, node in match.items()}
+            rules.append(
+                Rule(
+                    lhs=tuple(l.rename(ground) for l in member.lhs),
+                    rhs=tuple(l.rename(ground) for l in member.rhs),
+                )
+            )
+    closure = saturate(rules, seed=seed)
+    if closure.conflicting:
+        return None  # defensive: implies() should have caught this
+
+    required = set()
+    for literal in seed:
+        required.update(_terms(literal))
+    for rule in rules:
+        if closure.entails_all(rule.lhs):
+            for literal in rule.rhs:
+                required.update(_terms(literal))
+
+    fresh: dict = {}
+    for node_str, attr in required:
+        node = int(node_str)
+        constant = closure.constant_of(node_str, attr)
+        if constant is not None:
+            graph.set_attr(node, attr, constant)
+        else:
+            root = closure.find(("v", node_str, attr))
+            value = fresh.setdefault(root, f"•{len(fresh)}")
+            graph.set_attr(node, attr, value)
+    return graph
+
+
+def _terms(literal) -> list:
+    from .literals import ConstantLiteral
+
+    if isinstance(literal, ConstantLiteral):
+        return [(literal.var, literal.attr)]
+    return [(literal.var1, literal.attr1), (literal.var2, literal.attr2)]

@@ -1,0 +1,174 @@
+"""Incremental violation maintenance under graph updates.
+
+The paper's related work ([17, 18]) maintains CFD violations under
+relational updates; the GFD workload model makes the graph analogue
+natural: by the locality of subgraph isomorphism (Section 5.2), a match of
+``φ``'s pattern that gains or loses violation status after an update must
+lie within ``c_Q`` hops of the touched nodes — so only the affected data
+blocks need re-validation, not the whole graph.
+
+:class:`IncrementalValidator` keeps ``Vio(Σ, G)`` current under four update
+kinds — attribute set, edge insertion, edge deletion, node insertion.
+Only matches *containing* a touched node can change status (an attribute
+flip changes their literal values; an edge change creates or destroys them
+through its endpoints), so maintenance drops exactly those stale verdicts
+and re-enumerates exactly those matches — by pinning each pattern variable
+to each touched node and letting the matcher's adjacency-driven search
+complete the rest.  Cost is proportional to the match volume around the
+touched nodes, independent of ``|G|`` (the ``test_incremental`` suite
+asserts equality with from-scratch detection after every update, and
+``bench_ablation`` measures the gap).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from ..graph.graph import NodeId, PropertyGraph
+from ..matching.vf2 import SubgraphMatcher
+from .gfd import GFD
+from .satisfaction import match_satisfies_all
+from .validation import Violation, det_vio, make_violation
+
+
+class IncrementalValidator:
+    """Maintains ``Vio(Σ, G)`` while ``G`` is updated in place.
+
+    Construct over a graph and rule set (pays one full ``detVio``), then
+    route every update through the mutator methods::
+
+        validator = IncrementalValidator(sigma, graph)
+        validator.set_attr(node, "city", "Edi")
+        validator.add_edge(u, v, "capital")
+        print(validator.violations)
+
+    The graph object is shared — do not mutate it behind the validator's
+    back, or call :meth:`rebuild` afterwards.
+    """
+
+    def __init__(self, sigma: Sequence[GFD], graph: PropertyGraph) -> None:
+        self.sigma = list(sigma)
+        names = [gfd.name or "gfd" for gfd in self.sigma]
+        if len(set(names)) != len(names):
+            # Stale-violation removal is keyed by GFD name.
+            raise ValueError("incremental validation requires unique GFD names")
+        self.graph = graph
+        self.violations: Set[Violation] = det_vio(self.sigma, graph)
+        # Matchers are cached across updates: their candidate sets depend
+        # only on labels and degrees, so attribute updates reuse them and
+        # structural updates invalidate the cache.
+        self._matchers: Dict[int, SubgraphMatcher] = {}
+
+    # ------------------------------------------------------------------
+    # update API
+    # ------------------------------------------------------------------
+    def set_attr(self, node: NodeId, attr: str, value: Any) -> Set[Violation]:
+        """Set an attribute and refresh affected violations.
+
+        Returns the new violations introduced by this update.
+        """
+        self.graph.set_attr(node, attr, value)
+        return self._refresh({node}, structural=False)
+
+    def add_edge(self, src: NodeId, dst: NodeId, label: str) -> Set[Violation]:
+        """Insert an edge and refresh affected violations."""
+        self.graph.add_edge(src, dst, label)
+        return self._refresh({src, dst}, structural=True)
+
+    def remove_edge(self, src: NodeId, dst: NodeId, label: str) -> Set[Violation]:
+        """Delete an edge and refresh affected violations."""
+        self.graph.remove_edge(src, dst, label)
+        return self._refresh({src, dst}, structural=True)
+
+    def add_node(
+        self, node: NodeId, label: str, attrs: Optional[Dict[str, Any]] = None
+    ) -> Set[Violation]:
+        """Insert a node (with attributes) and refresh affected violations."""
+        self.graph.add_node(node, label, attrs)
+        return self._refresh({node}, structural=True)
+
+    def rebuild(self) -> None:
+        """Recompute from scratch (after out-of-band mutations)."""
+        self.violations = det_vio(self.sigma, self.graph)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _refresh(
+        self, touched: Set[NodeId], structural: bool
+    ) -> Set[Violation]:
+        """Re-validate every GFD around the touched nodes.
+
+        Only matches *containing* a touched node can change status (an
+        attribute flip changes their literals; an edge change creates or
+        destroys them through its endpoints), so exactly those verdicts
+        are dropped and exactly those matches re-checked.
+        """
+        if structural:
+            self._matchers.clear()
+        added: Set[Violation] = set()
+        for index, gfd in enumerate(self.sigma):
+            stale = {
+                v
+                for v in self.violations
+                if v.gfd_name == (gfd.name or "gfd") and (v.nodes() & touched)
+            }
+            self.violations -= stale
+            fresh = self._violations_touching(index, gfd, touched)
+            self.violations |= fresh
+            added |= fresh - stale
+        return added
+
+    def _violations_touching(
+        self, index: int, gfd: GFD, touched: Set[NodeId]
+    ) -> Set[Violation]:
+        """Violating matches containing at least one touched node.
+
+        Every such match maps *some* pattern variable onto a touched node,
+        so pinning each (label-compatible) variable to each touched node
+        and letting the matcher's adjacency-driven search complete the
+        rest enumerates them all — no data block is materialised, and the
+        cost is proportional to the matches around the touched nodes
+        rather than to any neighbourhood's size.
+        """
+        out: Set[Violation] = set()
+        matcher = self._matchers.get(index)
+        if matcher is None:
+            matcher = SubgraphMatcher(gfd.pattern, self.graph)
+            self._matchers[index] = matcher
+        graph = self.graph
+        for node in touched:
+            if node not in graph:
+                continue  # e.g. endpoint of a removed structure
+            for var in gfd.pattern.variables:
+                for match in matcher.matches(fixed={var: node}):
+                    if match_satisfies_all(graph, match, gfd.lhs) and not \
+                            match_satisfies_all(graph, match, gfd.rhs):
+                        out.add(make_violation(gfd, match))
+        return out
+
+
+def apply_updates(
+    validator: IncrementalValidator,
+    updates: Iterable[tuple],
+) -> Set[Violation]:
+    """Apply a batch of updates; returns all newly-introduced violations.
+
+    Update tuples: ``("attr", node, attr, value)``, ``("edge+", src, dst,
+    label)``, ``("edge-", src, dst, label)``, ``("node", node, label,
+    attrs)``.
+    """
+    added: Set[Violation] = set()
+    for update in updates:
+        kind = update[0]
+        if kind == "attr":
+            added |= validator.set_attr(*update[1:])
+        elif kind == "edge+":
+            added |= validator.add_edge(*update[1:])
+        elif kind == "edge-":
+            added |= validator.remove_edge(*update[1:])
+        elif kind == "node":
+            added |= validator.add_node(*update[1:])
+        else:
+            raise ValueError(f"unknown update kind {kind!r}")
+    return added

@@ -1,0 +1,158 @@
+"""GFD literals (Section 3).
+
+A literal of ``x̄`` is either a *constant literal* ``x.A = c`` binding an
+attribute to a constant, or a *variable literal* ``x.A = y.B`` equating two
+attributes.  Constant literals give GFDs the semantic value-binding power
+of CFDs; variable literals generalise traditional FDs.
+
+Text syntax (used by the GFD DSL and ``repr``)::
+
+    x.city = 'Edi'        constant literal (quoted constant)
+    x.zip = y.zip         variable literal
+    x.count = 44          unquoted ints/floats parse as numbers
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ConstantLiteral:
+    """``x.A = c`` — attribute ``A`` of the entity bound to ``x`` equals ``c``."""
+
+    var: str
+    attr: str
+    const: Any
+
+    def variables(self) -> FrozenSet[str]:
+        """Pattern variables mentioned by the literal."""
+        return frozenset((self.var,))
+
+    def rename(self, mapping: Dict[str, str]) -> "ConstantLiteral":
+        """Apply an embedding ``f`` — the literal ``f(x).A = c``."""
+        return ConstantLiteral(mapping.get(self.var, self.var), self.attr, self.const)
+
+    def is_tautology(self) -> bool:
+        """Constant literals are never tautologies."""
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} = {_format_const(self.const)}"
+
+
+@dataclass(frozen=True)
+class VariableLiteral:
+    """``x.A = y.B`` — two attributes of (possibly different) entities agree."""
+
+    var1: str
+    attr1: str
+    var2: str
+    attr2: str
+
+    def variables(self) -> FrozenSet[str]:
+        """Pattern variables mentioned by the literal."""
+        return frozenset((self.var1, self.var2))
+
+    def rename(self, mapping: Dict[str, str]) -> "VariableLiteral":
+        """Apply an embedding ``f`` — the literal ``f(x).A = f(y).B``."""
+        return VariableLiteral(
+            mapping.get(self.var1, self.var1),
+            self.attr1,
+            mapping.get(self.var2, self.var2),
+            self.attr2,
+        )
+
+    def is_tautology(self) -> bool:
+        """``x.A = x.A`` holds vacuously (Section 4.2 normal form)."""
+        return self.var1 == self.var2 and self.attr1 == self.attr2
+
+    def normalized(self) -> "VariableLiteral":
+        """Order the two sides canonically so symmetric pairs compare equal."""
+        if (self.var2, self.attr2) < (self.var1, self.attr1):
+            return VariableLiteral(self.var2, self.attr2, self.var1, self.attr1)
+        return self
+
+    def __str__(self) -> str:
+        return f"{self.var1}.{self.attr1} = {self.var2}.{self.attr2}"
+
+
+Literal = Union[ConstantLiteral, VariableLiteral]
+
+
+def is_constant_literal(literal: Literal) -> bool:
+    """Whether ``literal`` is of the form ``x.A = c``."""
+    return isinstance(literal, ConstantLiteral)
+
+
+def is_variable_literal(literal: Literal) -> bool:
+    """Whether ``literal`` is of the form ``x.A = y.B``."""
+    return isinstance(literal, VariableLiteral)
+
+
+def literal_variables(literals: Iterable[Literal]) -> FrozenSet[str]:
+    """Union of variables mentioned by ``literals``."""
+    out: FrozenSet[str] = frozenset()
+    for literal in literals:
+        out |= literal.variables()
+    return out
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+# Variable names may carry primes (z') to mirror the paper's notation.
+_TERM_RE = re.compile(r"^\s*([A-Za-z_][\w']*)\s*\.\s*([\w ]+?)\s*$")
+_QUOTED_RE = re.compile(r"""^\s*(['"])(.*)\1\s*$""")
+_NUMBER_RE = re.compile(r"^\s*-?\d+(\.\d+)?\s*$")
+
+
+class LiteralParseError(ValueError):
+    """Raised when a literal string cannot be parsed."""
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse ``"x.A = 'c'"`` or ``"x.A = y.B"`` into a literal object."""
+    if "=" not in text:
+        raise LiteralParseError(f"literal needs '=': {text!r}")
+    left, right = text.split("=", 1)
+    left_match = _TERM_RE.match(left)
+    if not left_match:
+        raise LiteralParseError(f"left side must be var.attr: {left!r}")
+    var, attr = left_match.group(1), left_match.group(2)
+
+    right_term = _TERM_RE.match(right)
+    if right_term:
+        return VariableLiteral(var, attr, right_term.group(1), right_term.group(2))
+    quoted = _QUOTED_RE.match(right)
+    if quoted:
+        return ConstantLiteral(var, attr, quoted.group(2))
+    if _NUMBER_RE.match(right):
+        value = right.strip()
+        return ConstantLiteral(var, attr, float(value) if "." in value else int(value))
+    # Bare words are treated as string constants (e.g. ``x.is_fake = true``).
+    word = right.strip()
+    if not word:
+        raise LiteralParseError(f"empty right side: {text!r}")
+    return ConstantLiteral(var, attr, word)
+
+
+def parse_literals(text: str) -> Tuple[Literal, ...]:
+    """Parse a comma/``&``-separated conjunction of literals.
+
+    An empty/whitespace string (or the keyword ``true``) is the empty set —
+    the GFD DSL uses it for ``X = ∅``.
+    """
+    stripped = text.strip()
+    if not stripped or stripped.lower() == "true":
+        return ()
+    parts = re.split(r"[,&]| and ", stripped)
+    return tuple(parse_literal(part) for part in parts if part.strip())
+
+
+def _format_const(value: Any) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)

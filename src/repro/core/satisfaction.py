@@ -1,0 +1,103 @@
+"""GFD satisfaction semantics (Section 3).
+
+A match ``h(x̄)`` *satisfies* a literal when the referenced attributes
+exist and are equal:
+
+* ``x.A = c`` — node ``h(x)`` has attribute ``A`` with value ``c``;
+* ``x.A = y.B`` — both attributes exist and agree.
+
+``h(x̄) ⊨ X → Y`` iff ``h(x̄) ⊨ Y`` whenever ``h(x̄) ⊨ X``.  Note the
+asymmetry the paper stresses: a *missing* attribute in ``X`` makes the
+premise fail, so the match trivially satisfies the GFD (accommodating
+schemaless graphs), whereas a literal of ``Y`` *requires* the attribute to
+exist.  ``G ⊨ φ`` iff every match of ``Q`` in ``G`` satisfies ``X → Y``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..graph.graph import PropertyGraph
+from ..matching.vf2 import Match
+from .gfd import GFD
+from .literals import ConstantLiteral, Literal, VariableLiteral
+
+_MISSING = object()
+
+
+def match_satisfies_literal(
+    graph: PropertyGraph, match: Match, literal: Literal
+) -> bool:
+    """Whether ``h(x̄) ⊨ literal`` (attributes must exist and be equal)."""
+    if isinstance(literal, ConstantLiteral):
+        value = graph.get_attr(match[literal.var], literal.attr, _MISSING)
+        return value is not _MISSING and value == literal.const
+    value1 = graph.get_attr(match[literal.var1], literal.attr1, _MISSING)
+    if value1 is _MISSING:
+        return False
+    value2 = graph.get_attr(match[literal.var2], literal.attr2, _MISSING)
+    return value2 is not _MISSING and value1 == value2
+
+
+def match_satisfies_all(
+    graph: PropertyGraph, match: Match, literals: Iterable[Literal]
+) -> bool:
+    """Whether ``h(x̄) ⊨ Z`` for a conjunction ``Z`` (``∅`` holds trivially)."""
+    return all(match_satisfies_literal(graph, match, l) for l in literals)
+
+
+def match_satisfies(graph: PropertyGraph, match: Match, gfd: GFD) -> bool:
+    """Whether ``h(x̄) ⊨ X → Y`` for the given match of the GFD's pattern."""
+    if not match_satisfies_all(graph, match, gfd.lhs):
+        return True
+    return match_satisfies_all(graph, match, gfd.rhs)
+
+
+def is_violation(graph: PropertyGraph, match: Match, gfd: GFD) -> bool:
+    """Whether the match is a violation: ``h(x̄) ⊨ X`` but ``h(x̄) ⊭ Y``."""
+    return not match_satisfies(graph, match, gfd)
+
+
+def wildcard_attribute_literals(
+    graph: PropertyGraph, match: Match, var1: str, var2: str
+) -> Iterable[VariableLiteral]:
+    """Expand a *generic* literal ``x.A = y.A`` over all attributes of ``h(x)``.
+
+    Supports the paper's φ3 (is_a inheritance): "for any property A of x,
+    x.A = y.A".  A GFD using attribute name ``'*'`` on both sides of a
+    variable literal is interpreted by :func:`satisfies_generic` as ranging
+    over every attribute the *first* node actually carries.
+    """
+    for attr in graph.attrs(match[var1]):
+        yield VariableLiteral(var1, attr, var2, attr)
+
+
+GENERIC_ATTR = "*"
+
+
+def satisfies_generic(graph: PropertyGraph, match: Match, gfd: GFD) -> bool:
+    """Satisfaction with ``'*'`` attribute expansion (Example 5(3)).
+
+    Falls back to :func:`match_satisfies` when no generic literal occurs.
+    """
+    lhs = _expand(graph, match, gfd.lhs)
+    if not all(match_satisfies_literal(graph, match, l) for l in lhs):
+        return True
+    rhs = _expand(graph, match, gfd.rhs)
+    return all(match_satisfies_literal(graph, match, l) for l in rhs)
+
+
+def _expand(graph: PropertyGraph, match: Match, literals: Iterable[Literal]):
+    out = []
+    for literal in literals:
+        if (
+            isinstance(literal, VariableLiteral)
+            and literal.attr1 == GENERIC_ATTR
+            and literal.attr2 == GENERIC_ATTR
+        ):
+            out.extend(
+                wildcard_attribute_literals(graph, match, literal.var1, literal.var2)
+            )
+        else:
+            out.append(literal)
+    return out

@@ -1,0 +1,307 @@
+"""The satisfiability problem for GFDs (Section 4.1).
+
+A set Σ of GFDs is *satisfiable* iff it has a model: a graph ``G`` with
+``G ⊨ Σ`` in which **every** pattern of Σ has a match.  Satisfiability
+checks whether the GFDs are "dirty" themselves before they are used as
+data-quality rules; the problem is coNP-complete (Theorem 1) and remains
+so for constant GFDs over DAG patterns (Corollary 2).
+
+Decision procedure
+------------------
+We decide satisfiability exactly by building the **canonical model**: the
+disjoint union of one fresh instance of every pattern in Σ (wildcard
+labels instantiated with fresh private labels, so they never collide with
+concrete ones).  The canonical graph contains a match of every pattern by
+construction and is the *freest* such graph; every equality atom it is
+forced to carry is forced in every model.  So:
+
+* enumerate every match of every pattern of Σ in the canonical graph
+  (matches of disconnected patterns may straddle instances — this is what
+  makes GFDs with different patterns interact, cf. Example 7);
+* saturate the induced ground rules (:func:`repro.core.closure.saturate`);
+* Σ is satisfiable iff the saturation is conflict-free, in which case a
+  concrete model is assembled by assigning each forced equivalence class
+  its constant (or a fresh value) — see :func:`build_model`.
+
+This realises Lemma 3 ("Σ is satisfiable iff Σ is not conflicting") with
+the conflict check performed on the canonical structure.  The paper's
+host-pattern formulation is also provided (:func:`find_conflicting_host`)
+as a diagnostic that pinpoints *which* patterns clash (Example 7), but the
+canonical-model check is the decision procedure: guessing hosts that no
+model is forced to realise can over-report conflicts for patterns that
+only overlap optionally.
+
+The always-satisfiable fast paths of Corollary 4 are checked first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import PropertyGraph, WILDCARD
+from ..matching.vf2 import SubgraphMatcher
+from ..pattern.embedding import embeddings
+from ..pattern.pattern import GraphPattern
+from .closure import EqualityClosure, Rule, saturate
+from .embedded import embedded_rule_set
+from .gfd import GFD
+from .literals import ConstantLiteral, Literal, VariableLiteral
+
+
+# ----------------------------------------------------------------------
+# fast paths (Corollary 4)
+# ----------------------------------------------------------------------
+def trivially_satisfiable(sigma: Sequence[GFD]) -> bool:
+    """The two syntactic always-satisfiable cases of Corollary 4.
+
+    (1) Σ consists of variable GFDs only — no constants can clash.
+    (2) No GFD has the form ``(Q, ∅ → Y)`` (after stripping tautological
+        premise literals): nothing ever fires on an attribute-free graph.
+    """
+    if all(gfd.is_variable for gfd in sigma):
+        return True
+    if all(_nontrivial_lhs(gfd) for gfd in sigma):
+        return True
+    return False
+
+
+def _nontrivial_lhs(gfd: GFD) -> bool:
+    """Whether the premise has at least one non-tautological literal."""
+    return any(not l.is_tautology() for l in gfd.lhs)
+
+
+# ----------------------------------------------------------------------
+# canonical model
+# ----------------------------------------------------------------------
+def canonical_graph(sigma: Sequence[GFD]) -> Tuple[PropertyGraph, List[Dict[str, int]]]:
+    """The disjoint union of one instance per GFD pattern.
+
+    Returns the graph and, per GFD, the instantiation map from pattern
+    variables to node ids.  Wildcard node labels become fresh private
+    labels (``'⊥0'``, ``'⊥1'``, ...) and wildcard edge labels likewise, so
+    instantiated wildcards match only pattern wildcards, never concrete
+    labels — the least-constrained instantiation.
+    """
+    graph = PropertyGraph()
+    instantiations: List[Dict[str, int]] = []
+    next_id = 0
+    fresh = itertools.count()
+    for gfd in sigma:
+        mapping: Dict[str, int] = {}
+        for var in gfd.pattern.nodes():
+            label = gfd.pattern.label(var)
+            if label == WILDCARD:
+                label = f"⊥{next(fresh)}"
+            graph.add_node(next_id, label)
+            mapping[var] = next_id
+            next_id += 1
+        for src, dst, elabel in gfd.pattern.edges():
+            if elabel == WILDCARD:
+                elabel = f"⊥e{next(fresh)}"
+            graph.add_edge(mapping[src], mapping[dst], elabel)
+        instantiations.append(mapping)
+    return graph, instantiations
+
+
+def _ground_rules(sigma: Sequence[GFD], graph: PropertyGraph) -> List[Rule]:
+    """Ground every GFD over every match of its pattern in ``graph``.
+
+    Ground literals reuse the literal classes with node ids in variable
+    position — the closure engine only needs hashable terms.
+    """
+    rules: List[Rule] = []
+    for gfd in sigma:
+        matcher = SubgraphMatcher(gfd.pattern, graph)
+        for match in matcher.matches():
+            mapping = {var: str(node) for var, node in match.items()}
+            rules.append(
+                Rule(
+                    lhs=tuple(l.rename(mapping) for l in gfd.lhs),
+                    rhs=tuple(l.rename(mapping) for l in gfd.rhs),
+                )
+            )
+    return rules
+
+
+def is_satisfiable(sigma: Sequence[GFD]) -> bool:
+    """Decide whether Σ has a model (Theorem 1 semantics, exactly)."""
+    sigma = list(sigma)
+    if not sigma:
+        return True
+    if trivially_satisfiable(sigma):
+        return True
+    graph, _ = canonical_graph(sigma)
+    closure = saturate(_ground_rules(sigma, graph))
+    return not closure.conflicting
+
+
+def build_model(sigma: Sequence[GFD]) -> Optional[PropertyGraph]:
+    """A concrete model of Σ, or ``None`` when Σ is unsatisfiable.
+
+    Assigns every attribute term that a fired rule's conclusion mentions:
+    its class constant when one is forced, otherwise a fresh value shared
+    by the class.  The result satisfies every GFD and contains a match of
+    every pattern (used by the property tests as a certificate).
+    """
+    sigma = list(sigma)
+    graph, _ = canonical_graph(sigma)
+    if not sigma:
+        return graph
+    rules = _ground_rules(sigma, graph)
+    closure = saturate(rules)
+    if closure.conflicting:
+        return None
+
+    # Terms needing a value: everything a *fired* conclusion mentions.
+    required: Set[Tuple[str, str]] = set()
+    for rule in rules:
+        if closure.entails_all(rule.lhs):
+            for literal in rule.rhs:
+                for term in _literal_terms(literal):
+                    required.add(term)
+
+    fresh_values: Dict[Tuple, str] = {}
+    for node_str, attr in required:
+        node = int(node_str)
+        constant = closure.constant_of(node_str, attr)
+        if constant is not None:
+            graph.set_attr(node, attr, constant)
+        else:
+            root = closure.find(("v", node_str, attr))
+            value = fresh_values.setdefault(root, f"•{len(fresh_values)}")
+            graph.set_attr(node, attr, value)
+    return graph
+
+
+def _literal_terms(literal: Literal) -> List[Tuple[str, str]]:
+    if isinstance(literal, ConstantLiteral):
+        return [(literal.var, literal.attr)]
+    return [(literal.var1, literal.attr1), (literal.var2, literal.attr2)]
+
+
+# ----------------------------------------------------------------------
+# paper-style conflicting-host diagnostic
+# ----------------------------------------------------------------------
+def find_conflicting_host(
+    sigma: Sequence[GFD],
+    max_host_size: Optional[int] = None,
+) -> Optional[Tuple[GraphPattern, List[int]]]:
+    """Search for a host pattern with a conflicting embedded set (Lemma 3).
+
+    Hosts range over the patterns of Σ themselves plus pairwise overlays
+    (patterns merged under every label-compatible partial identification
+    sharing at least one node), bounded by ``max_host_size`` (default:
+    the paper's bound — the size of the largest pattern in Σ).
+
+    Returns ``(host, indices of GFDs whose embeddings participate)`` for
+    the first conflicting host found, or ``None``.  This is a *diagnostic*
+    explaining clashes such as Example 7's φ8/φ9; see the module docstring
+    for why :func:`is_satisfiable` is the decision procedure.
+    """
+    sigma = list(sigma)
+    if not sigma:
+        return None
+    patterns = [gfd.pattern for gfd in sigma]
+    if max_host_size is None:
+        max_host_size = max(p.size for p in patterns)
+
+    hosts: List[GraphPattern] = []
+    seen_signatures = set()
+
+    def push(host: GraphPattern) -> None:
+        sig = host.signature()
+        if sig not in seen_signatures and host.size <= max_host_size:
+            seen_signatures.add(sig)
+            hosts.append(host)
+
+    for pattern in patterns:
+        push(_standardise(pattern))
+    # Pairwise overlays (one round is enough for the two-pattern clashes
+    # the bound admits; deeper overlays exceed it).
+    base = list(hosts)
+    for first, second in itertools.combinations(base, 2):
+        for overlay in _overlays(first, second, max_host_size):
+            push(overlay)
+
+    for host in hosts:
+        rules = embedded_rule_set(sigma, host)
+        if not rules:
+            continue
+        closure = saturate(rules)
+        if closure.conflicting:
+            participants = [
+                index
+                for index, gfd in enumerate(sigma)
+                if next(embeddings(gfd.pattern, host), None) is not None
+            ]
+            return host, participants
+    return None
+
+
+def _standardise(pattern: GraphPattern) -> GraphPattern:
+    """Rename variables to a host-private namespace."""
+    mapping = {var: f"h{i}" for i, var in enumerate(pattern.variables)}
+    return pattern.rename(mapping)
+
+
+def _overlays(
+    first: GraphPattern, second: GraphPattern, max_size: int
+) -> Iterable[GraphPattern]:
+    """All merges of two patterns under partial node identification.
+
+    Each overlay identifies a non-empty, label-compatible partial matching
+    between the node sets; compatible labels merge (wildcard yields to the
+    concrete label).  Oversized overlays are skipped.
+    """
+    first_vars = first.variables
+    second_vars = second.variables
+
+    def compatible(a: str, b: str) -> Optional[str]:
+        la, lb = first.label(a), second.label(b)
+        if la == WILDCARD:
+            return lb
+        if lb == WILDCARD or la == lb:
+            return la
+        return None
+
+    pairs = [
+        (a, b) for a in first_vars for b in second_vars
+        if compatible(a, b) is not None
+    ]
+    for r in range(1, min(len(first_vars), len(second_vars)) + 1):
+        for chosen in itertools.combinations(pairs, r):
+            a_side = [a for a, _ in chosen]
+            b_side = [b for _, b in chosen]
+            if len(set(a_side)) != r or len(set(b_side)) != r:
+                continue
+            overlay = _merge(first, second, dict(chosen), compatible)
+            if overlay is not None and overlay.size <= max_size:
+                yield overlay
+
+
+def _merge(
+    first: GraphPattern,
+    second: GraphPattern,
+    identify: Dict[str, str],
+    compatible,
+) -> Optional[GraphPattern]:
+    inverse = {b: a for a, b in identify.items()}
+    merged = GraphPattern()
+    for var in first.variables:
+        label = first.label(var)
+        if var in identify:
+            label = compatible(var, identify[var])
+        merged.add_node(f"m.{var}", label)
+    for var in second.variables:
+        if var not in inverse:
+            merged.add_node(f"n.{var}", second.label(var))
+
+    def second_name(var: str) -> str:
+        return f"m.{inverse[var]}" if var in inverse else f"n.{var}"
+
+    for src, dst, elabel in first.edges():
+        merged.add_edge(f"m.{src}", f"m.{dst}", elabel)
+    for src, dst, elabel in second.edges():
+        merged.add_edge(second_name(src), second_name(dst), elabel)
+    return merged

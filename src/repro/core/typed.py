@@ -1,0 +1,224 @@
+"""Satisfiability and implication *in the presence of types* (§8).
+
+The paper's third future-work topic: "re-investigate the satisfiability
+and implication problems for GFDs in the presence of types and other
+semantic constraints commonly found in knowledge bases".  Section 3 notes
+that bare GFDs cannot enforce finite domains — and Section 4 stresses that
+the CFD satisfiability lower bound needs exactly that power (finite-domain
+attributes).  This module adds it:
+
+A :class:`TypeSchema` declares, per (node label, attribute), a finite
+domain of admissible values.  Under a schema, a set Σ can be unsatisfiable
+even when classically satisfiable — e.g. rules forcing ``x.flag`` to a
+value outside a Boolean domain, or CFD-style interactions where every
+domain value triggers a clash (the relational lower-bound gadget).
+
+The decision procedure extends the canonical-model construction: after
+saturating the ground rules, every forced constant must sit inside its
+attribute's domain; additionally, *case-split* rules fire — if attribute
+``x.A`` ranges over ``{a, b}`` and both the ``x.A = a`` and ``x.A = b``
+branches force a conflict, Σ is unsatisfiable under the schema.  The
+split search is exponential in the number of constrained premise
+attributes (satisfiability is already coNP-hard), but bounded by
+``max_splits``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import PropertyGraph
+from .closure import EqualityClosure, Rule, saturate
+from .gfd import GFD
+from .literals import ConstantLiteral, Literal
+from .satisfiability import canonical_graph, _ground_rules
+
+
+class TypeSchema:
+    """Finite-domain declarations for (label, attribute) pairs.
+
+    Example::
+
+        schema = TypeSchema()
+        schema.declare("account", "is_fake", {"true", "false"})
+    """
+
+    def __init__(self) -> None:
+        self._domains: Dict[Tuple[str, str], FrozenSet[Any]] = {}
+
+    def declare(self, label: str, attr: str, domain: Set[Any]) -> None:
+        """Restrict attribute ``attr`` of ``label`` nodes to ``domain``."""
+        if not domain:
+            raise ValueError("domain must be non-empty")
+        self._domains[(label, attr)] = frozenset(domain)
+
+    def domain(self, label: str, attr: str) -> Optional[FrozenSet[Any]]:
+        """The declared domain, or ``None`` when unconstrained."""
+        return self._domains.get((label, attr))
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def items(self):
+        """Iterate over ``((label, attr), domain)`` declarations."""
+        return self._domains.items()
+
+    def conforms(self, graph: PropertyGraph) -> List[Tuple[Any, str, Any]]:
+        """Violations of the schema in a graph: ``(node, attr, value)``."""
+        out = []
+        for (label, attr), domain in self._domains.items():
+            for node in graph.nodes_with_label(label):
+                value = graph.get_attr(node, attr)
+                if value is not None and value not in domain:
+                    out.append((node, attr, value))
+        return out
+
+
+def is_satisfiable_typed(
+    sigma: Sequence[GFD],
+    schema: TypeSchema,
+    max_splits: int = 6,
+) -> bool:
+    """Whether Σ has a model that also conforms to ``schema``.
+
+    Extends :func:`repro.core.satisfiability.is_satisfiable` with
+    finite-domain reasoning (see the module docstring).  Without any
+    declarations this coincides with the classical check.
+    """
+    sigma = list(sigma)
+    if not sigma:
+        return True
+    graph, _ = canonical_graph(sigma)
+    rules = _ground_rules(sigma, graph)
+    node_labels = {str(node): graph.label(node) for node in graph.nodes()}
+    return _branch_satisfiable(
+        rules, node_labels, schema, seed=(), splits_left=max_splits
+    )
+
+
+def _branch_satisfiable(
+    rules: Sequence[Rule],
+    node_labels: Dict[str, str],
+    schema: TypeSchema,
+    seed: Tuple[Literal, ...],
+    splits_left: int,
+) -> bool:
+    closure = saturate(rules, seed=seed)
+    if closure.conflicting:
+        return False
+    if _domain_violation(closure, node_labels, schema):
+        return False
+    if splits_left <= 0:
+        # Cannot refute by further case analysis: report satisfiable
+        # (sound for SAT; may miss deeply-nested UNSAT interactions —
+        # raise max_splits to push the frontier).
+        return True
+
+    split = _choose_split(rules, closure, node_labels, schema)
+    if split is None:
+        return True
+    var, attr, domain = split
+    return any(
+        _branch_satisfiable(
+            rules,
+            node_labels,
+            schema,
+            seed=seed + (ConstantLiteral(var, attr, value),),
+            splits_left=splits_left - 1,
+        )
+        for value in sorted(domain, key=repr)
+    )
+
+
+def _domain_violation(
+    closure: EqualityClosure,
+    node_labels: Dict[str, str],
+    schema: TypeSchema,
+) -> bool:
+    """Whether any forced constant falls outside its declared domain."""
+    for (label, attr), domain in schema.items():
+        for var, node_label in node_labels.items():
+            if node_label != label:
+                continue
+            constant = closure.constant_of(var, attr)
+            if constant is not None and constant not in domain:
+                return True
+    return False
+
+
+def _forced_terms(rules: Sequence[Rule], closure: EqualityClosure):
+    """Attribute occurrences forced to *exist*: terms of fired conclusions.
+
+    Domains constrain values, not existence — an attribute a model simply
+    omits can never be case-split.  Only attributes some fired rule's RHS
+    writes must carry a (domain) value.
+    """
+    forced: Set[Tuple[str, str]] = set()
+    for rule in rules:
+        if not closure.entails_all(rule.lhs):
+            continue
+        for literal in rule.rhs:
+            if isinstance(literal, ConstantLiteral):
+                forced.add((literal.var, literal.attr))
+            else:
+                forced.add((literal.var1, literal.attr1))
+                forced.add((literal.var2, literal.attr2))
+    return forced
+
+
+def _choose_split(
+    rules: Sequence[Rule],
+    closure: EqualityClosure,
+    node_labels: Dict[str, str],
+    schema: TypeSchema,
+) -> Optional[Tuple[str, str, FrozenSet[Any]]]:
+    """A domain-constrained attribute forced to exist but not yet pinned.
+
+    Case-splitting on such attributes is what lets the finite domain force
+    rule firings — the essence of the CFD lower-bound gadget.  Returns
+    ``None`` when no candidate exists (any other attribute may simply be
+    absent in a model, so no further firing can be forced through it).
+    """
+    forced = _forced_terms(rules, closure)
+    for rule in rules:
+        if closure.entails_all(rule.lhs):
+            continue  # already fired
+        for literal in rule.lhs:
+            if not isinstance(literal, ConstantLiteral):
+                continue
+            if closure.entails(literal):
+                continue
+            if (literal.var, literal.attr) not in forced:
+                continue
+            label = node_labels.get(literal.var)
+            if label is None:
+                continue
+            domain = schema.domain(label, literal.attr)
+            if domain is None:
+                continue
+            if closure.constant_of(literal.var, literal.attr) is not None:
+                continue  # already pinned to some value
+            return (literal.var, literal.attr, domain)
+    return None
+
+
+def type_conflicts(
+    sigma: Sequence[GFD], schema: TypeSchema
+) -> List[Tuple[str, str]]:
+    """Rules whose RHS constants sit outside a declared domain.
+
+    A cheap necessary check: ``(gfd name, literal repr)`` pairs for every
+    conclusion that can never be written under the schema.
+    """
+    out: List[Tuple[str, str]] = []
+    for gfd in sigma:
+        for literal in gfd.rhs:
+            if not isinstance(literal, ConstantLiteral):
+                continue
+            label = gfd.pattern.label(literal.var)
+            domain = schema.domain(label, literal.attr)
+            if domain is not None and literal.const not in domain:
+                out.append((gfd.name or "gfd", str(literal)))
+    return out

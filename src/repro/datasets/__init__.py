@@ -1,0 +1,7 @@
+"""Synthetic stand-ins for the paper's three real-life graphs
+(DESIGN.md §1.3 records the substitution)."""
+
+from .base import Dataset
+from . import dbpedia_like, pokec_like, yago_like
+
+__all__ = ["Dataset", "dbpedia_like", "pokec_like", "yago_like"]

@@ -1,0 +1,119 @@
+"""A DBpedia-like knowledge graph (stand-in for [1]).
+
+DBpedia's distinguishing structure for this paper is its *ontology*:
+entities link to type (class) nodes, classes form a subclass hierarchy,
+and some classes are declared ``disjointWith`` each other.  Fig. 7's GFD 2
+— "an entity cannot have two disjoint types" — lives at this schema level,
+and the evaluation also sweeps DBpedia with generated GFDs, so the graph
+carries generic attributes for the workload generator too.
+
+Seeded errors: entities typed with two disjoint classes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from ..graph.graph import PropertyGraph
+from ..core.gfd import GFD, parse_gfd
+from .base import Dataset
+
+
+def build(
+    scale: int = 500,
+    num_classes: int = 24,
+    disjoint_pairs: int = 6,
+    type_errors: int = 6,
+    seed: int = 0,
+) -> Dataset:
+    """Build the DBpedia-like dataset.
+
+    ``scale`` entities are typed against a ``num_classes``-class ontology
+    (a forest of subclass trees); ``disjoint_pairs`` class pairs are
+    declared disjoint, and ``type_errors`` entities are seeded with two
+    disjoint types.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    truth: Set = set()
+
+    classes = [f"class{i}" for i in range(num_classes)]
+    for i, cls in enumerate(classes):
+        graph.add_node(cls, "class", {"val": f"Class{i}", "id": cls})
+    # Subclass forest: every class except roots points to a parent.
+    roots = max(2, num_classes // 6)
+    for i in range(roots, num_classes):
+        parent = classes[rng.randrange(i)]
+        graph.add_edge(classes[i], parent, "subClassOf")
+
+    # Disjointness between classes from different root subtrees.
+    declared = set()
+    attempts = 0
+    while len(declared) < disjoint_pairs and attempts < 100:
+        attempts += 1
+        a, b = rng.sample(classes, 2)
+        if (a, b) in declared or (b, a) in declared:
+            continue
+        declared.add((a, b))
+        graph.add_edge(a, b, "disjointWith")
+        graph.add_edge(b, a, "disjointWith")
+
+    # Entities with one type each (clean) plus generic attributes so the
+    # GFD generator has material to work with.  Node labels mirror a type
+    # system — DBpedia has ~200 entity types, and label selectivity is
+    # what keeps pivot candidate sets (and hence |W|) manageable.
+    entity_labels = [
+        "person", "place", "organisation", "work", "species", "event",
+    ]
+    entities = []
+    for i in range(scale):
+        entity = f"entity{i}"
+        attrs = {
+            "val": f"Entity{i}",
+            "id": entity,
+            **{f"A{k}": f"v{rng.randrange(50)}" for k in range(3)},
+        }
+        graph.add_node(entity, rng.choice(entity_labels), attrs)
+        graph.add_edge(entity, rng.choice(classes), "type")
+        entities.append(entity)
+    # Relationships between entities (for generated pattern workloads).
+    for _ in range(scale * 2):
+        src, dst = rng.sample(entities, 2)
+        graph.add_edge(src, dst, rng.choice(["relatedTo", "links", "sameAs"]))
+
+    # Seeded: an entity typed with two disjoint classes.
+    disjoint_list = sorted(declared)
+    for e in range(type_errors):
+        if not disjoint_list:
+            break
+        a, b = disjoint_list[e % len(disjoint_list)]
+        entity = f"bad_entity{e}"
+        graph.add_node(entity, rng.choice(entity_labels),
+                       {"val": f"BadEntity{e}", "id": entity})
+        graph.add_edge(entity, a, "type")
+        graph.add_edge(entity, b, "type")
+        truth.add(entity)
+        truth.add(a)
+        truth.add(b)
+
+    return Dataset(
+        name="dbpedia-like",
+        graph=graph,
+        gfds=curated_gfds(),
+        truth_entities=truth,
+    )
+
+
+def curated_gfds() -> List[GFD]:
+    """Fig. 7's GFD 2: no entity may carry two disjoint types.
+
+    ``x`` is a wildcard — the rule quantifies over entities of *any* type,
+    exactly the schema-level flavour of the paper's Q11.
+    """
+    gfd2 = parse_gfd(
+        "x -type-> y:class; x -type-> y':class; y -disjointWith-> y'",
+        " => y.val = y'.val",
+        name="gfd2-disjoint-types",
+    )
+    return [gfd2]

@@ -1,0 +1,135 @@
+"""A Pokec-like social network (stand-in for [2]).
+
+Pokec supplies the paper's social-graph workload: accounts with profile
+attributes, friendships with power-law degrees, posted/liked blogs.  The
+fake-account rule φ6 (Example 5(6)) needs its specific topology — two
+accounts that both like ``k`` common blogs, each posting a blog with the
+same peculiar keyword, one account already confirmed fake — so the builder
+plants both *confirmed* rings (x' fake, x already marked fake: clean) and
+*unconfirmed* rings (x not yet marked: the violations φ6 must catch).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from ..graph.graph import PropertyGraph
+from ..core.gfd import GFD, parse_gfd
+from .base import Dataset
+
+PECULIAR_KEYWORD = "free prize"
+
+
+def build(
+    scale: int = 400,
+    fake_rings: int = 6,
+    unmarked_rings: int = 5,
+    seed: int = 0,
+) -> Dataset:
+    """Build the Pokec-like dataset.
+
+    ``scale`` regular accounts plus ``fake_rings`` consistent fake pairs
+    and ``unmarked_rings`` pairs where the second account is not yet
+    marked — those are φ6's violations and the ground truth.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    truth: Set = set()
+    uid = [0]
+
+    def fresh(prefix: str) -> str:
+        uid[0] += 1
+        return f"{prefix}{uid[0]}"
+
+    accounts = []
+    for i in range(scale):
+        account = fresh("acct")
+        graph.add_node(
+            account,
+            "account",
+            {
+                "val": f"user{i}",
+                "is_fake": "false",
+                "age": str(18 + rng.randrange(50)),
+                "region": f"region{rng.randrange(12)}",
+            },
+        )
+        accounts.append(account)
+
+    # Power-law-ish friendships: preferential attachment by index.
+    for i, account in enumerate(accounts[1:], start=1):
+        for _ in range(1 + rng.randrange(3)):
+            target = accounts[int(rng.random() ** 2 * i)]
+            if target != account:
+                graph.add_edge(account, target, "friend")
+
+    # Ordinary blog activity.
+    blogs = []
+    for _ in range(scale):
+        author = rng.choice(accounts)
+        blog = fresh("blog")
+        graph.add_node(blog, "blog", {"keyword": f"topic{rng.randrange(40)}"})
+        graph.add_edge(author, blog, "post")
+        for _ in range(rng.randrange(4)):
+            fan = rng.choice(accounts)
+            graph.add_edge(fan, blog, "like")
+        blogs.append(blog)
+
+    # Fake rings: x' (confirmed fake) and x co-like two blogs; each posts a
+    # blog with the peculiar keyword.
+    def plant_ring(marked: bool) -> List[str]:
+        x_prime = fresh("acct")
+        x = fresh("acct")
+        graph.add_node(x_prime, "account",
+                       {"val": x_prime, "is_fake": "true"})
+        graph.add_node(x, "account",
+                       {"val": x, "is_fake": "true" if marked else "false"})
+        shared = []
+        for _ in range(2):
+            blog = fresh("blog")
+            graph.add_node(blog, "blog", {"keyword": f"topic{rng.randrange(40)}"})
+            graph.add_edge(x, blog, "like")
+            graph.add_edge(x_prime, blog, "like")
+            shared.append(blog)
+        posts = []
+        for author in (x_prime, x):
+            blog = fresh("blog")
+            graph.add_node(blog, "blog", {"keyword": PECULIAR_KEYWORD})
+            graph.add_edge(author, blog, "post")
+            posts.append(blog)
+        return [x_prime, x, *shared, *posts]
+
+    for _ in range(fake_rings):
+        plant_ring(marked=True)
+    for _ in range(unmarked_rings):
+        ring = plant_ring(marked=False)
+        # φ6's violating matches bind the whole ring: both accounts, the
+        # co-liked blogs and the two keyword posts.
+        truth.update(ring)
+
+    return Dataset(
+        name="pokec-like",
+        graph=graph,
+        gfds=curated_gfds(),
+        truth_entities=truth,
+    )
+
+
+def curated_gfds(k: int = 2) -> List[GFD]:
+    """φ6 (fake accounts) with ``k`` co-liked blogs, plus a profile rule.
+
+    φ6: if x' is confirmed fake, x and x' like blogs y1..yk, x' posts z1,
+    x posts z2, and both z1 and z2 carry the peculiar keyword, then x is
+    fake too.
+    """
+    like_clauses = "; ".join(
+        f"x:account -like-> y{i}:blog; x':account -like-> y{i}" for i in range(1, k + 1)
+    )
+    phi6 = parse_gfd(
+        f"{like_clauses}; x' -post-> z1:blog; x -post-> z2:blog",
+        f"x'.is_fake = 'true', z1.keyword = '{PECULIAR_KEYWORD}', "
+        f"z2.keyword = '{PECULIAR_KEYWORD}' => x.is_fake = 'true'",
+        name="phi6-fake-account",
+    )
+    return [phi6]

@@ -1,0 +1,277 @@
+"""A YAGO2-like knowledge graph (stand-in for [44]).
+
+Covers every structure the paper's YAGO2 experiments touch:
+
+* **flights** — entities with id / departure / destination / times,
+  exactly the shape of ``G1`` and pattern ``Q1`` (Fig. 1/2), including
+  seeded pairs that share a flight id but disagree on the destination
+  (the Paris→NYC vs Paris→Singapore inconsistency);
+* **countries and capitals** — ``Q2``/φ2, with seeded two-capital
+  countries (the Canberra/Melbourne inconsistency);
+* **families** — ``hasChild``/``hasParent`` edges, with seeded
+  child-and-parent cycles for Fig. 7's GFD 1;
+* **mayors and parties** — ``mayorOf``/``memberOf``/``locatedIn``, with
+  seeded cross-country mayor/party pairs for Fig. 7's GFD 3 (the NYC /
+  Democratic Party error).
+
+``scale`` controls entity counts; all seeded errors are recorded as
+ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from ..graph.graph import PropertyGraph
+from ..pattern.parser import parse_pattern
+from ..core.gfd import GFD, denial, parse_gfd
+from .base import Dataset
+
+
+def build(
+    scale: int = 200,
+    seed: int = 0,
+    flight_errors: int = 5,
+    capital_errors: int = 3,
+    family_errors: int = 4,
+    mayor_errors: int = 3,
+) -> Dataset:
+    """Build the YAGO2-like dataset at the given ``scale``.
+
+    ``scale`` is the approximate number of *top-level* entities per
+    domain (flights, people, cities); total node count is roughly
+    ``7 × scale``.  Error counts are hard seeds recorded as truth.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    truth: Set = set()
+    uid = _IdGen()
+
+    cities = _build_places(graph, rng, uid, scale)
+    _build_flights(graph, rng, uid, scale, cities, flight_errors, truth)
+    _seed_capital_errors(graph, rng, uid, capital_errors, truth)
+    _build_families(graph, rng, uid, scale, family_errors, truth)
+    _build_mayors(graph, rng, uid, scale, cities, mayor_errors, truth)
+
+    return Dataset(
+        name="yago2-like",
+        graph=graph,
+        gfds=curated_gfds(),
+        truth_entities=truth,
+    )
+
+
+class _IdGen:
+    def __init__(self) -> None:
+        self._next = 0
+
+    def __call__(self, prefix: str) -> str:
+        self._next += 1
+        return f"{prefix}{self._next}"
+
+
+# ----------------------------------------------------------------------
+# places
+# ----------------------------------------------------------------------
+def _build_places(graph, rng, uid, scale) -> List[str]:
+    countries = []
+    cities = []
+    for i in range(max(3, scale // 20)):
+        country = uid("country")
+        graph.add_node(country, "country", {"val": f"Country{i}", "id": country})
+        countries.append(country)
+    for i in range(max(6, scale // 4)):
+        city = uid("city")
+        country = rng.choice(countries)
+        graph.add_node(city, "city", {"val": f"City{i}", "id": city})
+        graph.add_edge(city, country, "locatedIn")
+        cities.append(city)
+    # One legitimate capital per country.
+    for country in countries:
+        graph.add_edge(country, rng.choice(cities), "capital")
+    return cities
+
+
+# ----------------------------------------------------------------------
+# flights (G1 / Q1 / φ1)
+# ----------------------------------------------------------------------
+def _build_flights(graph, rng, uid, scale, cities, errors, truth) -> None:
+    # Each flight carries its *own* id/city/time value nodes, exactly as in
+    # the paper's G1 (Fig. 1): the two DL1 entries have separate "Paris"
+    # nodes.  City names come from the place entities built above.
+    city_names = [graph.get_attr(city, "val") for city in cities]
+    flight_count = max(4, scale // 2)
+    for i in range(flight_count):
+        _add_flight(graph, uid, f"FL{i}",
+                    rng.choice(city_names), rng.choice(city_names),
+                    f"{rng.randrange(24):02d}:{rng.randrange(60):02d}",
+                    f"{rng.randrange(24):02d}:{rng.randrange(60):02d}")
+    # Seeded errors: two entries with the same id but different destination
+    # (the Paris→NYC vs Paris→Singapore case).
+    for e in range(errors):
+        depart = rng.choice(city_names)
+        dest_a, dest_b = rng.sample(city_names, 2)
+        good = _add_flight(graph, uid, f"DL{e}", depart, dest_a, "14:50", "22:35")
+        bad = _add_flight(graph, uid, f"DL{e}", depart, dest_b, "14:50", "22:35")
+        # Ground truth covers every entity φ1's violating matches bind:
+        # the flights plus their id / from / to value nodes.
+        for flight in (good, bad):
+            truth.add(flight)
+            for dst, labels in graph.out_neighbors(flight).items():
+                if labels & {"number", "from", "to"}:
+                    truth.add(dst)
+
+
+def _add_flight(graph, uid, flight_id, from_name, to_name, dep, arr) -> str:
+    flight = uid("flight")
+    graph.add_node(flight, "flight", {"val": flight_id})
+    id_node = uid("fid")
+    graph.add_node(id_node, "id", {"val": flight_id})
+    graph.add_edge(flight, id_node, "number")
+    for role, label, value in (("from", "city", from_name), ("to", "city", to_name)):
+        value_node = uid("fcity")
+        graph.add_node(value_node, label, {"val": value})
+        graph.add_edge(flight, value_node, role)
+    for role, value in (("depart", dep), ("arrive", arr)):
+        time_node = uid("time")
+        graph.add_node(time_node, "time", {"val": value})
+        graph.add_edge(flight, time_node, role)
+    return flight
+
+
+# ----------------------------------------------------------------------
+# capitals (Q2 / φ2)
+# ----------------------------------------------------------------------
+def _seed_capital_errors(graph, rng, uid, errors, truth) -> None:
+    for e in range(errors):
+        country = uid("country")
+        graph.add_node(country, "country", {"val": f"ErrCountry{e}", "id": country})
+        first = uid("city")
+        second = uid("city")
+        graph.add_node(first, "city", {"val": f"CapA{e}", "id": first})
+        graph.add_node(second, "city", {"val": f"CapB{e}", "id": second})
+        graph.add_edge(country, first, "capital")
+        graph.add_edge(country, second, "capital")
+        truth.add(country)
+        truth.add(first)
+        truth.add(second)
+
+
+# ----------------------------------------------------------------------
+# families (Fig. 7 GFD 1)
+# ----------------------------------------------------------------------
+def _build_families(graph, rng, uid, scale, errors, truth) -> None:
+    people = []
+    for i in range(scale):
+        person = uid("person")
+        graph.add_node(person, "person", {"val": f"Person{i}", "id": person})
+        people.append(person)
+    linked = set()
+    for _ in range(scale):
+        parent, child = rng.sample(people, 2)
+        if (child, parent) in linked:  # avoid accidental parent cycles
+            continue
+        linked.add((parent, child))
+        graph.add_edge(parent, child, "hasChild")
+        graph.add_edge(child, parent, "hasParent")
+    # Seeded: y is both child and parent of x.
+    for _ in range(errors):
+        x, y = rng.sample(people, 2)
+        graph.add_edge(x, y, "hasChild")
+        graph.add_edge(x, y, "hasParent")
+        truth.add(x)
+        truth.add(y)
+
+
+# ----------------------------------------------------------------------
+# mayors and parties (Fig. 7 GFD 3)
+# ----------------------------------------------------------------------
+def _build_mayors(graph, rng, uid, scale, cities, errors, truth) -> None:
+    parties = []
+    for i in range(max(2, scale // 25)):
+        party = uid("party")
+        graph.add_node(party, "party", {"val": f"Party{i}", "id": party})
+        # A party belongs to the country of a random city.
+        city = rng.choice(cities)
+        country = _country_of(graph, city)
+        if country is not None:
+            graph.add_edge(party, country, "locatedIn")
+        parties.append(party)
+    mayor_count = max(2, scale // 10)
+    for i in range(mayor_count):
+        mayor = uid("person")
+        city = rng.choice(cities)
+        graph.add_node(mayor, "person", {"val": f"Mayor{i}", "id": mayor})
+        graph.add_edge(mayor, city, "mayorOf")
+        # Consistent affiliation: a party in the same country.
+        country = _country_of(graph, city)
+        party = _party_in(graph, parties, country, rng)
+        if party is not None:
+            graph.add_edge(mayor, party, "memberOf")
+    # Seeded: mayor of a city in one country, member of a party in another.
+    for e in range(errors):
+        mayor = uid("person")
+        graph.add_node(mayor, "person", {"val": f"BadMayor{e}", "id": mayor})
+        city = rng.choice(cities)
+        graph.add_edge(mayor, city, "mayorOf")
+        country = _country_of(graph, city)
+        other = _party_in(graph, parties, country, rng, invert=True)
+        if other is None:
+            continue
+        graph.add_edge(mayor, other, "memberOf")
+        # GFD 3's matches bind mayor, city, party and both countries.
+        truth.add(mayor)
+        truth.add(city)
+        truth.add(other)
+        truth.add(country)
+        truth.add(_country_of(graph, other))
+
+
+def _country_of(graph, city):
+    for dst, labels in graph.out_neighbors(city).items():
+        if "locatedIn" in labels:
+            return dst
+    return None
+
+
+def _party_in(graph, parties, country, rng, invert: bool = False):
+    pool = []
+    for party in parties:
+        party_country = None
+        for dst, labels in graph.out_neighbors(party).items():
+            if "locatedIn" in labels:
+                party_country = dst
+        same = party_country == country
+        if (same and not invert) or (not same and invert):
+            pool.append(party)
+    return rng.choice(pool) if pool else None
+
+
+# ----------------------------------------------------------------------
+# curated rules
+# ----------------------------------------------------------------------
+def curated_gfds() -> List[GFD]:
+    """The paper's YAGO2 rules: φ1, φ2 and Fig. 7's GFD 1 and GFD 3."""
+    phi1 = parse_gfd(
+        "x:flight -number-> x1:id; x -from-> x2:city; x -to-> x3:city; "
+        "y:flight -number-> y1:id; y -from-> y2:city; y -to-> y3:city",
+        "x1.val = y1.val => x2.val = y2.val, x3.val = y3.val",
+        name="phi1-flight",
+    )
+    phi2 = parse_gfd(
+        "x:country -capital-> y:city; x -capital-> z:city",
+        " => y.val = z.val",
+        name="phi2-capital",
+    )
+    gfd1 = denial(
+        parse_pattern("x:person -hasChild-> y:person; x -hasParent-> y"),
+        name="gfd1-child-parent",
+    )
+    gfd3 = parse_gfd(
+        "x:person -mayorOf-> y:city -locatedIn-> z:country; "
+        "x -memberOf-> w:party -locatedIn-> z':country",
+        " => z.id = z'.id",
+        name="gfd3-mayor-party",
+    )
+    return [phi1, phi2, gfd1, gfd3]

@@ -1,0 +1,70 @@
+"""Property-graph substrate: the data model of Section 2 plus everything
+the validation algorithms need from it (neighbourhood blocks, statistics,
+fragmentation, simulation, synthetic generation, serialisation)."""
+
+from .graph import GraphError, PropertyGraph, WILDCARD, graph_from_edges
+from .subgraph import (
+    connected_components,
+    eccentricity,
+    k_hop_nodes,
+    k_hop_size,
+    k_hop_subgraph,
+    undirected_distances,
+)
+from .statistics import (
+    EquiDepthHistogram,
+    balanced_ranges,
+    candidates_in_range,
+    degree_statistics,
+    edge_label_frequencies,
+    label_frequencies,
+    skewness_ratio,
+)
+from .partition import Fragment, Fragmentation, greedy_edge_cut_partition, hash_partition
+from .simulation import (
+    graph_simulation,
+    has_simulation_match,
+    simulation_match_count_bound,
+)
+from .generators import (
+    planted_pattern_graph,
+    power_law_graph,
+    skewed_power_law_graph,
+    uniform_random_graph,
+)
+from .io import graph_from_dict, graph_to_dict, load_graph, save_graph
+
+__all__ = [
+    "GraphError",
+    "PropertyGraph",
+    "WILDCARD",
+    "graph_from_edges",
+    "connected_components",
+    "eccentricity",
+    "k_hop_nodes",
+    "k_hop_size",
+    "k_hop_subgraph",
+    "undirected_distances",
+    "EquiDepthHistogram",
+    "balanced_ranges",
+    "candidates_in_range",
+    "degree_statistics",
+    "edge_label_frequencies",
+    "label_frequencies",
+    "skewness_ratio",
+    "Fragment",
+    "Fragmentation",
+    "greedy_edge_cut_partition",
+    "hash_partition",
+    "graph_simulation",
+    "has_simulation_match",
+    "simulation_match_count_bound",
+    "planted_pattern_graph",
+    "power_law_graph",
+    "skewed_power_law_graph",
+    "uniform_random_graph",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+]

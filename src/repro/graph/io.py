@@ -1,0 +1,79 @@
+"""Graph (de)serialisation.
+
+A small line-oriented JSON format so examples and tools can persist graphs:
+one JSON object per line, either ``{"n": id, "l": label, "a": {...}}`` for
+a node or ``{"s": src, "d": dst, "l": label}`` for an edge.  Nodes must
+appear before edges that reference them (``save_graph`` guarantees this).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from .graph import GraphError, PropertyGraph
+
+PathLike = Union[str, Path]
+
+
+def save_graph(graph: PropertyGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in the line-JSON format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(graph, handle)
+
+
+def _write(graph: PropertyGraph, handle: IO[str]) -> None:
+    for node in graph.nodes():
+        record = {"n": node, "l": graph.label(node)}
+        attrs = graph.attrs(node)
+        if attrs:
+            record["a"] = attrs
+        handle.write(json.dumps(record) + "\n")
+    for src, dst, label in graph.edges():
+        handle.write(json.dumps({"s": src, "d": dst, "l": label}) + "\n")
+
+
+def load_graph(path: PathLike) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    graph = PropertyGraph()
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "n" in record:
+                graph.add_node(record["n"], record["l"], record.get("a"))
+            elif "s" in record:
+                try:
+                    graph.add_edge(record["s"], record["d"], record["l"])
+                except GraphError as exc:
+                    raise GraphError(f"line {line_no}: {exc}") from exc
+            else:
+                raise GraphError(f"line {line_no}: unrecognised record {record}")
+    return graph
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict:
+    """JSON-serialisable dict form (used by tests and tooling)."""
+    return {
+        "nodes": [
+            {"id": node, "label": graph.label(node), "attrs": dict(graph.attrs(node))}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {"src": src, "dst": dst, "label": label}
+            for src, dst, label in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> PropertyGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = PropertyGraph()
+    for node in data["nodes"]:
+        graph.add_node(node["id"], node["label"], node.get("attrs"))
+    for edge in data["edges"]:
+        graph.add_edge(edge["src"], edge["dst"], edge["label"])
+    return graph

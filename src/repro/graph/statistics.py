@@ -1,0 +1,160 @@
+"""Graph statistics used by workload estimation (Section 6.1, step 1).
+
+``bPar`` balances workload estimation using (a) the frequency distribution
+of candidate nodes per pattern label, held as coordinator-local statistics,
+and (b) *m-balanced* range partitions of the candidates computed from a
+precomputed equi-depth histogram over a selected attribute.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .graph import NodeId, PropertyGraph
+
+
+def label_frequencies(graph: PropertyGraph) -> Counter:
+    """``Counter`` of node-label frequencies (candidate distribution)."""
+    return Counter({label: len(graph.nodes_with_label(label))
+                    for label in graph.labels()})
+
+
+def edge_label_frequencies(graph: PropertyGraph) -> Counter:
+    """``Counter`` of edge-label frequencies."""
+    counts: Counter = Counter()
+    for _, _, label in graph.edges():
+        counts[label] += 1
+    return counts
+
+
+def degree_statistics(graph: PropertyGraph) -> Dict[str, float]:
+    """Min / max / mean total degree — used to gauge skew."""
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    if not degrees:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "min": float(min(degrees)),
+        "max": float(max(degrees)),
+        "mean": sum(degrees) / len(degrees),
+    }
+
+
+def skewness_ratio(graph: PropertyGraph, d: int = 3, fraction: float = 0.1) -> float:
+    """The paper's ``skew`` measure (Appendix, Fig. 8).
+
+    The ratio ``|G_dm| / |G_dm'|`` between the average size of the
+    ``fraction`` *smallest* and ``fraction`` *largest* d-hop neighbourhoods.
+    Smaller values mean more skew.
+    """
+    from .subgraph import k_hop_size
+
+    sizes = sorted(k_hop_size(graph, [node], d) for node in graph.nodes())
+    if not sizes:
+        return 1.0
+    k = max(1, int(len(sizes) * fraction))
+    smallest = sizes[:k]
+    largest = sizes[-k:]
+    top = sum(smallest) / len(smallest)
+    bottom = sum(largest) / len(largest)
+    return top / bottom if bottom else 1.0
+
+
+class EquiDepthHistogram:
+    """An equi-depth (equi-height) histogram over orderable values.
+
+    Each of the ``m`` buckets holds (approximately) the same number of
+    values; bucket boundaries are therefore value *ranges* with even
+    candidate counts, exactly what ``bPar`` needs to derive its m-balanced
+    partitions ``R_µ(z)`` (Section 6.1).
+    """
+
+    def __init__(self, values: Sequence[Any], buckets: int) -> None:
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        ordered = sorted(values, key=_sort_key)
+        self._buckets: List[Tuple[Any, Any, int]] = []
+        n = len(ordered)
+        if n == 0:
+            return
+        buckets = min(buckets, n)
+        base, extra = divmod(n, buckets)
+        start = 0
+        for i in range(buckets):
+            width = base + (1 if i < extra else 0)
+            chunk = ordered[start:start + width]
+            self._buckets.append((chunk[0], chunk[-1], len(chunk)))
+            start += width
+
+    @property
+    def boundaries(self) -> List[Tuple[Any, Any]]:
+        """``(low, high)`` closed ranges, one per bucket."""
+        return [(low, high) for low, high, _ in self._buckets]
+
+    @property
+    def depths(self) -> List[int]:
+        """Number of values per bucket (even up to ±1 by construction)."""
+        return [count for _, _, count in self._buckets]
+
+    def bucket_of(self, value: Any) -> int:
+        """Index of the bucket whose range contains ``value``.
+
+        Values outside all ranges clamp to the nearest bucket.
+        """
+        if not self._buckets:
+            raise ValueError("empty histogram")
+        key = _sort_key(value)
+        for i, (low, high, _) in enumerate(self._buckets):
+            if _sort_key(low) <= key <= _sort_key(high):
+                return i
+        if key < _sort_key(self._buckets[0][0]):
+            return 0
+        return len(self._buckets) - 1
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+def _sort_key(value: Any) -> Tuple[str, Any]:
+    """Total order over mixed types: group by type name, then value."""
+    return (type(value).__name__, value)
+
+
+def balanced_ranges(
+    graph: PropertyGraph,
+    label: str,
+    attribute: str,
+    m: int,
+    missing: Any = "",
+) -> List[Tuple[Any, Any]]:
+    """m-balanced value ranges of ``attribute`` over nodes labelled ``label``.
+
+    This is the ``R_µ(z)`` construction of Section 6.1: each returned range
+    covers an (approximately) equal number of candidate nodes.  Nodes
+    missing the attribute are grouped under ``missing``.
+    """
+    values = [
+        graph.get_attr(node, attribute, missing)
+        for node in graph.nodes_with_label(label)
+    ]
+    if not values:
+        return []
+    return EquiDepthHistogram(values, m).boundaries
+
+
+def candidates_in_range(
+    graph: PropertyGraph,
+    label: str,
+    attribute: str,
+    value_range: Tuple[Any, Any],
+    missing: Any = "",
+) -> List[NodeId]:
+    """Candidate nodes of ``label`` whose ``attribute`` falls in the range."""
+    low_key = _sort_key(value_range[0])
+    high_key = _sort_key(value_range[1])
+    out = []
+    for node in graph.nodes_with_label(label):
+        key = _sort_key(graph.get_attr(node, attribute, missing))
+        if low_key <= key <= high_key:
+            out.append(node)
+    return out

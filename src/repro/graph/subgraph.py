@@ -1,0 +1,125 @@
+"""Neighbourhood extraction: the data blocks ``G_z̄`` of Section 5.2.
+
+A work unit in the paper pairs a pivot candidate with the subgraph of ``G``
+induced by all nodes within ``c_Q`` hops of the candidate (hops ignore edge
+direction — the locality argument in the paper relies on undirected
+distance, since a pattern edge may point either way from the pivot).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .graph import NodeId, PropertyGraph
+
+
+def k_hop_nodes(graph: PropertyGraph, seeds: Iterable[NodeId], k: int) -> Set[NodeId]:
+    """All nodes within ``k`` undirected hops of any seed (seeds included)."""
+    frontier = deque((seed, 0) for seed in seeds)
+    seen: Set[NodeId] = {seed for seed, _ in frontier}
+    while frontier:
+        node, dist = frontier.popleft()
+        if dist == k:
+            continue
+        for nbr in graph.out_neighbors(node):
+            if nbr not in seen:
+                seen.add(nbr)
+                frontier.append((nbr, dist + 1))
+        for nbr in graph.in_neighbors(node):
+            if nbr not in seen:
+                seen.add(nbr)
+                frontier.append((nbr, dist + 1))
+    return seen
+
+
+def k_hop_subgraph(
+    graph: PropertyGraph, seeds: Iterable[NodeId], k: int
+) -> PropertyGraph:
+    """The subgraph induced by :func:`k_hop_nodes` — a data block ``G_z̄``."""
+    return graph.induced_subgraph(k_hop_nodes(graph, seeds, k))
+
+
+def k_hop_size(graph: PropertyGraph, seeds: Iterable[NodeId], k: int) -> int:
+    """``|G_z̄|`` (nodes + induced edges) without materialising the block.
+
+    Used by workload estimation, where only the *size* of each data block
+    is shipped to the coordinator (Section 6.1: "Note that |G_z̄| is sent,
+    not G_z̄").
+    """
+    nodes = k_hop_nodes(graph, seeds, k)
+    edge_count = 0
+    for node in nodes:
+        for dst, labels in graph.out_neighbors(node).items():
+            if dst in nodes:
+                edge_count += len(labels)
+    return len(nodes) + edge_count
+
+
+def connected_components(graph: PropertyGraph) -> List[Set[NodeId]]:
+    """Weakly connected components of ``graph``."""
+    seen: Set[NodeId] = set()
+    components: List[Set[NodeId]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: Set[NodeId] = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nbr in graph.out_neighbors(node):
+                if nbr not in component:
+                    component.add(nbr)
+                    queue.append(nbr)
+            for nbr in graph.in_neighbors(node):
+                if nbr not in component:
+                    component.add(nbr)
+                    queue.append(nbr)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def eccentricity(graph: PropertyGraph, node: NodeId) -> int:
+    """Longest undirected shortest-path distance from ``node``.
+
+    Only meaningful within the node's connected component; the paper calls
+    this the *radius at* a node when selecting pivots.
+    """
+    dist: Dict[NodeId, int] = {node: 0}
+    queue = deque([node])
+    max_dist = 0
+    while queue:
+        current = queue.popleft()
+        d = dist[current]
+        for nbr in graph.out_neighbors(current):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                max_dist = max(max_dist, d + 1)
+                queue.append(nbr)
+        for nbr in graph.in_neighbors(current):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                max_dist = max(max_dist, d + 1)
+                queue.append(nbr)
+    return max_dist
+
+
+def undirected_distances(
+    graph: PropertyGraph, source: NodeId
+) -> Dict[NodeId, int]:
+    """BFS distances from ``source``, ignoring edge direction."""
+    dist: Dict[NodeId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        d = dist[current]
+        for nbr in graph.out_neighbors(current):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+        for nbr in graph.in_neighbors(current):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+    return dist

@@ -1,0 +1,84 @@
+"""Candidate filtering for subgraph isomorphism.
+
+Before the backtracking search runs, each pattern variable gets a candidate
+set: graph nodes with a compatible label whose degree profile can cover the
+variable's pattern edges.  Tight candidate sets are what make matching
+feasible on the benchmark graphs — label filtering alone typically shrinks
+the search space by two to three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set
+
+from ..graph.graph import NodeId, PropertyGraph, WILDCARD
+from ..pattern.pattern import GraphPattern, Variable
+
+
+def label_candidates(
+    pattern: GraphPattern, graph: PropertyGraph
+) -> Dict[Variable, Set[NodeId]]:
+    """Label-compatible candidates per pattern variable."""
+    out: Dict[Variable, Set[NodeId]] = {}
+    all_nodes: Set[NodeId] = None  # lazily materialised for wildcards
+    for var in pattern.nodes():
+        label = pattern.label(var)
+        if label == WILDCARD:
+            if all_nodes is None:
+                all_nodes = set(graph.nodes())
+            out[var] = set(all_nodes)
+        else:
+            out[var] = set(graph.nodes_with_label(label))
+    return out
+
+
+def degree_filter(
+    pattern: GraphPattern,
+    graph: PropertyGraph,
+    candidates: Dict[Variable, Set[NodeId]],
+) -> Dict[Variable, Set[NodeId]]:
+    """Drop candidates that cannot cover a variable's labelled edges.
+
+    A node survives for variable ``u`` only if, for every outgoing edge
+    label ``l`` of ``u`` (counted with multiplicity), it has at least that
+    many outgoing edges with a compatible label; symmetrically for incoming
+    edges.  Wildcard pattern edges count against total degree.
+    """
+    filtered: Dict[Variable, Set[NodeId]] = {}
+    for var, cand in candidates.items():
+        out_need = Counter(elabel for _, elabel in pattern.out_edges(var))
+        in_need = Counter(elabel for _, elabel in pattern.in_edges(var))
+        keep: Set[NodeId] = set()
+        for node in cand:
+            if _covers(graph.out_neighbors(node), out_need) and _covers(
+                graph.in_neighbors(node), in_need
+            ):
+                keep.add(node)
+        filtered[var] = keep
+    return filtered
+
+
+def _covers(neighbors: Dict[NodeId, Set[str]], need: Counter) -> bool:
+    if not need:
+        return True
+    have: Counter = Counter()
+    total = 0
+    for labels in neighbors.values():
+        for label in labels:
+            have[label] += 1
+            total += 1
+    for label, count in need.items():
+        if label == WILDCARD:
+            if total < sum(need.values()):
+                return False
+        elif have.get(label, 0) < count:
+            return False
+    return True
+
+
+def compute_candidates(
+    pattern: GraphPattern, graph: PropertyGraph
+) -> Dict[Variable, Set[NodeId]]:
+    """Label + degree filtered candidate sets (the matcher's starting point)."""
+    return degree_filter(pattern, graph, label_candidates(pattern, graph))

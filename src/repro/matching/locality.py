@@ -1,0 +1,191 @@
+"""Pivoted local matching inside data blocks (Section 6.1, ``localVio``).
+
+By the locality of subgraph isomorphism, every match that instantiates the
+pivot variables ``z̄`` at candidate nodes ``v_z̄`` lies entirely inside the
+data block ``G_z̄`` (the union of the pivots' radius-hop neighbourhoods).
+Workers therefore enumerate matches in the small block, never the full
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.graph import NodeId, PropertyGraph
+from ..graph.subgraph import k_hop_nodes
+from ..pattern.components import PivotVector
+from ..pattern.pattern import GraphPattern, Variable
+from .vf2 import Match, MatchStats, SubgraphMatcher
+
+
+def data_block(
+    graph: PropertyGraph,
+    pivot: PivotVector,
+    assignment: Dict[Variable, NodeId],
+) -> PropertyGraph:
+    """The data block ``G_z̄`` for a pivot candidate assignment.
+
+    The subgraph induced by all nodes within ``c_i_Q`` hops of each pivot
+    image, unioned over the pivot entries.
+    """
+    nodes: set = set()
+    for entry in pivot:
+        seed = assignment[entry.variable]
+        nodes |= k_hop_nodes(graph, [seed], entry.radius)
+    return graph.induced_subgraph(nodes)
+
+
+def data_block_size(
+    graph: PropertyGraph,
+    pivot: PivotVector,
+    assignment: Dict[Variable, NodeId],
+) -> int:
+    """``|G_z̄|`` without materialising the block (workload estimation)."""
+    nodes: set = set()
+    for entry in pivot:
+        seed = assignment[entry.variable]
+        nodes |= k_hop_nodes(graph, [seed], entry.radius)
+    edges = 0
+    for node in nodes:
+        for dst, labels in graph.out_neighbors(node).items():
+            if dst in nodes:
+                edges += len(labels)
+    return len(nodes) + edges
+
+
+def pivoted_matches(
+    pattern: GraphPattern,
+    block: PropertyGraph,
+    assignment: Dict[Variable, NodeId],
+    stats: Optional[MatchStats] = None,
+) -> Iterator[Match]:
+    """Matches of ``pattern`` in ``block`` that include the pivot candidate.
+
+    ``assignment`` maps pivot variables to their candidate nodes; all
+    enumerated matches satisfy ``h(z_i) = v_z̄[z_i]``.
+    """
+    matcher = SubgraphMatcher(pattern, block)
+    return matcher.matches(fixed=assignment, stats=stats)
+
+
+def pivot_candidates(
+    graph: PropertyGraph,
+    pattern: GraphPattern,
+    pivot: PivotVector,
+) -> Iterator[Dict[Variable, NodeId]]:
+    """Enumerate pivot candidate assignments ``v_z̄`` (Section 5.2).
+
+    One-to-one mappings from pivot variables to graph nodes with the same
+    label (wildcard pivots range over all nodes).  For pivot entries whose
+    components are isomorphic, symmetric permutations are deduplicated by
+    requiring candidate tuples in non-decreasing node order within each
+    symmetry class — the paper's Example 10 deduplication.
+    """
+    from ..graph.graph import WILDCARD
+    from ..pattern.containment import are_isomorphic
+
+    entries = list(pivot)
+    pools: List[List[NodeId]] = []
+    for entry in entries:
+        label = pattern.label(entry.variable)
+        if label == WILDCARD:
+            pool = list(graph.nodes())
+        else:
+            pool = list(graph.nodes_with_label(label))
+        pools.append(sorted(pool, key=repr))
+
+    prev_in_class = symmetry_predecessors(pattern, pivot)
+
+    def extend(index: int, chosen: List[NodeId]) -> Iterator[Dict[Variable, NodeId]]:
+        if index == len(entries):
+            yield {
+                entry.variable: node for entry, node in zip(entries, chosen)
+            }
+            return
+        for node in pools[index]:
+            if node in chosen:
+                continue  # one-to-one mapping σ
+            prev = prev_in_class[index]
+            if prev is not None and repr(node) < repr(chosen[prev]):
+                # Canonical order within a class of isomorphic components
+                # removes symmetric duplicates (Example 10).
+                continue
+            yield from extend(index + 1, chosen + [node])
+
+    yield from extend(0, [])
+
+
+def symmetry_predecessors(
+    pattern: GraphPattern, pivot: PivotVector
+) -> List[Optional[int]]:
+    """For each pivot entry, the previous entry with an isomorphic component.
+
+    ``None`` when the entry opens its symmetry class.  Used both to
+    deduplicate candidate tuples and — dually — to re-expand a deduplicated
+    tuple into all pivot-variable permutations during local detection (the
+    dependency ``X → Y`` need not be symmetric under component swaps, so
+    both orientations must be checked).
+    """
+    from ..pattern.containment import are_isomorphic
+
+    entries = list(pivot)
+    views = [pattern.restricted_to(entry.component) for entry in entries]
+    prev: List[Optional[int]] = [None] * len(entries)
+    for i in range(len(entries)):
+        for j in range(i - 1, -1, -1):
+            if are_isomorphic(views[i], views[j]):
+                prev[i] = j
+                break
+    return prev
+
+
+def candidate_permutations(
+    pattern: GraphPattern,
+    pivot: PivotVector,
+    assignment: Dict[Variable, NodeId],
+) -> Iterator[Dict[Variable, NodeId]]:
+    """All reassignments of a candidate tuple within its symmetry classes.
+
+    A deduplicated work unit for pivot ``(x, y)`` with candidate ``(a, b)``
+    must check matches with ``h(x)=a, h(y)=b`` *and* ``h(x)=b, h(y)=a``
+    when the two components are isomorphic; this generator produces exactly
+    those assignments (each one a valid label-compatible bijection).
+    """
+    from itertools import permutations
+
+    entries = list(pivot)
+    prev = symmetry_predecessors(pattern, pivot)
+    # Group entry indices into symmetry classes.
+    classes: List[List[int]] = []
+    index_class: Dict[int, int] = {}
+    for i in range(len(entries)):
+        if prev[i] is None:
+            index_class[i] = len(classes)
+            classes.append([i])
+        else:
+            index_class[i] = index_class[prev[i]]
+            classes[index_class[i]].append(i)
+
+    base = [assignment[entry.variable] for entry in entries]
+
+    def assignments_for(class_perms: List[List[NodeId]]) -> Dict[Variable, NodeId]:
+        values = list(base)
+        for cls, perm in zip(classes, class_perms):
+            for slot, value in zip(cls, perm):
+                values[slot] = value
+        return {entry.variable: value for entry, value in zip(entries, values)}
+
+    def product(level: int, acc: List[List[NodeId]]) -> Iterator[Dict[Variable, NodeId]]:
+        if level == len(classes):
+            yield assignments_for(acc)
+            return
+        members = classes[level]
+        values = [base[i] for i in members]
+        seen = set()
+        for perm in permutations(values):
+            if perm in seen:
+                continue
+            seen.add(perm)
+            yield from product(level + 1, acc + [list(perm)])
+
+    yield from product(0, [])

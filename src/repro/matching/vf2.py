@@ -1,0 +1,246 @@
+"""Subgraph isomorphism matching (Section 2 semantics).
+
+A *match* of pattern ``Q[x̄]`` in graph ``G`` is an injective mapping ``h``
+from pattern variables to graph nodes such that
+
+* node labels agree (the wildcard ``'_'`` matches any label), and
+* every pattern edge ``(u, u')`` with label ``l`` maps to a graph edge
+  ``(h(u), h(u'))`` carrying ``l`` (or any label, if ``l`` is wildcard).
+
+This is non-induced subgraph isomorphism: extra graph edges between matched
+nodes are permitted, exactly as in the paper's definition (the isomorphism
+is onto the subgraph ``G'`` formed by the *images* of the pattern's nodes
+and edges).
+
+The matcher is a VF2-flavoured backtracking search: variables are ordered
+so that each one (where possible) is adjacent to an already-placed
+variable, in which case its candidates come from the placed neighbour's
+adjacency list rather than the global label index.  Disconnected patterns
+fall back to the label index when a fresh component starts, preserving
+completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..graph.graph import NodeId, PropertyGraph, WILDCARD
+from ..pattern.pattern import GraphPattern, Variable
+from .candidates import compute_candidates
+
+Match = Dict[Variable, NodeId]
+
+
+@dataclass
+class MatchStats:
+    """Search-effort counters, used by the cluster cost model.
+
+    ``steps`` counts candidate extensions attempted — a deterministic,
+    machine-independent proxy for matching work.
+    """
+
+    steps: int = 0
+    matches: int = 0
+
+
+class SubgraphMatcher:
+    """Reusable matcher for one pattern over one graph.
+
+    Construct once, then call :meth:`matches` (optionally with pre-assigned
+    pivot variables) as many times as needed; candidate computation is done
+    once at construction.
+    """
+
+    def __init__(self, pattern: GraphPattern, graph: PropertyGraph) -> None:
+        self.pattern = pattern
+        self.graph = graph
+        self.candidates = compute_candidates(pattern, graph)
+        self.order = self._plan_order()
+
+    def _plan_order(self) -> List[Variable]:
+        """Connectivity-first, rarest-candidates-first search order."""
+        pattern = self.pattern
+        placed: Set[Variable] = set()
+        order: List[Variable] = []
+        remaining = list(pattern.nodes())
+        while remaining:
+            def key(var: Variable) -> Tuple[int, int, str]:
+                connected = sum(
+                    1 for nbr, _ in pattern.out_edges(var) if nbr in placed
+                ) + sum(1 for nbr, _ in pattern.in_edges(var) if nbr in placed)
+                return (-connected, len(self.candidates[var]), var)
+
+            best = min(remaining, key=key)
+            order.append(best)
+            placed.add(best)
+            remaining.remove(best)
+        return order
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def matches(
+        self,
+        fixed: Optional[Match] = None,
+        limit: Optional[int] = None,
+        stats: Optional[MatchStats] = None,
+    ) -> Iterator[Match]:
+        """Enumerate matches lazily.
+
+        ``fixed`` pre-assigns variables to graph nodes (pivoted matching,
+        Section 6.1: matches "h(x̄) such that h(x̄) includes v_z̄").
+        ``limit`` stops after that many matches.  ``stats`` accumulates
+        search-effort counters.
+        """
+        fixed = fixed or {}
+        stats = stats if stats is not None else MatchStats()
+        for var, node in fixed.items():
+            if var not in self.pattern:
+                raise KeyError(f"unknown pattern variable {var!r}")
+            if node not in self.candidates[var]:
+                return  # incompatible pivot: no matches
+        if len(set(fixed.values())) != len(fixed):
+            return  # pivot assignment not injective
+        mapping: Match = dict(fixed)
+        used: Set[NodeId] = set(fixed.values())
+        # Validate edges among fixed variables up front.
+        for var in fixed:
+            if not self._consistent(var, mapping[var], mapping, skip=var):
+                return
+        order = [v for v in self.order if v not in fixed]
+        yield from self._search(order, 0, mapping, used, limit, stats)
+
+    def first_match(self, fixed: Optional[Match] = None) -> Optional[Match]:
+        """The first match found, or ``None``."""
+        return next(self.matches(fixed=fixed, limit=1), None)
+
+    def count_matches(
+        self, fixed: Optional[Match] = None, stats: Optional[MatchStats] = None
+    ) -> int:
+        """Total number of matches (materialises nothing)."""
+        return sum(1 for _ in self.matches(fixed=fixed, stats=stats))
+
+    # ------------------------------------------------------------------
+    # search internals
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        order: List[Variable],
+        index: int,
+        mapping: Match,
+        used: Set[NodeId],
+        limit: Optional[int],
+        stats: MatchStats,
+    ) -> Iterator[Match]:
+        if index == len(order):
+            stats.matches += 1
+            yield dict(mapping)
+            return
+        var = order[index]
+        for node in self._frontier(var, mapping):
+            if node in used:
+                continue
+            stats.steps += 1
+            if not self._consistent(var, node, mapping):
+                continue
+            mapping[var] = node
+            used.add(node)
+            yield from self._search(order, index + 1, mapping, used, limit, stats)
+            del mapping[var]
+            used.discard(node)
+            if limit is not None and stats.matches >= limit:
+                return
+
+    def _frontier(self, var: Variable, mapping: Match) -> Iterator[NodeId]:
+        """Candidates for ``var`` given the partial mapping.
+
+        If ``var`` is adjacent to a mapped variable, walk that node's
+        adjacency (small); otherwise fall back to the global candidate set.
+        """
+        pattern = self.pattern
+        graph = self.graph
+        candidates = self.candidates[var]
+        # Find the mapped neighbour with the smallest adjacency.
+        best: Optional[Tuple[int, Iterator[NodeId]]] = None
+        for nbr, elabel in pattern.in_edges(var):
+            # pattern edge nbr -> var: candidates are out-neighbours of h(nbr)
+            if nbr in mapping:
+                image = mapping[nbr]
+                nbrs = graph.out_neighbors(image)
+                pool = [
+                    node
+                    for node, labels in nbrs.items()
+                    if (elabel == WILDCARD or elabel in labels) and node in candidates
+                ]
+                if best is None or len(pool) < best[0]:
+                    best = (len(pool), iter(pool))
+        for nbr, elabel in pattern.out_edges(var):
+            # pattern edge var -> nbr: candidates are in-neighbours of h(nbr)
+            if nbr in mapping:
+                image = mapping[nbr]
+                nbrs = graph.in_neighbors(image)
+                pool = [
+                    node
+                    for node, labels in nbrs.items()
+                    if (elabel == WILDCARD or elabel in labels) and node in candidates
+                ]
+                if best is None or len(pool) < best[0]:
+                    best = (len(pool), iter(pool))
+        if best is not None:
+            return best[1]
+        return iter(candidates)
+
+    def _consistent(
+        self,
+        var: Variable,
+        node: NodeId,
+        mapping: Match,
+        skip: Optional[Variable] = None,
+    ) -> bool:
+        """All pattern edges between ``var`` and mapped variables must exist."""
+        graph = self.graph
+        for nbr, elabel in self.pattern.out_edges(var):
+            if nbr == var:  # self loop
+                if not _edge_ok(graph, node, node, elabel):
+                    return False
+            elif nbr in mapping and nbr != skip:
+                if not _edge_ok(graph, node, mapping[nbr], elabel):
+                    return False
+        for nbr, elabel in self.pattern.in_edges(var):
+            if nbr in mapping and nbr != skip and nbr != var:
+                if not _edge_ok(graph, mapping[nbr], node, elabel):
+                    return False
+        return True
+
+
+def _edge_ok(graph: PropertyGraph, src: NodeId, dst: NodeId, elabel: str) -> bool:
+    if elabel == WILDCARD:
+        return graph.has_edge(src, dst)
+    return graph.has_edge(src, dst, elabel)
+
+
+# ----------------------------------------------------------------------
+# module-level conveniences
+# ----------------------------------------------------------------------
+def find_matches(
+    pattern: GraphPattern,
+    graph: PropertyGraph,
+    fixed: Optional[Match] = None,
+    limit: Optional[int] = None,
+    stats: Optional[MatchStats] = None,
+) -> Iterator[Match]:
+    """Enumerate matches of ``pattern`` in ``graph`` (see the class docs)."""
+    return SubgraphMatcher(pattern, graph).matches(
+        fixed=fixed, limit=limit, stats=stats
+    )
+
+
+def has_match(pattern: GraphPattern, graph: PropertyGraph) -> bool:
+    """Whether ``pattern`` matches anywhere in ``graph``."""
+    return SubgraphMatcher(pattern, graph).first_match() is not None
+
+
+def count_matches(pattern: GraphPattern, graph: PropertyGraph) -> int:
+    """Number of matches of ``pattern`` in ``graph``."""
+    return SubgraphMatcher(pattern, graph).count_matches()

@@ -1,0 +1,123 @@
+"""Bi-criteria workload assignment (Section 6.2, Proposition 13).
+
+For fragmented graphs the assignment must simultaneously (a) balance the
+per-worker computation and (b) minimise the data each worker must fetch
+from other fragments.  The problem is NP-complete; following the paper's
+Shmoys–Tardos-flavoured strategy we process units in descending weight and
+assign each to the worker minimising a combined score
+
+    score(i) = (load_i + weight) + λ · CC(unit, i),
+
+where ``CC(unit, i)`` is the block volume *not* resident on fragment ``i``
+(each block is fetched at most once per worker; re-used blocks are free).
+``λ`` trades balance against communication; the default weighs a shipped
+byte like a scanned byte, which keeps communication in the paper's
+observed 12–24% share.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .workload import WorkUnit
+
+
+def bicriteria_assign(
+    units: Sequence[WorkUnit],
+    n: int,
+    comm_weight: float = 1.0,
+) -> Tuple[List[List[WorkUnit]], List[float], List[float]]:
+    """Balanced, communication-aware assignment.
+
+    Returns per-worker unit lists, their computation loads, and their
+    communication volumes.  Blocks already counted for a worker are not
+    charged again (the "each data block is counted only once" rule).
+    """
+    if n < 1:
+        raise ValueError("need at least one worker")
+    assignment: List[List[WorkUnit]] = [[] for _ in range(n)]
+    loads = [0.0] * n
+    comm = [0.0] * n
+    resident_nodes: List[Set] = [set() for _ in range(n)]
+
+    for unit in sorted(
+        units, key=lambda u: u.weight * u.cost_share, reverse=True
+    ):
+        best_worker = 0
+        best_score = None
+        best_fetch = 0.0
+        for worker in range(n):
+            fetch = _fetch_volume(unit, worker, resident_nodes[worker])
+            score = (
+                loads[worker]
+                + unit.weight * unit.cost_share
+                + comm_weight * fetch
+            )
+            if best_score is None or score < best_score:
+                best_score = score
+                best_worker = worker
+                best_fetch = fetch
+        assignment[best_worker].append(unit)
+        loads[best_worker] += unit.weight * unit.cost_share
+        comm[best_worker] += best_fetch
+        resident_nodes[best_worker] |= unit.block_nodes
+    return assignment, loads, comm
+
+
+def _fetch_volume(unit: WorkUnit, worker: int, resident: Set) -> float:
+    """Bytes worker ``worker`` must fetch to own this unit's block.
+
+    The locally-owned share (``fragment_sizes[worker]``) is free; nodes
+    already fetched for earlier units are free too.  We scale the missing
+    size by the fraction of block nodes not yet resident — an O(|block|)
+    approximation of exact edge-level dedup.
+    """
+    missing = unit.missing_size(worker)
+    if missing <= 0:
+        return 0.0
+    if not resident:
+        return float(missing)
+    new_nodes = len(unit.block_nodes - resident)
+    if not unit.block_nodes:
+        return 0.0
+    return missing * (new_nodes / len(unit.block_nodes))
+
+
+def random_assign(
+    units: Sequence[WorkUnit],
+    n: int,
+    seed: int = 0,
+) -> Tuple[List[List[WorkUnit]], List[float], List[float]]:
+    """Random assignment with honest communication accounting (disran)."""
+    rng = random.Random(seed)
+    assignment: List[List[WorkUnit]] = [[] for _ in range(n)]
+    loads = [0.0] * n
+    comm = [0.0] * n
+    resident_nodes: List[Set] = [set() for _ in range(n)]
+    for unit in units:
+        worker = rng.randrange(n)
+        fetch = _fetch_volume(unit, worker, resident_nodes[worker])
+        assignment[worker].append(unit)
+        loads[worker] += unit.weight * unit.cost_share
+        comm[worker] += fetch
+        resident_nodes[worker] |= unit.block_nodes
+    return assignment, loads, comm
+
+
+def balance_only_assign(
+    units: Sequence[WorkUnit],
+    n: int,
+) -> Tuple[List[List[WorkUnit]], List[float], List[float]]:
+    """LPT ignoring communication — what ``disVal`` would do without the
+    bi-criteria objective (used by ablation benchmarks)."""
+    from .balancing import lpt_partition
+
+    assignment, loads = lpt_partition(units, n)
+    comm = [0.0] * n
+    resident_nodes: List[Set] = [set() for _ in range(n)]
+    for worker, worker_units in enumerate(assignment):
+        for unit in worker_units:
+            comm[worker] += _fetch_volume(unit, worker, resident_nodes[worker])
+            resident_nodes[worker] |= unit.block_nodes
+    return assignment, loads, comm

@@ -1,0 +1,181 @@
+"""Shared execution machinery for ``repVal`` and ``disVal``.
+
+Executes assigned work units for real (local error detection, Section 6.1
+``localVio`` / Section 6.2 ``dlovalVio``), charging measured costs to the
+simulated cluster.  Detection inside a unit:
+
+1. materialise the data block ``G_z̄`` (induced subgraph of the block's
+   node set);
+2. for every pivot-variable permutation of the candidate tuple within its
+   symmetry classes (re-expanding Example 10's deduplication), enumerate
+   matches of the group leader's pattern pinned to the pivot candidate;
+3. evaluate every group member's dependency on each match; collect
+   violations under the member's own GFD name and variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import PropertyGraph
+from ..matching.locality import candidate_permutations
+from ..matching.vf2 import MatchStats, SubgraphMatcher
+from ..core.gfd import GFD
+from ..core.satisfaction import match_satisfies_all
+from ..core.validation import Violation, det_vio, make_violation
+from .cluster import ClusterReport, CostModel, SimulatedCluster
+from .workload import WorkUnit
+
+#: partial matches are far denser than raw block data: a replica of a
+#: split unit ships roughly this fraction of its block-size equivalent.
+PARTIAL_MATCH_SHIP_FACTOR = 0.25
+
+
+@dataclass
+class UnitResult:
+    """Outcome of executing one work unit."""
+
+    violations: Set[Violation]
+    steps: int
+    block_size: int
+
+
+@dataclass
+class ValidationRun:
+    """The result of a parallel validation: ``Vio(Σ, G)`` plus the costs.
+
+    ``report.parallel_time`` is the quantity the paper's figures plot;
+    ``violations`` is exact (every unit is executed for real).
+    """
+
+    violations: Set[Violation]
+    report: ClusterReport
+    num_units: int
+    algorithm: str
+
+    @property
+    def parallel_time(self) -> float:
+        """Convenience alias for ``report.parallel_time``."""
+        return self.report.parallel_time
+
+
+def execute_unit(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    unit: WorkUnit,
+) -> UnitResult:
+    """Run local error detection for one (primary) work unit."""
+    leader = sigma[unit.group.leader_index]
+    block = graph.induced_subgraph(unit.block_nodes)
+    stats = MatchStats()
+    violations: Set[Violation] = set()
+    matcher = SubgraphMatcher(leader.pattern, block)
+    for pinned in candidate_permutations(
+        leader.pattern, leader.pivot, unit.pivot_assignment
+    ):
+        for match in matcher.matches(fixed=pinned, stats=stats):
+            for member in unit.group.members:
+                if not match_satisfies_all(block, match, member.lhs):
+                    continue
+                if match_satisfies_all(block, match, member.rhs):
+                    continue
+                member_gfd = sigma[member.index]
+                member_match = {
+                    member.iso[var]: node for var, node in match.items()
+                }
+                violations.add(make_violation(member_gfd, member_match))
+    return UnitResult(
+        violations=violations, steps=stats.steps, block_size=unit.block_size
+    )
+
+
+def run_assignment(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    assignment: Sequence[Sequence[WorkUnit]],
+    cluster: SimulatedCluster,
+    ship_partial_matches: bool = False,
+) -> Set[Violation]:
+    """Execute a per-worker unit assignment, charging costs as measured.
+
+    Split units (replicate-and-split): the primary executes detection and
+    its measured step count is shared across all sub-units with the same
+    ``split_id``; replicas are charged their share.  With
+    ``ship_partial_matches=True`` (the fragmented setting) replicas are
+    additionally charged the partial-match shipment the strategy incurs;
+    over a replicated graph the exchange is free (Section 6.1: repVal
+    "requires no data exchange").  Primaries are processed first so the
+    shares are known when replicas are charged.
+    """
+    violations: Set[Violation] = set()
+    split_steps: Dict[int, int] = {}
+
+    # Pass 1: primaries (every unsplit unit is its own primary).
+    for worker, worker_units in enumerate(assignment):
+        for unit in worker_units:
+            if not unit.primary:
+                continue
+            result = execute_unit(sigma, graph, unit)
+            violations |= result.violations
+            if unit.split_id is not None:
+                split_steps[unit.split_id] = result.steps
+            cluster.charge_unit(
+                worker,
+                steps=int(result.steps * unit.cost_share),
+                block_size=unit.block_size * unit.cost_share,
+            )
+    # Pass 2: replicas share the primary's measured cost and ship partial
+    # matches between each other.
+    for worker, worker_units in enumerate(assignment):
+        for unit in worker_units:
+            if unit.primary:
+                continue
+            steps = split_steps.get(unit.split_id, 0)
+            cluster.charge_unit(
+                worker,
+                steps=int(steps * unit.cost_share),
+                block_size=unit.block_size * unit.cost_share,
+            )
+            if ship_partial_matches:
+                cluster.ship_to(
+                    worker,
+                    size=unit.block_size * unit.cost_share
+                    * PARTIAL_MATCH_SHIP_FACTOR,
+                    messages=1,
+                )
+    return violations
+
+
+def sequential_run(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    cost_model: Optional[CostModel] = None,
+    step_budget: Optional[int] = None,
+) -> Tuple[Optional[Set[Violation]], float]:
+    """``detVio`` with the same cost accounting as the parallel runs.
+
+    Returns ``(violations, cost)``.  With ``step_budget`` set, gives up
+    once the matcher exceeds the budget and returns ``(None, cost so
+    far)`` — reproducing the paper's "detVio does not terminate within the
+    limit" observations without actually burning the time.
+    """
+    model = cost_model or CostModel()
+    stats = MatchStats()
+    if step_budget is None:
+        violations = det_vio(sigma, graph, stats=stats)
+        cost = stats.steps * model.step_cost + graph.size * model.load_cost
+        return violations, cost
+    violations = set()
+    from ..core.validation import violations_of
+
+    for gfd in sigma:
+        for violation in violations_of(gfd, graph, stats=stats):
+            violations.add(violation)
+            if stats.steps > step_budget:
+                cost = stats.steps * model.step_cost
+                return None, cost
+        if stats.steps > step_budget:
+            return None, stats.steps * model.step_cost
+    cost = stats.steps * model.step_cost + graph.size * model.load_cost
+    return violations, cost

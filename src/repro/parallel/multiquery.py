@@ -1,0 +1,142 @@
+"""Multi-query optimisation (Appendix: common sub-patterns, after [31]).
+
+GFDs generated from the same frequent features routinely share a pattern
+up to isomorphism (the paper's generator builds ``‖Σ‖`` rules from five
+seed features).  For a group of GFDs with pairwise-isomorphic patterns:
+
+* the pivot candidate space and every data block coincide, and
+* one match enumeration serves the whole group — each member only re-checks
+  its own literals on the shared match (translated into the group leader's
+  variable space through the witnessing isomorphism).
+
+So a *shared work unit* loads its block once and enumerates matches once
+instead of ``|group|`` times.  Logical duplicates (identical literals under
+the isomorphism) degenerate to members whose checks coincide; their
+violations are still reported under their own GFD names and variables.
+``repnop``/``disnop`` disable sharing, which is (part of) the 1.5–1.9×
+optimisation gap of Exp-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pattern.containment import isomorphism_fingerprint
+from ..pattern.embedding import embeddings
+from ..core.gfd import GFD
+from ..core.literals import Literal
+
+
+@dataclass(frozen=True)
+class GroupMember:
+    """One GFD of a shared group, aligned to the leader's variables.
+
+    ``iso`` maps leader variables to this member's variables; ``lhs`` and
+    ``rhs`` are the member's literals rewritten into leader space, so they
+    evaluate directly on leader-pattern matches.
+    """
+
+    index: int
+    iso: Dict[str, str]
+    lhs: Tuple[Literal, ...]
+    rhs: Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class SharedGroup:
+    """A leader GFD plus all members sharing its (isomorphic) pattern."""
+
+    leader_index: int
+    members: Tuple[GroupMember, ...]
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """All GFD indices served by this group."""
+        return tuple(member.index for member in self.members)
+
+
+def build_shared_groups(sigma: Sequence[GFD]) -> List[SharedGroup]:
+    """Partition Σ into isomorphism groups with aligned literals.
+
+    Every GFD lands in exactly one group (singleton groups are the common
+    fallback); the leader is the group's first member with the identity
+    alignment.
+    """
+    groups: List[Tuple[int, List[GroupMember]]] = []
+    by_fingerprint: Dict[Tuple, List[int]] = {}
+    for index, gfd in enumerate(sigma):
+        fingerprint = isomorphism_fingerprint(gfd.pattern)
+        placed = False
+        for group_pos in by_fingerprint.get(fingerprint, []):
+            leader_index, members = groups[group_pos]
+            leader = sigma[leader_index]
+            iso = _isomorphism(leader, gfd)
+            if iso is not None:
+                inverse = {v: k for k, v in iso.items()}
+                members.append(
+                    GroupMember(
+                        index=index,
+                        iso=iso,
+                        lhs=tuple(l.rename(inverse) for l in gfd.lhs),
+                        rhs=tuple(l.rename(inverse) for l in gfd.rhs),
+                    )
+                )
+                placed = True
+                break
+        if not placed:
+            identity = {v: v for v in gfd.pattern.variables}
+            groups.append(
+                (
+                    index,
+                    [
+                        GroupMember(
+                            index=index, iso=identity, lhs=gfd.lhs, rhs=gfd.rhs
+                        )
+                    ],
+                )
+            )
+            by_fingerprint.setdefault(fingerprint, []).append(len(groups) - 1)
+    return [
+        SharedGroup(leader_index=leader, members=tuple(members))
+        for leader, members in groups
+    ]
+
+
+def singleton_groups(sigma: Sequence[GFD]) -> List[SharedGroup]:
+    """No sharing — one group per GFD (the ``*nop`` variants)."""
+    out = []
+    for index, gfd in enumerate(sigma):
+        identity = {v: v for v in gfd.pattern.variables}
+        out.append(
+            SharedGroup(
+                leader_index=index,
+                members=(
+                    GroupMember(
+                        index=index, iso=identity, lhs=gfd.lhs, rhs=gfd.rhs
+                    ),
+                ),
+            )
+        )
+    return out
+
+
+def _isomorphism(leader: GFD, candidate: GFD) -> Optional[Dict[str, str]]:
+    """An exact isomorphism leader-pattern → candidate-pattern, if any.
+
+    Patterns must have equal node/edge counts; label compatibility must be
+    exact in both directions (a wildcard only aligns with a wildcard), as
+    the two GFDs must match identical candidate spaces.
+    """
+    lp, cp = leader.pattern, candidate.pattern
+    if lp.num_nodes != cp.num_nodes or lp.num_edges != cp.num_edges:
+        return None
+    for iso in embeddings(lp, cp):
+        if all(lp.label(v) == cp.label(iso[v]) for v in lp.variables):
+            # Edge labels must also agree exactly (wildcard ↔ wildcard).
+            if all(
+                cp.has_edge(iso[src], iso[dst], elabel)
+                for src, dst, elabel in lp.edges()
+            ):
+                return iso
+    return None

@@ -1,0 +1,46 @@
+"""Graph patterns ``Q[x̄]``: structure, pivots, embeddings, containment and
+a declaration DSL."""
+
+from .pattern import GraphPattern, PatternError, pattern_from_edges
+from .components import (
+    PivotEntry,
+    PivotVector,
+    component_patterns,
+    connected_components,
+    pattern_eccentricity,
+    pivot_vector,
+)
+from .embedding import Embedding, embeddings, first_embedding, is_embeddable
+from .containment import (
+    are_isomorphic,
+    containment_order,
+    contains,
+    group_isomorphic,
+    isomorphism_fingerprint,
+    shared_edge_types,
+)
+from .parser import format_pattern, parse_pattern
+
+__all__ = [
+    "GraphPattern",
+    "PatternError",
+    "pattern_from_edges",
+    "PivotEntry",
+    "PivotVector",
+    "component_patterns",
+    "connected_components",
+    "pattern_eccentricity",
+    "pivot_vector",
+    "Embedding",
+    "embeddings",
+    "first_embedding",
+    "is_embeddable",
+    "are_isomorphic",
+    "containment_order",
+    "contains",
+    "group_isomorphic",
+    "isomorphism_fingerprint",
+    "shared_edge_types",
+    "format_pattern",
+    "parse_pattern",
+]

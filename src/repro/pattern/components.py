@@ -1,0 +1,128 @@
+"""Pattern connectivity, radii and pivot selection (Section 5.2).
+
+The workload model fixes, per (maximum) connected component ``Q_i`` of a
+pattern, a *pivot* variable ``z_i`` — the node of minimum eccentricity —
+whose radius ``c_i_Q`` bounds how far any match node can be from the
+pivot's image (locality of subgraph isomorphism).  The pivot vector
+``PV(φ) = ((z_1, c¹_Q), ..., (z_k, c^k_Q))`` is computable in ``O(|Q|²)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .pattern import GraphPattern, Variable
+
+
+def connected_components(pattern: GraphPattern) -> List[Set[Variable]]:
+    """Weakly connected components, ordered by first variable occurrence."""
+    seen: Set[Variable] = set()
+    components: List[Set[Variable]] = []
+    for start in pattern.nodes():
+        if start in seen:
+            continue
+        component: Set[Variable] = {start}
+        queue = deque([start])
+        while queue:
+            var = queue.popleft()
+            for nbr, _ in pattern.out_edges(var):
+                if nbr not in component:
+                    component.add(nbr)
+                    queue.append(nbr)
+            for nbr, _ in pattern.in_edges(var):
+                if nbr not in component:
+                    component.add(nbr)
+                    queue.append(nbr)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def pattern_eccentricity(pattern: GraphPattern, variable: Variable) -> int:
+    """Longest undirected shortest-path distance from ``variable``.
+
+    The paper's "radius of Q_i at µ(z_i)".
+    """
+    dist: Dict[Variable, int] = {variable: 0}
+    queue = deque([variable])
+    max_dist = 0
+    while queue:
+        var = queue.popleft()
+        d = dist[var]
+        for nbr, _ in pattern.out_edges(var):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                max_dist = max(max_dist, d + 1)
+                queue.append(nbr)
+        for nbr, _ in pattern.in_edges(var):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                max_dist = max(max_dist, d + 1)
+                queue.append(nbr)
+    return max_dist
+
+
+@dataclass(frozen=True)
+class PivotEntry:
+    """One ``(z_i, c^i_Q)`` entry of a pivot vector."""
+
+    variable: Variable
+    radius: int
+    component: Tuple[Variable, ...]
+
+
+@dataclass(frozen=True)
+class PivotVector:
+    """The pivot vector ``PV(φ) = (z̄, c̄_Q)`` of a pattern (Section 5.2)."""
+
+    entries: Tuple[PivotEntry, ...]
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The pivot list ``z̄``."""
+        return tuple(entry.variable for entry in self.entries)
+
+    @property
+    def radii(self) -> Tuple[int, ...]:
+        """The radius list ``c̄_Q``."""
+        return tuple(entry.radius for entry in self.entries)
+
+    @property
+    def arity(self) -> int:
+        """``‖z̄‖`` — the number of connected components."""
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+def pivot_vector(pattern: GraphPattern) -> PivotVector:
+    """Compute ``PV(φ)`` by picking the min-eccentricity node per component.
+
+    Ties break on (eccentricity, degree descending, variable name) so the
+    choice is deterministic — matching the paper's Example 9, which picks
+    the structurally central ``account`` node of ``Q6``.
+    """
+    entries = []
+    for component in connected_components(pattern):
+        best: Tuple[int, int, Variable] = None  # type: ignore[assignment]
+        for var in sorted(component):
+            ecc = pattern_eccentricity(pattern, var)
+            key = (ecc, -pattern.degree(var), var)
+            if best is None or key < best:
+                best = key
+        ecc, _, var = best
+        entries.append(
+            PivotEntry(variable=var, radius=ecc, component=tuple(sorted(component)))
+        )
+    return PivotVector(entries=tuple(entries))
+
+
+def component_patterns(pattern: GraphPattern) -> List[GraphPattern]:
+    """The pattern split into its connected components (as sub-patterns)."""
+    return [
+        pattern.restricted_to(sorted(component))
+        for component in connected_components(pattern)
+    ]

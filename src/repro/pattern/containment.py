@@ -1,0 +1,109 @@
+"""Pattern containment, isomorphism and common sub-patterns.
+
+Used by the multi-query optimisation (Appendix: "pattern containment and
+sub-pattern scheduling" after [31]) to share work between GFDs whose
+patterns coincide or nest, and by the satisfiability analysis to prune
+duplicate overlay hosts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .embedding import is_embeddable
+from .pattern import GraphPattern
+
+
+def contains(host: GraphPattern, small: GraphPattern) -> bool:
+    """Whether ``small`` is embeddable in ``host`` (pattern containment).
+
+    Every match of ``host`` then contains a match of ``small``.
+    """
+    return is_embeddable(small, host)
+
+
+def are_isomorphic(a: GraphPattern, b: GraphPattern) -> bool:
+    """Exact pattern isomorphism (same shape, labels and edge labels)."""
+    if a.num_nodes != b.num_nodes or a.num_edges != b.num_edges:
+        return False
+    if isomorphism_fingerprint(a) != isomorphism_fingerprint(b):
+        return False
+    return is_embeddable(a, b)
+
+
+def isomorphism_fingerprint(pattern: GraphPattern) -> Tuple:
+    """A cheap isomorphism-invariant fingerprint.
+
+    Combines the multiset of (label, in-degree, out-degree) node signatures
+    with the multiset of labelled edge type triples.  Equal fingerprints do
+    not guarantee isomorphism (that is checked exactly afterwards); unequal
+    fingerprints refute it.
+    """
+    node_sig = Counter(
+        (pattern.label(v), len(pattern.in_edges(v)), len(pattern.out_edges(v)))
+        for v in pattern.nodes()
+    )
+    edge_sig = Counter(
+        (pattern.label(src), elabel, pattern.label(dst))
+        for src, dst, elabel in pattern.edges()
+    )
+    return (tuple(sorted(node_sig.items())), tuple(sorted(edge_sig.items())))
+
+
+def group_isomorphic(patterns: Sequence[GraphPattern]) -> List[List[int]]:
+    """Indices of ``patterns`` grouped into isomorphism classes.
+
+    The multi-query optimiser enumerates candidates once per class instead
+    of once per GFD.
+    """
+    buckets: Dict[Tuple, List[int]] = {}
+    for index, pattern in enumerate(patterns):
+        buckets.setdefault(isomorphism_fingerprint(pattern), []).append(index)
+    groups: List[List[int]] = []
+    for indices in buckets.values():
+        classes: List[List[int]] = []
+        for index in indices:
+            placed = False
+            for cls in classes:
+                if are_isomorphic(patterns[cls[0]], patterns[index]):
+                    cls.append(index)
+                    placed = True
+                    break
+            if not placed:
+                classes.append([index])
+        groups.extend(classes)
+    return groups
+
+
+def containment_order(patterns: Sequence[GraphPattern]) -> List[Tuple[int, int]]:
+    """All pairs ``(i, j)`` with ``patterns[i]`` embeddable in ``patterns[j]``.
+
+    ``i == j`` pairs are omitted.  This is the sub-pattern schedule the
+    Appendix optimisation exploits: once ``Q_j`` has been matched, matches
+    of a contained ``Q_i`` can be screened inside them first.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for i, small in enumerate(patterns):
+        for j, host in enumerate(patterns):
+            if i == j:
+                continue
+            if small.size <= host.size and is_embeddable(small, host):
+                pairs.append((i, j))
+    return pairs
+
+
+def shared_edge_types(patterns: Iterable[GraphPattern]) -> Counter:
+    """Multiset of edge type triples shared across the given patterns.
+
+    A cheap signal for which patterns profit from shared candidate
+    filtering.
+    """
+    total: Counter = Counter()
+    for pattern in patterns:
+        seen = {
+            (pattern.label(src), elabel, pattern.label(dst))
+            for src, dst, elabel in pattern.edges()
+        }
+        total.update(seen)
+    return total

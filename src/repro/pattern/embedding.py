@@ -1,0 +1,135 @@
+"""Pattern-into-pattern embeddings (Section 4).
+
+A pattern ``Q'`` is *embeddable* in ``Q`` when there is an isomorphic
+mapping ``f`` from ``Q'`` to a subgraph of ``Q`` preserving node and edge
+labels.  Embeddings drive both static analyses: every embedding of the
+pattern of a GFD ``φ' = (Q'[x̄'], X' → Y')`` into a host ``Q`` induces the
+*embedded GFD* ``(Q[x̄], f(X') → f(Y'))``, and the sets ``Σ_Q`` of Lemmas 3
+and 7 collect exactly these.
+
+Wildcards: a wildcard node/edge of ``Q'`` may map to anything, because any
+match of ``Q`` instantiates it regardless of label.  A *concrete* label of
+``Q'`` must map to an equal concrete label — mapping it onto a wildcard of
+``Q`` would be unsound, since ``Q``'s matches may bind that node to a
+different label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..graph.graph import WILDCARD
+from .pattern import GraphPattern, Variable
+
+Embedding = Dict[Variable, Variable]
+
+
+def _node_compatible(small: GraphPattern, host: GraphPattern,
+                     u: Variable, v: Variable) -> bool:
+    label = small.label(u)
+    return label == WILDCARD or label == host.label(v)
+
+
+def _edge_compatible(small_label: str, host_label: str) -> bool:
+    return small_label == WILDCARD or small_label == host_label
+
+
+def embeddings(small: GraphPattern, host: GraphPattern) -> Iterator[Embedding]:
+    """Enumerate all embeddings of ``small`` into ``host``.
+
+    Backtracking search ordered by a connectivity-aware plan; complete and
+    duplicate-free.  Patterns are tiny (the paper sweeps ``|Q|`` up to 6),
+    so exhaustive enumeration is cheap.
+    """
+    if small.num_nodes > host.num_nodes or small.num_edges > host.num_edges:
+        return
+    order = _search_order(small)
+    mapping: Embedding = {}
+    used: set = set()
+    yield from _extend(small, host, order, 0, mapping, used)
+
+
+def _search_order(pattern: GraphPattern) -> List[Variable]:
+    """Order variables so each (when possible) touches an earlier one."""
+    order: List[Variable] = []
+    placed: set = set()
+    remaining = [v for v in pattern.nodes()]
+    # Stable greedy: repeatedly take the unplaced variable with the most
+    # already-placed neighbours (ties: higher degree, then name).
+    while remaining:
+        def key(var: Variable) -> Tuple[int, int, str]:
+            connected = sum(
+                1 for nbr, _ in pattern.out_edges(var) if nbr in placed
+            ) + sum(1 for nbr, _ in pattern.in_edges(var) if nbr in placed)
+            return (-connected, -pattern.degree(var), var)
+
+        best = min(remaining, key=key)
+        order.append(best)
+        placed.add(best)
+        remaining.remove(best)
+    return order
+
+
+def _extend(
+    small: GraphPattern,
+    host: GraphPattern,
+    order: List[Variable],
+    index: int,
+    mapping: Embedding,
+    used: set,
+) -> Iterator[Embedding]:
+    if index == len(order):
+        yield dict(mapping)
+        return
+    u = order[index]
+    for v in host.nodes():
+        if v in used or not _node_compatible(small, host, u, v):
+            continue
+        if not _edges_consistent(small, host, u, v, mapping):
+            continue
+        mapping[u] = v
+        used.add(v)
+        yield from _extend(small, host, order, index + 1, mapping, used)
+        del mapping[u]
+        used.discard(v)
+
+
+def _edges_consistent(
+    small: GraphPattern,
+    host: GraphPattern,
+    u: Variable,
+    v: Variable,
+    mapping: Embedding,
+) -> bool:
+    """Every small-edge between ``u`` and an already-mapped node must have a
+    label-compatible host edge between the images."""
+    for nbr, elabel in small.out_edges(u):
+        if nbr in mapping:
+            if not _has_host_edge(host, v, mapping[nbr], elabel):
+                return False
+        elif nbr == u:  # self loop
+            if not _has_host_edge(host, v, v, elabel):
+                return False
+    for nbr, elabel in small.in_edges(u):
+        if nbr in mapping:
+            if not _has_host_edge(host, mapping[nbr], v, elabel):
+                return False
+    return True
+
+
+def _has_host_edge(host: GraphPattern, src: Variable, dst: Variable,
+                   small_label: str) -> bool:
+    for target, host_label in host.out_edges(src):
+        if target == dst and _edge_compatible(small_label, host_label):
+            return True
+    return False
+
+
+def is_embeddable(small: GraphPattern, host: GraphPattern) -> bool:
+    """Whether at least one embedding of ``small`` into ``host`` exists."""
+    return next(embeddings(small, host), None) is not None
+
+
+def first_embedding(small: GraphPattern, host: GraphPattern) -> Optional[Embedding]:
+    """An arbitrary embedding, or ``None``."""
+    return next(embeddings(small, host), None)

@@ -1,0 +1,88 @@
+"""A compact text DSL for declaring patterns.
+
+Grammar (whitespace-insensitive)::
+
+    pattern   := statement (';' statement)*
+    statement := node (edge node)*
+    node      := VAR (':' LABEL)?
+    edge      := '-' LABEL? '->'          (forward edge)
+
+Examples::
+
+    parse_pattern("x:country -capital-> y:city; x -capital-> z:city")
+    parse_pattern("x:bird; y:penguin -is_a-> x")      # Q3-style
+    parse_pattern("x:R; y:R")                          # two isolated nodes
+    parse_pattern("x -_-> y")                          # wildcard edge
+
+A node's label is fixed by its first labelled occurrence; later occurrences
+may omit it.  Unlabelled variables get the wildcard label.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..graph.graph import WILDCARD
+from .pattern import GraphPattern, PatternError
+
+_NODE_RE = re.compile(r"^\s*([A-Za-z_][\w']*)\s*(?::\s*([\w\. ']+?))?\s*$")
+_EDGE_RE = re.compile(r"-\s*([\w\.']*)\s*->")
+
+
+def parse_pattern(text: str) -> GraphPattern:
+    """Parse the DSL described in the module docstring into a pattern."""
+    pattern = GraphPattern()
+    pending: List[Tuple[str, str, str]] = []
+    statements = [s for s in re.split(r"[;\n]", text) if s.strip()]
+    if not statements:
+        raise PatternError("empty pattern text")
+    for statement in statements:
+        _parse_statement(statement.strip(), pattern, pending)
+    for src, dst, label in pending:
+        pattern.add_edge(src, dst, label)
+    return pattern
+
+
+def _parse_statement(
+    statement: str, pattern: GraphPattern, pending: List[Tuple[str, str, str]]
+) -> None:
+    # Split "a:X -l-> b -m-> c:Y" into nodes and edge labels.
+    parts = _EDGE_RE.split(statement)
+    # parts = [node, elabel, node, elabel, node, ...]
+    if len(parts) % 2 == 0:
+        raise PatternError(f"malformed statement: {statement!r}")
+    nodes = [_parse_node(parts[i], pattern) for i in range(0, len(parts), 2)]
+    edge_labels = [parts[i].strip() or WILDCARD for i in range(1, len(parts), 2)]
+    for i, elabel in enumerate(edge_labels):
+        pending.append((nodes[i], nodes[i + 1], elabel))
+
+
+def _parse_node(token: str, pattern: GraphPattern) -> str:
+    match = _NODE_RE.match(token)
+    if not match:
+        raise PatternError(f"malformed node: {token!r}")
+    var, label = match.group(1), match.group(2)
+    if var in pattern:
+        if label is not None and pattern.label(var) not in (label, WILDCARD):
+            raise PatternError(
+                f"variable {var!r} relabelled {pattern.label(var)!r} -> {label!r}"
+            )
+        return var
+    pattern.add_node(var, label if label is not None else WILDCARD)
+    return var
+
+
+def format_pattern(pattern: GraphPattern) -> str:
+    """Render a pattern back into (one valid form of) the DSL."""
+    lines = []
+    isolated = set(pattern.nodes())
+    for src, dst, label in pattern.edges():
+        isolated.discard(src)
+        isolated.discard(dst)
+        lines.append(
+            f"{src}:{pattern.label(src)} -{label}-> {dst}:{pattern.label(dst)}"
+        )
+    for var in sorted(isolated):
+        lines.append(f"{var}:{pattern.label(var)}")
+    return "; ".join(lines)

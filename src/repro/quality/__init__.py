@@ -1,0 +1,39 @@
+"""Data-quality tooling: noise injection, accuracy metrics, and the two
+comparison baselines of the Appendix (GCFDs and BigDansing-style plans)."""
+
+from .noise import NoiseRecord, NoiseReport, inject_noise
+from .metrics import Accuracy, accuracy
+from .gcfd import (
+    expressible_as_gcfd,
+    gfds_to_gcfds,
+    is_path_pattern,
+    validate_gcfd,
+)
+from .bigdansing import validate_bigdansing
+from .repair import (
+    AttributeWrite,
+    Fix,
+    RepairPlan,
+    apply_repairs,
+    candidate_fixes,
+    repair_plan,
+)
+
+__all__ = [
+    "NoiseRecord",
+    "NoiseReport",
+    "inject_noise",
+    "Accuracy",
+    "accuracy",
+    "expressible_as_gcfd",
+    "gfds_to_gcfds",
+    "is_path_pattern",
+    "validate_gcfd",
+    "validate_bigdansing",
+    "AttributeWrite",
+    "Fix",
+    "RepairPlan",
+    "apply_repairs",
+    "candidate_fixes",
+    "repair_plan",
+]

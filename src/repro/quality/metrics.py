@@ -1,0 +1,45 @@
+"""Accuracy metrics for error detection (Appendix).
+
+The paper defines, for a detector ``A`` with detected inconsistent entity
+set ``Vio(A)`` against ground truth ``Vio``::
+
+    precision = |Vio ∩ Vio(A)| / |Vio(A)|
+    recall    = |Vio ∩ Vio(A)| / |Vio|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+
+@dataclass(frozen=True)
+class Accuracy:
+    """Precision / recall / F1 of a detector."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    detected: int
+    actual: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def accuracy(detected: Iterable, actual: Iterable) -> Accuracy:
+    """Compute accuracy of ``detected`` entities against ``actual`` truth."""
+    detected_set: Set = set(detected)
+    actual_set: Set = set(actual)
+    tp = len(detected_set & actual_set)
+    return Accuracy(
+        precision=tp / len(detected_set) if detected_set else 1.0,
+        recall=tp / len(actual_set) if actual_set else 1.0,
+        true_positives=tp,
+        detected=len(detected_set),
+        actual=len(actual_set),
+    )

@@ -1,0 +1,226 @@
+"""Repair suggestions for GFD violations.
+
+The paper positions GFDs as data-quality rules whose violations are the
+errors to fix; the follow-on literature (graph repair à la Fan et al.)
+derives minimal *fixes*.  This module implements the value-modification
+fragment: for each violating match ``h(x̄)`` of ``φ = (Q, X → Y)`` there
+are two ways to restore ``h ⊨ X → Y``:
+
+* **satisfy Y** — set the attributes Y equates to a common value (for a
+  variable literal, copy one side onto the other; for a constant literal,
+  write the constant); or
+* **break X** — retract one premise literal by clearing an attribute it
+  reads (sound because a missing X-attribute trivially satisfies the GFD,
+  Section 3).
+
+Each candidate fix is scored by the number of attribute writes it needs;
+:func:`repair_plan` greedily picks, per violation, a cheapest fix that
+does not undo an earlier one, and :func:`apply_repairs` executes and
+re-validates.  This is a heuristic (optimal graph repair is intractable),
+but it terminates and never increases the violation count of the rules it
+touched — both properties are asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import NodeId, PropertyGraph
+from ..core.gfd import GFD
+from ..core.literals import ConstantLiteral, Literal, VariableLiteral
+from ..core.validation import Violation, det_vio
+
+
+@dataclass(frozen=True)
+class AttributeWrite:
+    """One attribute assignment; ``value=None`` clears the attribute."""
+
+    node: NodeId
+    attr: str
+    value: Optional[Any]
+
+    def describe(self) -> str:
+        if self.value is None:
+            return f"clear {self.node}.{self.attr}"
+        return f"set {self.node}.{self.attr} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A candidate repair for one violation."""
+
+    violation: Violation
+    writes: Tuple[AttributeWrite, ...]
+    kind: str  # 'satisfy-rhs' | 'break-lhs'
+
+    @property
+    def cost(self) -> int:
+        """Number of attribute writes."""
+        return len(self.writes)
+
+
+def candidate_fixes(
+    gfd: GFD, graph: PropertyGraph, violation: Violation
+) -> List[Fix]:
+    """All single-literal fixes for one violating match."""
+    match = violation.match
+    fixes: List[Fix] = []
+
+    # Option A: make every failing RHS literal hold.
+    writes: List[AttributeWrite] = []
+    targets: Dict[Tuple[NodeId, str], Any] = {}
+    feasible = True
+    for literal in gfd.rhs:
+        write = _satisfy_write(graph, match, literal)
+        if write is None:
+            continue  # already satisfied
+        key = (write.node, write.attr)
+        if key in targets and targets[key] != write.value:
+            # Two RHS literals demand different values for one attribute
+            # (e.g. a denial constraint) — no value fix exists.
+            feasible = False
+            break
+        targets[key] = write.value
+        writes.append(write)
+    if feasible and writes:
+        fixes.append(
+            Fix(violation=violation, writes=tuple(writes), kind="satisfy-rhs")
+        )
+
+    # Option B: retract one LHS literal (constant GFD denials — where the
+    # RHS is unsatisfiable — have no option A, so this is the fallback).
+    for literal in gfd.lhs:
+        for node, attr in _read_terms(match, literal):
+            if graph.has_attr(node, attr):
+                fixes.append(
+                    Fix(
+                        violation=violation,
+                        writes=(AttributeWrite(node, attr, None),),
+                        kind="break-lhs",
+                    )
+                )
+    return fixes
+
+
+def _satisfy_write(graph, match, literal: Literal):
+    """A write making ``literal`` hold, or ``None`` if it already does.
+
+    For a variable literal the value is copied from the side with the
+    *smaller* node id (by repr); the canonical direction makes the fixes
+    chosen for symmetric violations (``h`` and its variable swap) agree,
+    so repair converges instead of oscillating between the two copies.
+    """
+    if isinstance(literal, ConstantLiteral):
+        node = match[literal.var]
+        if graph.get_attr(node, literal.attr) == literal.const:
+            return None
+        return AttributeWrite(node, literal.attr, literal.const)
+    node1, node2 = match[literal.var1], match[literal.var2]
+    attr1, attr2 = literal.attr1, literal.attr2
+    value1 = graph.get_attr(node1, attr1)
+    value2 = graph.get_attr(node2, attr2)
+    if value1 is not None and value1 == value2:
+        return None
+    if (repr(node2), attr2) < (repr(node1), attr1):
+        node1, attr1, value1, node2, attr2, value2 = (
+            node2, attr2, value2, node1, attr1, value1
+        )
+    if value1 is not None:
+        return AttributeWrite(node2, attr2, value1)
+    if value2 is not None:
+        return AttributeWrite(node1, attr1, value2)
+    # Both absent: invent a shared placeholder.
+    return AttributeWrite(node1, attr1, "•repair")
+
+
+def _read_terms(match, literal: Literal):
+    if isinstance(literal, ConstantLiteral):
+        return [(match[literal.var], literal.attr)]
+    return [
+        (match[literal.var1], literal.attr1),
+        (match[literal.var2], literal.attr2),
+    ]
+
+
+@dataclass
+class RepairPlan:
+    """The chosen fixes plus bookkeeping for :func:`apply_repairs`."""
+
+    fixes: List[Fix] = field(default_factory=list)
+    unfixable: List[Violation] = field(default_factory=list)
+
+    @property
+    def total_writes(self) -> int:
+        """Total attribute writes across all chosen fixes."""
+        return sum(fix.cost for fix in self.fixes)
+
+
+def repair_plan(
+    sigma: Sequence[GFD], graph: PropertyGraph,
+    violations: Optional[Set[Violation]] = None,
+) -> RepairPlan:
+    """Choose one cheapest non-conflicting fix per violation.
+
+    A fix conflicts with an earlier choice when it writes a different
+    value to an already-written (node, attr); such violations are usually
+    resolved transitively by the earlier write, and any survivors are
+    collected in ``unfixable`` for manual attention.
+    """
+    by_name: Dict[str, GFD] = {gfd.name or "gfd": gfd for gfd in sigma}
+    if violations is None:
+        violations = det_vio(sigma, graph)
+    plan = RepairPlan()
+    written: Dict[Tuple[NodeId, str], Optional[Any]] = {}
+    for violation in sorted(violations, key=str):
+        gfd = by_name.get(violation.gfd_name)
+        if gfd is None:
+            plan.unfixable.append(violation)
+            continue
+        options = sorted(
+            candidate_fixes(gfd, graph, violation),
+            key=lambda fix: (fix.cost, fix.kind != "satisfy-rhs"),
+        )
+        chosen = None
+        for fix in options:
+            clash = any(
+                (write.node, write.attr) in written
+                and written[(write.node, write.attr)] != write.value
+                for write in fix.writes
+            )
+            if not clash:
+                chosen = fix
+                break
+        if chosen is None:
+            plan.unfixable.append(violation)
+            continue
+        for write in chosen.writes:
+            written[(write.node, write.attr)] = write.value
+        plan.fixes.append(chosen)
+    return plan
+
+
+def apply_repairs(
+    sigma: Sequence[GFD], graph: PropertyGraph, max_rounds: int = 5
+) -> Tuple[int, Set[Violation]]:
+    """Repair until clean (or ``max_rounds``); mutates ``graph`` in place.
+
+    Returns ``(rounds used, remaining violations)``.  Multiple rounds are
+    needed because a fix can create fresh matches of other rules; each
+    round strictly reduces or re-plans, and the loop stops early once
+    ``G ⊨ Σ``.
+    """
+    for round_index in range(max_rounds):
+        violations = det_vio(sigma, graph)
+        if not violations:
+            return round_index, set()
+        plan = repair_plan(sigma, graph, violations)
+        if not plan.fixes:
+            return round_index, violations
+        for fix in plan.fixes:
+            for write in fix.writes:
+                if write.value is None:
+                    graph.attrs(write.node).pop(write.attr, None)
+                else:
+                    graph.set_attr(write.node, write.attr, write.value)
+    return max_rounds, det_vio(sigma, graph)

@@ -1,0 +1,29 @@
+"""A minimal relational engine: the substrate for the BigDansing-style
+baseline and for CFD validation over tuple-encoded relations."""
+
+from .table import (
+    EngineStats,
+    Row,
+    Table,
+    cross_product,
+    distinct,
+    hash_join,
+    project,
+    rename,
+    select,
+)
+from .encode import attribute_lookup, graph_to_tables
+
+__all__ = [
+    "EngineStats",
+    "Row",
+    "Table",
+    "cross_product",
+    "distinct",
+    "hash_join",
+    "project",
+    "rename",
+    "select",
+    "attribute_lookup",
+    "graph_to_tables",
+]

@@ -1,0 +1,45 @@
+"""Graph → relational encoding (what BigDansing must do, Section 1).
+
+A property graph becomes three tables::
+
+    nodes(id, label)
+    edges(src, dst, elabel)
+    attrs(id, attr, value)
+
+Pattern matching then becomes a join pipeline over ``edges`` with
+selections on ``nodes``, plus injectivity and literal checks as UDF
+filters — exactly the "cast subgraph isomorphic testing as relational
+joins" the Appendix measures at 4.6× slower than the native matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph.graph import PropertyGraph
+from .table import Table
+
+
+def graph_to_tables(graph: PropertyGraph) -> Dict[str, Table]:
+    """Encode ``graph`` as ``{'nodes': ..., 'edges': ..., 'attrs': ...}``."""
+    nodes = Table("nodes", ["id", "label"])
+    edges = Table("edges", ["src", "dst", "elabel"])
+    attrs = Table("attrs", ["id", "attr", "value"])
+    for node in graph.nodes():
+        nodes.insert({"id": node, "label": graph.label(node)})
+        for attr, value in graph.attrs(node).items():
+            attrs.insert({"id": node, "attr": attr, "value": value})
+    for src, dst, elabel in graph.edges():
+        edges.insert({"src": src, "dst": dst, "elabel": elabel})
+    return {"nodes": nodes, "edges": edges, "attrs": attrs}
+
+
+def attribute_lookup(tables: Dict[str, Table]) -> Dict[Tuple, object]:
+    """A dict index ``(id, attr) -> value`` over the attrs table.
+
+    BigDansing-style UDFs evaluate literals through this lookup rather
+    than joining the attrs table once per literal occurrence.
+    """
+    return {
+        (row["id"], row["attr"]): row["value"] for row in tables["attrs"].rows
+    }

@@ -1,0 +1,136 @@
+"""Shared fixtures: the paper's running examples (Figures 1–3) and small
+synthetic workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph, power_law_graph
+from repro.pattern import parse_pattern
+from repro.core import parse_gfd
+from repro.core.gfd import denial
+
+
+def add_flight(graph, uid, flight_id, from_name, to_name, dep="14:50", arr="22:35"):
+    """One flight entity shaped like the paper's G1 (Fig. 1)."""
+    flight = f"flight{uid}"
+    graph.add_node(flight, "flight", {"val": flight_id})
+    graph.add_node(f"{flight}_id", "id", {"val": flight_id})
+    graph.add_node(f"{flight}_from", "city", {"val": from_name})
+    graph.add_node(f"{flight}_to", "city", {"val": to_name})
+    graph.add_node(f"{flight}_dep", "time", {"val": dep})
+    graph.add_node(f"{flight}_arr", "time", {"val": arr})
+    graph.add_edge(flight, f"{flight}_id", "number")
+    graph.add_edge(flight, f"{flight}_from", "from")
+    graph.add_edge(flight, f"{flight}_to", "to")
+    graph.add_edge(flight, f"{flight}_dep", "depart")
+    graph.add_edge(flight, f"{flight}_arr", "arrive")
+    return flight
+
+
+@pytest.fixture
+def g1():
+    """The paper's G1: two DL1 flights, Paris→NYC and Paris→Singapore."""
+    graph = PropertyGraph()
+    add_flight(graph, 1, "DL1", "Paris", "NYC")
+    add_flight(graph, 2, "DL1", "Paris", "Singapore")
+    return graph
+
+
+@pytest.fixture
+def g2():
+    """The paper's G2: four accounts, like/post edges, is_fake flags."""
+    graph = PropertyGraph()
+    flags = {"acct1": "true", "acct2": "true", "acct3": "true", "acct4": "false"}
+    for acct, flag in flags.items():
+        graph.add_node(acct, "account", {"is_fake": flag})
+    # p5–p8 all contain the peculiar keyword "free prize" (their raw text
+    # differs, as in Fig. 1, but the extracted keyword attribute agrees).
+    texts = {
+        "p5": "free prize", "p6": "free gift card & prize",
+        "p7": "win free prize", "p8": "free prize draw",
+    }
+    for blog in ("p1", "p2", "p3", "p4"):
+        graph.add_node(blog, "blog", {})
+    for blog, text in texts.items():
+        graph.add_node(blog, "blog", {"keyword": "free prize", "text": text})
+    for acct, blogs in {
+        "acct1": ("p1", "p2"), "acct2": ("p1", "p2"),
+        "acct3": ("p3", "p4"), "acct4": ("p3", "p4"),
+    }.items():
+        for blog in blogs:
+            graph.add_edge(acct, blog, "like")
+    for acct, blog in {
+        "acct1": "p5", "acct2": "p6", "acct3": "p7", "acct4": "p8"
+    }.items():
+        graph.add_edge(acct, blog, "post")
+    return graph
+
+
+@pytest.fixture
+def g3():
+    """The paper's G3: Australia with its unique capital Canberra."""
+    graph = PropertyGraph()
+    graph.add_node("au", "country", {"val": "Australia"})
+    graph.add_node("canberra", "city", {"val": "Canberra"})
+    graph.add_edge("au", "canberra", "capital")
+    return graph
+
+
+@pytest.fixture
+def q1():
+    """Pattern Q1: two flight entities with id/from/to/depart/arrive."""
+    return parse_pattern(
+        "x:flight -number-> x1:id; x -from-> x2:city; x -to-> x3:city; "
+        "x -depart-> x4:time; x -arrive-> x5:time; "
+        "y:flight -number-> y1:id; y -from-> y2:city; y -to-> y3:city; "
+        "y -depart-> y4:time; y -arrive-> y5:time"
+    )
+
+
+@pytest.fixture
+def q2():
+    """Pattern Q2: a country with two capital cities."""
+    return parse_pattern("x:country -capital-> y:city; x -capital-> z:city")
+
+
+@pytest.fixture
+def phi1(q1):
+    """φ1: same flight id ⟹ same departure city and destination."""
+    return parse_gfd(
+        "x:flight -number-> x1:id; x -from-> x2:city; x -to-> x3:city; "
+        "x -depart-> x4:time; x -arrive-> x5:time; "
+        "y:flight -number-> y1:id; y -from-> y2:city; y -to-> y3:city; "
+        "y -depart-> y4:time; y -arrive-> y5:time",
+        "x1.val = y1.val => x2.val = y2.val, x3.val = y3.val",
+        name="phi1",
+    )
+
+
+@pytest.fixture
+def phi2():
+    """φ2: a country's capitals coincide."""
+    return parse_gfd(
+        "x:country -capital-> y:city; x -capital-> z:city",
+        " => y.val = z.val",
+        name="phi2",
+    )
+
+
+@pytest.fixture
+def phi6():
+    """φ6 (k=2): the fake-account rule of Example 5(6)."""
+    return parse_gfd(
+        "x:account -like-> y1:blog; x':account -like-> y1; "
+        "x -like-> y2:blog; x' -like-> y2; "
+        "x' -post-> z1:blog; x -post-> z2:blog",
+        "x'.is_fake = 'true', z1.keyword = 'free prize', "
+        "z2.keyword = 'free prize' => x.is_fake = 'true'",
+        name="phi6",
+    )
+
+
+@pytest.fixture
+def small_power_law():
+    """A small deterministic power-law graph for workload tests."""
+    return power_law_graph(300, 900, seed=7, domain_size=25)

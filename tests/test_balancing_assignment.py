@@ -1,0 +1,148 @@
+"""Tests for load balancing (Prop. 12) and bi-criteria assignment (Prop. 13)."""
+
+import pytest
+
+from repro.parallel import (
+    balance_only_assign,
+    bicriteria_assign,
+    lpt_partition,
+    makespan,
+    makespan_lower_bound,
+    random_assign,
+    random_partition,
+)
+from repro.parallel.multiquery import SharedGroup, GroupMember
+from repro.parallel.workload import WorkUnit
+
+
+def make_unit(weight, size=None, fragment_sizes=None, nodes=None):
+    group = SharedGroup(
+        leader_index=0,
+        members=(GroupMember(index=0, iso={}, lhs=(), rhs=()),),
+    )
+    size = size if size is not None else int(weight)
+    return WorkUnit(
+        group=group,
+        assignment=(),
+        block_nodes=frozenset(nodes or range(size)),
+        block_size=size,
+        weight=float(weight),
+        fragment_sizes=fragment_sizes or {},
+    )
+
+
+class TestLPT:
+    def test_example12_assignment(self):
+        """Example 12: smallest-first greedy balances 9 units to 76/78/82."""
+        sizes = [22, 22, 26, 26, 30, 30, 24, 28, 28]
+        units = [make_unit(s) for s in sizes]
+        _, loads = lpt_partition(units, 3, smallest_first=True)
+        assert sorted(loads) == [76.0, 78.0, 82.0]
+
+    def test_lpt_at_least_as_good_as_paper_order(self):
+        sizes = [22, 22, 26, 26, 30, 30, 24, 28, 28]
+        units = [make_unit(s) for s in sizes]
+        _, lpt_loads = lpt_partition(units, 3)
+        _, paper_loads = lpt_partition(units, 3, smallest_first=True)
+        assert makespan(lpt_loads) <= makespan(paper_loads)
+
+    def test_all_units_assigned_once(self):
+        units = [make_unit(w) for w in (5, 3, 8, 1, 9, 2)]
+        plan, _ = lpt_partition(units, 3)
+        flat = [u for worker in plan for u in worker]
+        assert len(flat) == len(units)
+        assert {id(u) for u in flat} == {id(u) for u in units}
+
+    def test_within_graham_bound(self):
+        units = [make_unit(w) for w in (7, 7, 6, 5, 5, 4, 4, 3, 3, 1)]
+        _, loads = lpt_partition(units, 3)
+        assert makespan(loads) <= 2 * makespan_lower_bound(units, 3)
+
+    def test_single_worker(self):
+        units = [make_unit(w) for w in (4, 2)]
+        plan, loads = lpt_partition(units, 1)
+        assert len(plan[0]) == 2
+        assert loads[0] == 6.0
+
+    def test_more_workers_than_units(self):
+        units = [make_unit(5)]
+        plan, loads = lpt_partition(units, 4)
+        assert sum(len(w) for w in plan) == 1
+        assert makespan(loads) == 5.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            lpt_partition([], 0)
+
+    def test_lower_bound_empty(self):
+        assert makespan_lower_bound([], 4) == 0.0
+
+
+class TestRandomPartition:
+    def test_deterministic_per_seed(self):
+        units = [make_unit(w) for w in range(1, 9)]
+        a, _ = random_partition(units, 3, seed=5)
+        b, _ = random_partition(units, 3, seed=5)
+        assert [[u.weight for u in w] for w in a] == [
+            [u.weight for u in w] for w in b
+        ]
+
+    def test_usually_worse_than_lpt(self):
+        units = [make_unit(w) for w in (50, 40, 30, 5, 4, 3, 2, 1)]
+        _, lpt_loads = lpt_partition(units, 4)
+        worse = 0
+        for seed in range(10):
+            _, rnd_loads = random_partition(units, 4, seed=seed)
+            if makespan(rnd_loads) >= makespan(lpt_loads):
+                worse += 1
+        assert worse >= 8
+
+
+class TestBicriteria:
+    def test_prefers_local_fragment(self):
+        # Unit resident on fragment 1: with balance ties, it goes there.
+        units = [
+            make_unit(10, size=10, fragment_sizes={1: 10}, nodes=[f"a{i}" for i in range(10)]),
+        ]
+        plan, loads, comm = bicriteria_assign(units, 2)
+        assert plan[1] and not plan[0]
+        assert comm[1] == 0.0
+
+    def test_balances_under_equal_comm(self):
+        units = [make_unit(10, nodes=[i]) for i in range(6)]
+        plan, loads, _ = bicriteria_assign(units, 3)
+        assert [len(w) for w in plan] == [2, 2, 2]
+
+    def test_resident_blocks_not_recharged(self):
+        shared_nodes = [f"n{i}" for i in range(10)]
+        units = [
+            make_unit(10, size=10, fragment_sizes={0: 10}, nodes=shared_nodes),
+            make_unit(10, size=10, fragment_sizes={}, nodes=shared_nodes),
+        ]
+        plan, _, comm = bicriteria_assign(units, 1)
+        # Second unit's block is already resident after the first fetch.
+        assert comm[0] < 20.0
+
+    def test_comm_vs_balance_tradeoff(self):
+        # All units resident on fragment 0 with high comm weight: the
+        # assignment accepts imbalance to avoid shipping.
+        units = [
+            make_unit(5, size=5, fragment_sizes={0: 5}, nodes=[f"u{i}"])
+            for i in range(4)
+        ]
+        plan, _, _ = bicriteria_assign(units, 2, comm_weight=100.0)
+        assert len(plan[0]) == 4
+
+    def test_random_assign_accounts_comm(self):
+        units = [
+            make_unit(5, size=5, fragment_sizes={0: 5}, nodes=[f"u{i}"])
+            for i in range(6)
+        ]
+        _, _, comm = random_assign(units, 2, seed=3)
+        assert sum(comm) > 0  # some unit landed off-fragment
+
+    def test_balance_only_matches_lpt_loads(self):
+        units = [make_unit(w, nodes=[w]) for w in (9, 7, 5, 3)]
+        _, lpt_loads = lpt_partition(units, 2)
+        _, bal_loads, _ = balance_only_assign(units, 2)
+        assert sorted(bal_loads) == sorted(lpt_loads)

@@ -1,0 +1,130 @@
+"""Tests for FDs/CFDs as GFD special cases (Section 3, Example 5(4))."""
+
+from repro.core import CFD, FD, det_vio, relation_to_graph, satisfies
+from repro.core.cfd import UNCONSTRAINED, type_requirement
+
+
+ROWS = [
+    {"country": 44, "zip": "EH8", "street": "Mayfield", "area_code": 131,
+     "city": "Edi"},
+    {"country": 44, "zip": "EH8", "street": "Mayfield", "area_code": 131,
+     "city": "Edi"},
+    {"country": 1, "zip": "10001", "street": "Broadway", "area_code": 212,
+     "city": "NYC"},
+]
+
+
+class TestRelationEncoding:
+    def test_one_node_per_tuple(self):
+        g = relation_to_graph("R", ROWS)
+        assert g.num_nodes == 3
+        assert g.labels() == {"R"}
+        assert g.get_attr(0, "city") == "Edi"
+
+    def test_start_id(self):
+        g = relation_to_graph("R", ROWS, start_id=100)
+        assert 100 in g and 102 in g
+
+
+class TestFD:
+    def test_fd_to_variable_gfd(self):
+        gfd = FD("R", ("zip",), ("street",)).to_gfd()
+        assert gfd.is_variable
+        assert gfd.pattern.num_nodes == 2
+        assert gfd.pattern.num_edges == 0
+
+    def test_fd_holds(self):
+        g = relation_to_graph("R", ROWS)
+        gfd = FD("R", ("zip",), ("street",)).to_gfd()
+        assert satisfies([gfd], g)
+
+    def test_fd_violated(self):
+        rows = ROWS + [{"country": 44, "zip": "EH8", "street": "Queen St",
+                        "area_code": 131, "city": "Edi"}]
+        g = relation_to_graph("R", rows)
+        gfd = FD("R", ("zip",), ("street",)).to_gfd()
+        vio = det_vio([gfd], g)
+        assert vio
+        assert all(v.match["x"] != v.match["y"] for v in vio)
+
+    def test_multi_attribute_fd(self):
+        gfd = FD("R", ("country", "zip"), ("street", "city")).to_gfd()
+        assert len(gfd.lhs) == 2
+        assert len(gfd.rhs) == 2
+
+
+class TestVariableCFD:
+    """φ′4: R(country = 44, zip → street)."""
+
+    def setup_method(self):
+        self.cfd = CFD(
+            relation="R",
+            lhs=("country", "zip"),
+            rhs="street",
+            pattern_tuple={"country": 44, "zip": UNCONSTRAINED,
+                           "street": UNCONSTRAINED},
+        )
+
+    def test_encoding_shape(self):
+        gfd = self.cfd.to_gfd()
+        assert not gfd.is_constant and not gfd.is_variable  # mixed, like φ'4
+        assert gfd.pattern.num_nodes == 2
+
+    def test_holds_on_clean_data(self):
+        g = relation_to_graph("R", ROWS)
+        assert satisfies([self.cfd.to_gfd()], g)
+
+    def test_condition_scopes_the_rule(self):
+        # A zip/street clash *outside* country 44 is not a violation.
+        rows = ROWS + [
+            {"country": 1, "zip": "10001", "street": "5th Ave",
+             "area_code": 212, "city": "NYC"},
+        ]
+        g = relation_to_graph("R", rows)
+        assert satisfies([self.cfd.to_gfd()], g)
+
+    def test_violation_inside_condition(self):
+        rows = ROWS + [
+            {"country": 44, "zip": "EH8", "street": "Queen St",
+             "area_code": 131, "city": "Edi"},
+        ]
+        g = relation_to_graph("R", rows)
+        assert not satisfies([self.cfd.to_gfd()], g)
+
+
+class TestConstantCFD:
+    """φ″4: R(country = 44, area_code = 131 → city = Edi)."""
+
+    def setup_method(self):
+        self.cfd = CFD(
+            relation="R",
+            lhs=("country", "area_code"),
+            rhs="city",
+            pattern_tuple={"country": 44, "area_code": 131, "city": "Edi"},
+        )
+
+    def test_single_node_pattern(self):
+        gfd = self.cfd.to_gfd()
+        assert self.cfd.is_constant()
+        assert gfd.is_constant
+        assert gfd.pattern.num_nodes == 1
+
+    def test_holds(self):
+        g = relation_to_graph("R", ROWS)
+        assert satisfies([self.cfd.to_gfd()], g)
+
+    def test_violation(self):
+        rows = ROWS + [{"country": 44, "zip": "G1", "street": "High St",
+                        "area_code": 131, "city": "Glasgow"}]
+        g = relation_to_graph("R", rows)
+        vio = det_vio([self.cfd.to_gfd()], g)
+        assert len(vio) == 1
+
+
+class TestTypeRequirement:
+    def test_enforces_attribute_presence(self):
+        g = relation_to_graph("person", [{"name": "Ann"}, {"other": 1}])
+        requirement = type_requirement("person", "name")
+        vio = det_vio([requirement], g)
+        assert len(vio) == 1
+        assert next(iter(vio)).match["x"] == 1

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import format_rule_file, main, parse_rule_file
+from repro.core import parse_gfd
+from repro.graph import PropertyGraph, save_graph
+
+RULES_TEXT = """
+# unique capitals
+[unique-capital]
+pattern: x:country -capital-> y:city; x -capital-> z:city
+then: y.val = z.val
+
+[flagged]
+pattern: a:account
+when: a.kind = 'bot'
+then: a.is_fake = 'true'
+"""
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = PropertyGraph()
+    g.add_node("au", "country", {"val": "Australia"})
+    g.add_node("c1", "city", {"val": "Canberra"})
+    g.add_node("c2", "city", {"val": "Melbourne"})
+    g.add_edge("au", "c1", "capital")
+    g.add_edge("au", "c2", "capital")
+    path = tmp_path / "g.jsonl"
+    save_graph(g, path)
+    return path
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.gfd"
+    path.write_text(RULES_TEXT)
+    return path
+
+
+class TestRuleFileFormat:
+    def test_parse(self):
+        rules = parse_rule_file(RULES_TEXT)
+        assert [r.name for r in rules] == ["unique-capital", "flagged"]
+        assert rules[0].has_empty_lhs
+        assert len(rules[1].lhs) == 1
+
+    def test_roundtrip(self):
+        rules = parse_rule_file(RULES_TEXT)
+        again = parse_rule_file(format_rule_file(rules))
+        assert [r.name for r in again] == [r.name for r in rules]
+        assert [r.lhs for r in again] == [r.lhs for r in rules]
+        assert [r.rhs for r in again] == [r.rhs for r in rules]
+
+    def test_missing_pattern_rejected(self):
+        with pytest.raises(ValueError, match="needs"):
+            parse_rule_file("[x]\nthen: a.b = 1\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            parse_rule_file("what is this")
+
+
+class TestValidateCommand:
+    def test_violations_found(self, graph_file, rules_file):
+        out = io.StringIO()
+        code = main(["validate", str(graph_file), str(rules_file)], out=out)
+        assert code == 1  # violations present
+        assert "unique-capital" in out.getvalue()
+
+    def test_json_output(self, graph_file, rules_file):
+        out = io.StringIO()
+        main(["validate", str(graph_file), str(rules_file), "--json"], out=out)
+        payload = json.loads(out.getvalue())
+        assert payload
+        assert payload[0]["rule"] == "unique-capital"
+
+    def test_clean_graph_exit_zero(self, tmp_path, rules_file):
+        g = PropertyGraph()
+        g.add_node("x", "country", {"val": "A"})
+        path = tmp_path / "clean.jsonl"
+        save_graph(g, path)
+        out = io.StringIO()
+        assert main(["validate", str(path), str(rules_file)], out=out) == 0
+
+
+class TestReasonCommand:
+    def test_satisfiable_rules(self, rules_file):
+        out = io.StringIO()
+        assert main(["reason", str(rules_file)], out=out) == 0
+        assert "satisfiable: True" in out.getvalue()
+
+    def test_unsatisfiable_rules(self, tmp_path):
+        path = tmp_path / "bad.gfd"
+        path.write_text(
+            "[a]\npattern: x:t\nthen: x.A = 'c'\n"
+            "[b]\npattern: x:t\nthen: x.A = 'd'\n"
+        )
+        out = io.StringIO()
+        assert main(["reason", str(path)], out=out) == 1
+        assert "satisfiable: False" in out.getvalue()
+
+    def test_reports_redundant(self, tmp_path):
+        path = tmp_path / "red.gfd"
+        path.write_text(
+            "[a]\npattern: x:t\nwhen: x.A = 1\nthen: x.B = 2\n"
+            "[dup]\npattern: x:t\nwhen: x.A = 1\nthen: x.B = 2\n"
+        )
+        out = io.StringIO()
+        main(["reason", str(path)], out=out)
+        assert "redundant" in out.getvalue()
+
+
+class TestGenerateAndBench:
+    def test_generate_writes_graph_and_rules(self, tmp_path):
+        gpath = tmp_path / "synth.jsonl"
+        rpath = tmp_path / "synth.gfd"
+        out = io.StringIO()
+        code = main(
+            ["generate", str(gpath), "--nodes", "120", "--edges", "240",
+             "--rules", "4", "--rules-output", str(rpath), "--seed", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert gpath.exists() and rpath.exists()
+        from repro.graph import load_graph
+
+        g = load_graph(gpath)
+        assert g.num_nodes == 120
+        rules = parse_rule_file(rpath.read_text())
+        assert len(rules) == 4
+
+    def test_bench_runs_and_agrees(self, tmp_path):
+        gpath = tmp_path / "synth.jsonl"
+        rpath = tmp_path / "synth.gfd"
+        main(["generate", str(gpath), "--nodes", "150", "--edges", "300",
+              "--rules", "3", "--rules-output", str(rpath), "--seed", "4",
+              "--domain", "10"], out=io.StringIO())
+        out = io.StringIO()
+        code = main(
+            ["bench", str(gpath), str(rpath), "--workers", "4"], out=out
+        )
+        assert code == 0
+        assert "repVal" in out.getvalue()
+        assert "disVal" in out.getvalue()
+
+
+class TestDiscoverCommand:
+    def test_discover_emits_rules(self, tmp_path):
+        g = PropertyGraph()
+        for i in range(25):
+            g.add_node(f"p{i}", "person", {"zip": f"z{i % 3}", "city": f"C{i % 3}"})
+            g.add_node(f"c{i}", "city", {"zip": f"z{i % 3}", "city": f"C{i % 3}"})
+            g.add_edge(f"p{i}", f"c{i}", "lives_in")
+        path = tmp_path / "g.jsonl"
+        save_graph(g, path)
+        out = io.StringIO()
+        code = main(["discover", str(path), "--support", "5"], out=out)
+        assert code == 0
+        assert "pattern:" in out.getvalue()
+        # Emitted rules must parse back.
+        assert parse_rule_file(out.getvalue())

@@ -1,0 +1,149 @@
+"""Tests for the equality-atom closure engine (Section 4)."""
+
+from repro.core import EqualityClosure, Rule, literals_conflict, saturate
+from repro.core.closure import attr_term, const_term
+from repro.core.literals import ConstantLiteral, VariableLiteral
+
+
+class TestUnionFind:
+    def test_reflexive(self):
+        closure = EqualityClosure()
+        assert closure.find(attr_term("x", "A")) == closure.find(attr_term("x", "A"))
+
+    def test_union_links(self):
+        closure = EqualityClosure()
+        closure.union(attr_term("x", "A"), attr_term("y", "B"))
+        assert closure.entails(VariableLiteral("x", "A", "y", "B"))
+
+    def test_transitivity(self):
+        closure = EqualityClosure()
+        closure.add_literal(VariableLiteral("x", "A", "y", "B"))
+        closure.add_literal(VariableLiteral("y", "B", "z", "C"))
+        assert closure.entails(VariableLiteral("x", "A", "z", "C"))
+
+    def test_constant_propagation(self):
+        closure = EqualityClosure()
+        closure.add_literal(ConstantLiteral("x", "A", "c"))
+        closure.add_literal(VariableLiteral("x", "A", "y", "B"))
+        assert closure.entails(ConstantLiteral("y", "B", "c"))
+        assert closure.constant_of("y", "B") == "c"
+
+    def test_paper_transitivity_example(self):
+        """§4: x.A = c and y.B = c entail x.A = y.B."""
+        closure = EqualityClosure()
+        closure.add_literal(ConstantLiteral("x", "A", "c"))
+        closure.add_literal(ConstantLiteral("y", "B", "c"))
+        assert closure.entails(VariableLiteral("x", "A", "y", "B"))
+
+    def test_conflict_detection(self):
+        closure = EqualityClosure()
+        closure.add_literal(ConstantLiteral("x", "A", "c"))
+        assert not closure.conflicting
+        closure.add_literal(ConstantLiteral("x", "A", "d"))
+        assert closure.conflicting
+        assert closure.conflict_witness is not None
+
+    def test_distinct_types_are_distinct_constants(self):
+        closure = EqualityClosure()
+        closure.add_literal(ConstantLiteral("x", "A", "1"))
+        closure.add_literal(ConstantLiteral("x", "A", 1))
+        assert closure.conflicting  # string "1" vs int 1
+
+    def test_tautology_always_entailed(self):
+        closure = EqualityClosure()
+        assert closure.entails(VariableLiteral("x", "A", "x", "A"))
+
+    def test_unrelated_not_entailed(self):
+        closure = EqualityClosure()
+        closure.add_literal(ConstantLiteral("x", "A", "c"))
+        assert not closure.entails(ConstantLiteral("y", "B", "c"))
+        assert not closure.entails(VariableLiteral("x", "A", "y", "B"))
+
+    def test_copy_independent(self):
+        closure = EqualityClosure()
+        closure.add_literal(ConstantLiteral("x", "A", "c"))
+        clone = closure.copy()
+        clone.add_literal(ConstantLiteral("x", "A", "d"))
+        assert clone.conflicting
+        assert not closure.conflicting
+
+
+class TestSaturation:
+    def test_empty_lhs_rules_fire(self):
+        rules = [Rule(lhs=(), rhs=(ConstantLiteral("x", "A", 1),))]
+        closure = saturate(rules)
+        assert closure.entails(ConstantLiteral("x", "A", 1))
+
+    def test_chained_firing(self):
+        rules = [
+            Rule(lhs=(), rhs=(ConstantLiteral("x", "A", 1),)),
+            Rule(
+                lhs=(ConstantLiteral("x", "A", 1),),
+                rhs=(ConstantLiteral("x", "B", 2),),
+            ),
+            Rule(
+                lhs=(ConstantLiteral("x", "B", 2),),
+                rhs=(ConstantLiteral("x", "C", 3),),
+            ),
+        ]
+        closure = saturate(rules)
+        assert closure.entails(ConstantLiteral("x", "C", 3))
+
+    def test_unfired_rules_stay_dormant(self):
+        rules = [
+            Rule(
+                lhs=(ConstantLiteral("x", "A", 1),),
+                rhs=(ConstantLiteral("x", "B", 2),),
+            )
+        ]
+        closure = saturate(rules)
+        assert not closure.entails(ConstantLiteral("x", "B", 2))
+
+    def test_seed_starts_the_chain(self):
+        rules = [
+            Rule(
+                lhs=(ConstantLiteral("x", "A", 1),),
+                rhs=(ConstantLiteral("x", "B", 2),),
+            )
+        ]
+        closure = saturate(rules, seed=[ConstantLiteral("x", "A", 1)])
+        assert closure.entails(ConstantLiteral("x", "B", 2))
+
+    def test_order_independent(self):
+        rules = [
+            Rule(
+                lhs=(ConstantLiteral("x", "A", 1),),
+                rhs=(ConstantLiteral("x", "B", 2),),
+            ),
+            Rule(lhs=(), rhs=(ConstantLiteral("x", "A", 1),)),
+        ]
+        closure = saturate(rules)  # firing rule listed before its trigger
+        assert closure.entails(ConstantLiteral("x", "B", 2))
+
+    def test_conflict_through_rules(self):
+        rules = [
+            Rule(lhs=(), rhs=(ConstantLiteral("x", "A", "c"),)),
+            Rule(lhs=(), rhs=(ConstantLiteral("x", "A", "d"),)),
+        ]
+        assert saturate(rules).conflicting
+
+
+class TestLiteralConflict:
+    def test_plain_conflict(self):
+        assert literals_conflict(
+            [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)]
+        )
+
+    def test_transitive_conflict(self):
+        assert literals_conflict(
+            [
+                ConstantLiteral("x", "A", 1),
+                VariableLiteral("x", "A", "y", "B"),
+                ConstantLiteral("y", "B", 2),
+            ]
+        )
+
+    def test_consistent(self):
+        assert not literals_conflict(
+            [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "B", 2)]
+        )

@@ -1,0 +1,108 @@
+"""Tests for the simulated cluster and its cost accounting."""
+
+import pytest
+
+from repro.parallel import CostModel, SimulatedCluster, run_concurrently
+
+
+class TestAccounting:
+    def test_worker_charges_accumulate(self):
+        cluster = SimulatedCluster(2)
+        cluster.charge_unit(0, steps=100, block_size=10)
+        cluster.charge_unit(0, steps=50, block_size=5)
+        cluster.charge_unit(1, steps=10, block_size=1)
+        report = cluster.report()
+        assert report.per_worker_computation[0] > report.per_worker_computation[1]
+        assert report.units == 3
+
+    def test_makespan_is_max(self):
+        cluster = SimulatedCluster(3)
+        for worker, steps in enumerate((10, 200, 30)):
+            cluster.charge_unit(worker, steps=steps, block_size=0)
+        assert cluster.report().makespan == 200 * cluster.cost.step_cost
+
+    def test_shipping_drives_comm_time(self):
+        cluster = SimulatedCluster(2)
+        base = cluster.report().communication_time
+        cluster.ship_to(0, size=1000)
+        assert cluster.report().communication_time > base
+
+    def test_comm_time_uses_max_worker_volume(self):
+        # Parallel shipment: two workers shipping the same amount take the
+        # same comm time as one (plus the message term).
+        a = SimulatedCluster(2)
+        a.ship_to(0, 500)
+        b = SimulatedCluster(2)
+        b.ship_to(0, 500)
+        b.ship_to(1, 500)
+        assert b.report().communication_time == pytest.approx(
+            a.report().communication_time + b.cost.message_cost / 2
+        )
+
+    def test_estimation_cost_splits_across_workers(self):
+        small = SimulatedCluster(2)
+        big = SimulatedCluster(8)
+        sizes = [100.0] * 16
+        small.charge_estimation(sizes)
+        big.charge_estimation(sizes)
+        assert big.planning_time < small.planning_time
+
+    def test_partitioning_grows_with_n(self):
+        small = SimulatedCluster(2)
+        big = SimulatedCluster(16)
+        small.charge_partitioning(100)
+        big.charge_partitioning(100)
+        assert big.planning_time > small.planning_time
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(0)
+
+
+class TestReport:
+    def test_parallel_time_composition(self):
+        cluster = SimulatedCluster(2)
+        cluster.charge_planning(5.0)
+        cluster.charge_unit(0, steps=10, block_size=0)
+        report = cluster.report()
+        assert report.parallel_time == pytest.approx(
+            report.planning_time + report.makespan + report.communication_time
+        )
+
+    def test_communication_share(self):
+        cluster = SimulatedCluster(2)
+        cluster.charge_unit(0, steps=100, block_size=0)
+        cluster.ship_to(1, size=100)
+        share = cluster.report().communication_share
+        assert 0 < share < 1
+
+    def test_balance_perfect(self):
+        cluster = SimulatedCluster(2)
+        cluster.charge_unit(0, steps=10, block_size=0)
+        cluster.charge_unit(1, steps=10, block_size=0)
+        assert cluster.report().balance == pytest.approx(1.0)
+
+    def test_speedup_against(self):
+        cluster = SimulatedCluster(2)
+        cluster.charge_unit(0, steps=100, block_size=0)
+        report = cluster.report()
+        assert report.speedup_against(200.0) == pytest.approx(
+            200.0 / report.parallel_time
+        )
+
+    def test_custom_cost_model(self):
+        model = CostModel(step_cost=2.0)
+        cluster = SimulatedCluster(1, model)
+        cluster.charge_unit(0, steps=10, block_size=0)
+        assert cluster.report().makespan == 20.0
+
+
+class TestThreadBackend:
+    def test_runs_all_tasks_in_worker_order(self):
+        results = run_concurrently(
+            [[1, 2], [3], [4, 5, 6]], execute=lambda x: x * 10
+        )
+        assert results == [[10, 20], [30], [40, 50, 60]]
+
+    def test_empty_workers(self):
+        assert run_concurrently([[], []], execute=lambda x: x) == [[], []]

@@ -1,0 +1,66 @@
+"""Tests for pattern containment / isomorphism grouping."""
+
+from repro.pattern import (
+    are_isomorphic,
+    containment_order,
+    contains,
+    group_isomorphic,
+    isomorphism_fingerprint,
+    parse_pattern,
+    shared_edge_types,
+)
+
+
+EDGE = parse_pattern("a:x -e-> b:y")
+EDGE_RENAMED = parse_pattern("u:x -e-> v:y")
+CHAIN = parse_pattern("a:x -e-> b:y -f-> c:z")
+TRIANGLE = parse_pattern("a:n -e-> b:n; b -e-> c:n; c -e-> a")
+SQUARE = parse_pattern("a:n -e-> b:n; b -e-> c:n; c -e-> d:n; d -e-> a")
+
+
+class TestIsomorphism:
+    def test_renamed_patterns_isomorphic(self):
+        assert are_isomorphic(EDGE, EDGE_RENAMED)
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(EDGE, CHAIN)
+
+    def test_shape_mismatch(self):
+        assert not are_isomorphic(TRIANGLE, SQUARE)
+
+    def test_fingerprint_invariance(self):
+        assert isomorphism_fingerprint(EDGE) == isomorphism_fingerprint(EDGE_RENAMED)
+
+    def test_fingerprint_separates_labels(self):
+        other = parse_pattern("a:x -e-> b:DIFFERENT")
+        assert isomorphism_fingerprint(EDGE) != isomorphism_fingerprint(other)
+
+
+class TestContainment:
+    def test_edge_contained_in_chain(self):
+        assert contains(CHAIN, EDGE)
+        assert not contains(EDGE, CHAIN)
+
+    def test_containment_order_pairs(self):
+        pairs = containment_order([EDGE, CHAIN])
+        assert (0, 1) in pairs
+        assert (1, 0) not in pairs
+
+    def test_self_pairs_omitted(self):
+        assert containment_order([EDGE]) == []
+
+
+class TestGrouping:
+    def test_group_isomorphic(self):
+        groups = group_isomorphic([EDGE, CHAIN, EDGE_RENAMED])
+        as_sets = sorted(sorted(g) for g in groups)
+        assert as_sets == [[0, 2], [1]]
+
+    def test_all_distinct(self):
+        groups = group_isomorphic([EDGE, CHAIN, TRIANGLE])
+        assert len(groups) == 3
+
+    def test_shared_edge_types(self):
+        counts = shared_edge_types([EDGE, CHAIN])
+        assert counts[("x", "e", "y")] == 2
+        assert counts[("y", "f", "z")] == 1

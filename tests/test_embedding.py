@@ -1,0 +1,97 @@
+"""Tests for pattern-into-pattern embeddings (Section 4)."""
+
+from repro.pattern import (
+    embeddings,
+    first_embedding,
+    is_embeddable,
+    parse_pattern,
+)
+
+
+Q8 = parse_pattern("x:tau -l-> y:tau; x -l-> z:tau; y -l-> z")
+Q9 = parse_pattern(
+    "x:tau -l-> y:tau; x -l-> z:tau; y -l-> z; y -l-> w:tau; z -l-> w"
+)
+
+
+class TestBasicEmbeddings:
+    def test_q8_embeds_in_q9(self):
+        """The Example 7 interaction: Q8 is a subgraph of Q9."""
+        assert is_embeddable(Q8, Q9)
+
+    def test_q9_does_not_embed_in_q8(self):
+        assert not is_embeddable(Q9, Q8)
+
+    def test_identity_embedding_exists(self):
+        found = list(embeddings(Q8, Q8))
+        assert {"x": "x", "y": "y", "z": "z"} in found
+
+    def test_edge_labels_respected(self):
+        p = parse_pattern("a:tau -m-> b:tau")
+        assert not is_embeddable(p, Q8)  # Q8 has only l-edges
+
+    def test_single_node_embeds_everywhere_compatible(self):
+        node = parse_pattern("a:tau")
+        assert len(list(embeddings(node, Q9))) == 4
+
+    def test_label_mismatch(self):
+        node = parse_pattern("a:sigma")
+        assert not is_embeddable(node, Q9)
+
+    def test_first_embedding_none_when_impossible(self):
+        assert first_embedding(Q9, Q8) is None
+
+
+class TestInjectivity:
+    def test_two_nodes_need_two_targets(self):
+        pair = parse_pattern("a:tau; b:tau")
+        single = parse_pattern("x:tau")
+        assert not is_embeddable(pair, single)
+        assert is_embeddable(pair, Q8)
+
+    def test_embedding_is_injective(self):
+        pair = parse_pattern("a:tau; b:tau")
+        for f in embeddings(pair, Q8):
+            assert f["a"] != f["b"]
+
+
+class TestWildcards:
+    def test_wildcard_node_embeds_onto_concrete(self):
+        wild = parse_pattern("a -l-> b")
+        assert is_embeddable(wild, Q8)
+
+    def test_concrete_does_not_embed_onto_wildcard(self):
+        # A match of the wildcard host may bind any label, so mapping a
+        # concrete node onto it would be unsound.
+        concrete = parse_pattern("a:tau")
+        wild_host = parse_pattern("x; y")
+        assert not is_embeddable(concrete, wild_host)
+
+    def test_wildcard_edge_embeds_onto_labelled(self):
+        wild = parse_pattern("a:tau --> b:tau")
+        assert is_embeddable(wild, Q8)
+
+    def test_labelled_edge_does_not_embed_onto_wildcard_edge(self):
+        host = parse_pattern("x:tau --> y:tau")
+        labelled = parse_pattern("a:tau -l-> b:tau")
+        assert not is_embeddable(labelled, host)
+
+
+class TestSelfLoops:
+    def test_self_loop_needs_self_loop(self):
+        loop = parse_pattern("a:tau -l-> a")
+        assert not is_embeddable(loop, Q8)
+        host = parse_pattern("x:tau -l-> x")
+        assert is_embeddable(loop, host)
+
+
+class TestEnumeration:
+    def test_count_of_edge_embeddings(self):
+        edge = parse_pattern("a:tau -l-> b:tau")
+        # Q8 has 3 l-edges, each giving exactly one embedding.
+        assert len(list(embeddings(edge, Q8))) == 3
+
+    def test_embeddings_distinct(self):
+        edge = parse_pattern("a:tau -l-> b:tau")
+        found = [tuple(sorted(f.items())) for f in embeddings(edge, Q9)]
+        assert len(found) == len(set(found))

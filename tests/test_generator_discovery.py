@@ -1,0 +1,119 @@
+"""Tests for the GFD workload generator (§7) and discovery (§8 ext.)."""
+
+import pytest
+
+from repro.core import (
+    GFDGenerator,
+    det_vio,
+    discover_gfds,
+    generate_gfds,
+    mine_frequent_edges,
+)
+from repro.core.generator import mine_frequent_paths
+from repro.graph import PropertyGraph, power_law_graph
+from repro.datasets import yago_like
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(400, 1200, seed=11, domain_size=15)
+
+
+class TestFrequentFeatures:
+    def test_top_edges_ranked(self, graph):
+        seeds = mine_frequent_edges(graph, top=5)
+        assert len(seeds) == 5
+        assert all(len(seed) == 3 for seed in seeds)
+
+    def test_top_edges_are_most_frequent(self):
+        g = PropertyGraph()
+        for i in range(6):
+            g.add_node(i, "a" if i % 2 == 0 else "b")
+        g.add_edge(0, 1, "common")
+        g.add_edge(2, 3, "common")
+        g.add_edge(4, 5, "rare")
+        seeds = mine_frequent_edges(g, top=1)
+        assert seeds == [("a", "common", "b")]
+
+    def test_paths_mined(self, graph):
+        paths = mine_frequent_paths(graph, length=2, top=3, sample=300, seed=1)
+        assert len(paths) <= 3
+        assert all(1 <= len(p) <= 2 for p in paths)
+
+
+class TestGenerator:
+    def test_requested_count(self, graph):
+        sigma = generate_gfds(graph, count=10, pattern_edges=2, seed=5)
+        assert len(sigma) == 10
+
+    def test_pattern_sizes(self, graph):
+        sigma = generate_gfds(graph, count=8, pattern_edges=3, seed=5)
+        for gfd in sigma:
+            assert 1 <= gfd.pattern.num_edges <= 3
+
+    def test_deterministic(self, graph):
+        a = generate_gfds(graph, count=5, seed=9)
+        b = generate_gfds(graph, count=5, seed=9)
+        assert [str(x) for x in a] == [str(y) for y in b]
+
+    def test_literals_use_pattern_variables(self, graph):
+        for gfd in generate_gfds(graph, count=12, seed=2):
+            for literal in (*gfd.lhs, *gfd.rhs):
+                for var in literal.variables():
+                    assert var in gfd.pattern
+
+    def test_component_counts(self, graph):
+        generator = GFDGenerator(graph, seed=3)
+        sigma = generator.generate(20, pattern_edges=2)
+        from repro.pattern import connected_components
+
+        counts = {len(connected_components(g.pattern)) for g in sigma}
+        assert counts <= {1, 2}
+        assert 2 in counts  # some two-component patterns at this seed
+
+    def test_edgeless_graph_rejected(self):
+        g = PropertyGraph()
+        g.add_node(1, "x")
+        with pytest.raises(ValueError):
+            GFDGenerator(g)
+
+    def test_attribute_inference(self):
+        ds = yago_like.build(scale=30, seed=4)
+        generator = GFDGenerator(ds.graph, seed=1)
+        assert "val" in generator.attributes
+
+
+class TestDiscovery:
+    def test_discovers_planted_dependency(self):
+        g = PropertyGraph()
+        for i in range(30):
+            person = f"p{i}"
+            city = f"c{i}"
+            g.add_node(person, "person", {"zip": f"z{i % 5}", "city": f"C{i % 5}"})
+            g.add_node(city, "city", {"zip": f"z{i % 5}", "city": f"C{i % 5}"})
+            g.add_edge(person, city, "lives_in")
+        mined = discover_gfds(g, min_support=5, min_confidence=1.0)
+        assert mined
+        assert all(m.confidence == 1.0 for m in mined)
+        # The mined rules must actually hold on the graph they came from.
+        for m in mined[:5]:
+            assert det_vio([m.gfd], g) == set()
+
+    def test_confidence_threshold_excludes_noisy(self):
+        g = PropertyGraph()
+        for i in range(30):
+            g.add_node(f"p{i}", "person", {"zip": "z1", "city": "C1"})
+            g.add_node(f"c{i}", "city", {"zip": "z1", "city": "C1"})
+            g.add_edge(f"p{i}", f"c{i}", "lives_in")
+        # Poison one pair so zip→city confidence drops below 1.
+        g.set_attr("c0", "city", "WRONG")
+        strict = discover_gfds(g, min_support=5, min_confidence=1.0)
+        lenient = discover_gfds(g, min_support=5, min_confidence=0.9)
+        assert len(lenient) >= len(strict)
+
+    def test_support_threshold(self):
+        g = PropertyGraph()
+        g.add_node("a", "x", {"A": 1})
+        g.add_node("b", "y", {"A": 1})
+        g.add_edge("a", "b", "e")
+        assert discover_gfds(g, min_support=5) == []

@@ -1,0 +1,71 @@
+"""Tests for the synthetic graph generator (Section 7, Exp-4 / Fig. 8)."""
+
+import pytest
+
+from repro.graph import (
+    power_law_graph,
+    skewed_power_law_graph,
+    skewness_ratio,
+    uniform_random_graph,
+)
+
+
+class TestPowerLaw:
+    def test_requested_counts(self):
+        g = power_law_graph(200, 600, seed=0)
+        assert g.num_nodes == 200
+        assert g.num_edges == 600
+
+    def test_deterministic_per_seed(self):
+        a = power_law_graph(100, 250, seed=4)
+        b = power_law_graph(100, 250, seed=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = power_law_graph(100, 250, seed=1)
+        b = power_law_graph(100, 250, seed=2)
+        assert a != b
+
+    def test_attributes_present(self):
+        g = power_law_graph(50, 100, seed=0)
+        node = next(g.nodes())
+        attrs = g.attrs(node)
+        assert set(attrs) == {"A0", "A1", "A2", "A3", "A4"}
+        assert all(v.startswith("v") for v in attrs.values())
+
+    def test_domain_size_respected(self):
+        g = power_law_graph(80, 150, seed=0, domain_size=3)
+        values = {g.get_attr(n, "A0") for n in g.nodes()}
+        assert values <= {"v0", "v1", "v2"}
+
+    def test_no_self_loops(self):
+        g = power_law_graph(100, 300, seed=1)
+        assert all(src != dst for src, dst, _ in g.edges())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            power_law_graph(0, 10)
+
+    def test_alpha_increases_hubbiness(self):
+        flat = power_law_graph(150, 450, alpha=0.0, seed=6)
+        steep = power_law_graph(150, 450, alpha=1.8, seed=6)
+        max_flat = max(flat.degree(n) for n in flat.nodes())
+        max_steep = max(steep.degree(n) for n in steep.nodes())
+        assert max_steep > max_flat
+
+
+class TestSkewKnob:
+    def test_smaller_skew_parameter_means_more_skewed(self):
+        mild = skewed_power_law_graph(150, 400, skew=0.9, seed=2)
+        harsh = skewed_power_law_graph(150, 400, skew=0.05, seed=2)
+        assert skewness_ratio(harsh, d=2) < skewness_ratio(mild, d=2)
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError):
+            skewed_power_law_graph(10, 20, skew=0.0)
+        with pytest.raises(ValueError):
+            skewed_power_law_graph(10, 20, skew=1.5)
+
+    def test_uniform_is_alpha_zero(self):
+        g = uniform_random_graph(50, 100, seed=0)
+        assert g.num_nodes == 50

@@ -1,0 +1,113 @@
+"""Tests for the GFD class: construction, classification, normal form."""
+
+import pytest
+
+from repro.core import GFD, GFDError, make_gfd, parse_gfd
+from repro.core.gfd import denial
+from repro.core.literals import ConstantLiteral, VariableLiteral
+from repro.pattern import parse_pattern
+
+
+class TestConstruction:
+    def test_literals_must_use_pattern_variables(self):
+        pattern = parse_pattern("x:R")
+        with pytest.raises(GFDError):
+            make_gfd(pattern, rhs=[ConstantLiteral("ghost", "A", 1)])
+
+    def test_parse_gfd(self, phi1):
+        assert phi1.name == "phi1"
+        assert len(phi1.lhs) == 1
+        assert len(phi1.rhs) == 2
+
+    def test_parse_gfd_requires_arrow(self):
+        with pytest.raises(GFDError):
+            parse_gfd("x:R", "x.A = 1")
+
+    def test_empty_sides(self):
+        gfd = parse_gfd("x:R", " => x.A = 1")
+        assert gfd.has_empty_lhs
+        assert len(gfd.rhs) == 1
+
+    def test_size(self):
+        gfd = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert gfd.size == 1 + 2  # single node pattern + two literals
+
+    def test_hashable(self, phi1, phi2):
+        assert len({phi1, phi2, phi1}) == 2
+
+
+class TestClassification:
+    def test_variable_gfd(self, phi1):
+        """φ1–φ5 are variable GFDs (Example 5)."""
+        assert phi1.is_variable
+        assert not phi1.is_constant
+
+    def test_constant_gfd(self, phi6):
+        """φ6 is a constant GFD (Example 5)."""
+        assert phi6.is_constant
+        assert not phi6.is_variable
+
+    def test_mixed_gfd_is_neither(self):
+        """φ'4 is neither constant nor variable (Example 5)."""
+        gfd = parse_gfd(
+            "x:R; y:R",
+            "x.country = 44, y.country = 44, x.zip = y.zip => x.street = y.street",
+        )
+        assert not gfd.is_constant
+        assert not gfd.is_variable
+
+    def test_tree_patterned(self, phi2, phi6):
+        assert phi2.is_tree_patterned
+        assert not phi6.is_tree_patterned  # Q6 has cycles through the likes
+
+
+class TestNormalForm:
+    def test_splits_rhs(self, phi1):
+        parts = phi1.normal_form()
+        assert len(parts) == 2
+        assert all(len(p.rhs) == 1 for p in parts)
+        assert all(p.lhs == phi1.lhs for p in parts)
+
+    def test_drops_tautologies(self):
+        pattern = parse_pattern("x:R")
+        gfd = make_gfd(
+            pattern,
+            rhs=[VariableLiteral("x", "A", "x", "A"), ConstantLiteral("x", "B", 1)],
+        )
+        parts = gfd.normal_form()
+        assert len(parts) == 1
+        assert parts[0].rhs[0] == ConstantLiteral("x", "B", 1)
+
+    def test_empty_rhs_vacuous(self):
+        gfd = parse_gfd("x:R", "x.A = 1 => ")
+        assert gfd.normal_form() == []
+
+
+class TestRenameAndPivot:
+    def test_rename_consistent(self, phi2):
+        renamed = phi2.rename({"x": "c", "y": "a", "z": "b"})
+        assert "c" in renamed.pattern
+        assert all(
+            var in renamed.pattern
+            for literal in renamed.rhs
+            for var in literal.variables()
+        )
+
+    def test_pivot_cached(self, phi2):
+        assert phi2.pivot is phi2.pivot
+        assert phi2.pivot.variables == ("x",)
+
+
+class TestDenial:
+    def test_denial_violated_by_every_match(self, g1):
+        from repro.core import violations_of
+
+        pattern = parse_pattern("x:flight -number-> y:id")
+        never = denial(pattern, name="no-flights")
+        violations = list(violations_of(never, g1))
+        assert len(violations) == 2  # one per flight
+
+    def test_denial_has_impossible_rhs(self):
+        gfd = denial(parse_pattern("x:R"))
+        constants = {lit.const for lit in gfd.rhs}
+        assert len(constants) == 2

@@ -1,0 +1,176 @@
+"""Unit tests for the property-graph core (Section 2 data model)."""
+
+import pytest
+
+from repro.graph import GraphError, PropertyGraph, graph_from_edges
+
+
+@pytest.fixture
+def triangle():
+    g = PropertyGraph()
+    g.add_node(1, "a", {"val": 1})
+    g.add_node(2, "b", {"val": 2})
+    g.add_node(3, "c")
+    g.add_edge(1, 2, "e")
+    g.add_edge(2, 3, "f")
+    g.add_edge(3, 1, "g")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert triangle.size == 6
+        assert len(triangle) == 3
+
+    def test_contains(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle
+
+    def test_add_edge_requires_endpoints(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(1, 99, "e")
+        with pytest.raises(GraphError):
+            triangle.add_edge(99, 1, "e")
+
+    def test_duplicate_edge_is_noop(self, triangle):
+        triangle.add_edge(1, 2, "e")
+        assert triangle.num_edges == 3
+
+    def test_parallel_edges_different_labels(self, triangle):
+        triangle.add_edge(1, 2, "other")
+        assert triangle.num_edges == 4
+        assert triangle.has_edge(1, 2, "e")
+        assert triangle.has_edge(1, 2, "other")
+
+    def test_relabel_node_updates_index(self, triangle):
+        triangle.add_node(1, "z")
+        assert 1 in triangle.nodes_with_label("z")
+        assert 1 not in triangle.nodes_with_label("a")
+
+    def test_readding_node_merges_attrs(self, triangle):
+        triangle.add_node(1, "a", {"extra": True})
+        assert triangle.get_attr(1, "val") == 1
+        assert triangle.get_attr(1, "extra") is True
+
+
+class TestRemoval:
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(1, 2, "e")
+        assert not triangle.has_edge(1, 2)
+        assert triangle.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_edge(1, 3, "nope")
+
+    def test_remove_node_drops_incident_edges(self, triangle):
+        triangle.remove_node(2)
+        assert 2 not in triangle
+        assert triangle.num_edges == 1  # only 3 -g-> 1 remains
+        assert triangle.has_edge(3, 1, "g")
+
+    def test_remove_unknown_node_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_node(42)
+
+
+class TestAttributes:
+    def test_get_set(self, triangle):
+        triangle.set_attr(3, "color", "red")
+        assert triangle.get_attr(3, "color") == "red"
+        assert triangle.has_attr(3, "color")
+
+    def test_missing_attr_default(self, triangle):
+        assert triangle.get_attr(3, "nope") is None
+        assert triangle.get_attr(3, "nope", 7) == 7
+        assert not triangle.has_attr(3, "nope")
+
+    def test_set_attr_unknown_node(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.set_attr(99, "a", 1)
+
+
+class TestAdjacency:
+    def test_neighbors(self, triangle):
+        assert set(triangle.out_neighbors(1)) == {2}
+        assert set(triangle.in_neighbors(1)) == {3}
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(1) == 1
+        assert triangle.in_degree(1) == 1
+        assert triangle.degree(1) == 2
+
+    def test_labels(self, triangle):
+        assert triangle.labels() == {"a", "b", "c"}
+        assert triangle.edge_labels() == {"e", "f", "g"}
+
+    def test_nodes_with_label(self, triangle):
+        assert triangle.nodes_with_label("a") == {1}
+        assert triangle.nodes_with_label("unknown") == set()
+
+    def test_edges_iteration(self, triangle):
+        assert set(triangle.edges()) == {(1, 2, "e"), (2, 3, "f"), (3, 1, "g")}
+
+
+class TestDerivedGraphs:
+    def test_copy_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_node(4, "d")
+        clone.set_attr(1, "val", 99)
+        assert 4 not in triangle
+        assert triangle.get_attr(1, "val") == 1
+        assert clone == clone
+
+    def test_equality(self, triangle):
+        assert triangle == triangle.copy()
+        other = triangle.copy()
+        other.set_attr(1, "val", 0)
+        assert triangle != other
+
+    def test_induced_subgraph(self, triangle):
+        sub = triangle.induced_subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.has_edge(1, 2, "e")
+
+    def test_induced_subgraph_unknown_node(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.induced_subgraph([1, 42])
+
+    def test_is_subgraph_of(self, triangle):
+        sub = triangle.induced_subgraph([1, 2])
+        assert sub.is_subgraph_of(triangle)
+        assert not triangle.is_subgraph_of(sub)
+
+    def test_subgraph_requires_equal_attrs(self, triangle):
+        sub = triangle.induced_subgraph([1, 2])
+        sub.set_attr(1, "val", 42)
+        assert not sub.is_subgraph_of(triangle)
+
+    def test_merge(self, triangle):
+        other = PropertyGraph()
+        other.add_node(3, "c", {"fresh": 1})
+        other.add_node(4, "d")
+        other.add_edge(3, 4, "h")
+        triangle.merge(other)
+        assert triangle.num_nodes == 4
+        assert triangle.has_edge(3, 4, "h")
+        assert triangle.get_attr(3, "fresh") == 1
+
+
+class TestGraphFromEdges:
+    def test_basic(self):
+        g = graph_from_edges(
+            [("a", "knows", "b"), ("b", "knows", "c")],
+            node_labels={"a": "person", "b": "person", "c": "person"},
+        )
+        assert g.num_nodes == 3
+        assert g.has_edge("a", "b", "knows")
+
+    def test_default_label_and_isolated(self):
+        g = graph_from_edges([("x", "e", "y")], node_labels={"z": "lonely"})
+        assert g.label("x") == "node"
+        assert g.label("z") == "lonely"
+        assert g.num_nodes == 3

@@ -1,0 +1,127 @@
+"""Tests for GFD implication (Section 4.2, Theorem 5, Lemma 7)."""
+
+import pytest
+
+from repro.core import (
+    counterexample,
+    det_vio,
+    implies,
+    minimal_cover,
+    parse_gfd,
+    satisfies,
+)
+from repro.matching import find_matches
+from repro.core.satisfaction import match_satisfies_all
+
+
+Q8 = "x:tau -l-> y:tau; x -l-> z:tau; y -l-> z"
+Q9 = "x:tau -l-> y:tau; x -l-> z:tau; y -l-> z; y -l-> w:tau; z -l-> w"
+
+
+class TestExample8:
+    def setup_method(self):
+        self.s1 = parse_gfd(Q8, "x.A = y.A => x.B = y.B", name="s1")
+        self.s2 = parse_gfd(Q9, "x.B = y.B => z.C = w.C", name="s2")
+        self.phi11 = parse_gfd(Q9, "x.A = y.A => z.C = w.C", name="phi11")
+
+    def test_example8_implication(self):
+        assert implies([self.s1, self.s2], self.phi11)
+
+    def test_not_implied_without_link(self):
+        assert not implies([self.s2], self.phi11)
+
+    def test_not_implied_reversed(self):
+        other = parse_gfd(Q9, "z.C = w.C => x.A = y.A")
+        assert not implies([self.s1, self.s2], other)
+
+
+class TestTrivialCases:
+    def test_empty_rhs(self):
+        phi = parse_gfd("x:R", "x.A = 1 => ")
+        assert implies([], phi)
+
+    def test_tautological_rhs(self):
+        phi = parse_gfd("x:R", "x.A = 1 => x.A = x.A")
+        assert implies([], phi)
+
+    def test_unsatisfiable_lhs(self):
+        phi = parse_gfd("x:R", "x.A = 1, x.A = 2 => x.B = 3")
+        assert implies([], phi)
+
+    def test_rhs_from_own_lhs(self):
+        phi = parse_gfd("x:R; y:R", "x.A = y.A, x.A = 1 => y.A = 1")
+        assert implies([], phi)
+
+    def test_self_implication(self):
+        phi = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert implies([phi], phi)
+
+    def test_unsatisfiable_sigma_implies_everything(self):
+        clash = [
+            parse_gfd("x:R", " => x.A = 'c'"),
+            parse_gfd("x:R", " => x.A = 'd'"),
+        ]
+        anything = parse_gfd("x:R", "x.B = 1 => x.C = 2")
+        assert implies(clash, anything, check_satisfiability=True)
+
+
+class TestEmbeddedImplication:
+    def test_smaller_pattern_constrains_larger(self):
+        small = parse_gfd("x:R", " => x.A = 'c'")
+        larger = parse_gfd("x:R -e-> y:S", " => x.A = 'c'")
+        assert implies([small], larger)
+        assert not implies([larger], small)  # larger scope is weaker
+
+    def test_constant_binding_chain(self):
+        a = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        b = parse_gfd("x:R", "x.B = 2 => x.C = 3")
+        target = parse_gfd("x:R", "x.A = 1 => x.C = 3")
+        assert implies([a, b], target)
+
+    def test_contradictory_sigma_consequences_make_vacuous(self):
+        # Σ forces x.B = 1; a premise x.B = 2 can never be satisfied in a
+        # graph satisfying Σ, so the implication holds vacuously.
+        forcing = parse_gfd("x:R", "x.A = 1 => x.B = 1")
+        phi = parse_gfd("x:R", "x.A = 1, x.B = 2 => x.C = 99")
+        assert implies([forcing], phi)
+
+
+class TestCounterexample:
+    def test_counterexample_none_when_implied(self):
+        a = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert counterexample([a], a) is None
+
+    def test_counterexample_witnesses_non_implication(self):
+        s1 = parse_gfd(Q8, "x.A = y.A => x.B = y.B", name="s1")
+        target = parse_gfd(Q8, "x.A = y.A => z.C = x.C", name="t")
+        witness = counterexample([s1], target)
+        assert witness is not None
+        # The witness satisfies Σ...
+        assert satisfies([s1], witness)
+        # ...and violates the target on at least one match.
+        violating = [
+            m
+            for m in find_matches(target.pattern, witness)
+            if match_satisfies_all(witness, m, target.lhs)
+            and not match_satisfies_all(witness, m, target.rhs)
+        ]
+        assert violating
+
+
+class TestMinimalCover:
+    def test_drops_implied_rule(self):
+        a = parse_gfd("x:R", "x.A = 1 => x.B = 2", name="a")
+        b = parse_gfd("x:R", "x.B = 2 => x.C = 3", name="b")
+        implied = parse_gfd("x:R", "x.A = 1 => x.C = 3", name="implied")
+        cover = minimal_cover([a, b, implied])
+        assert len(cover) == 2
+        assert implied not in cover
+
+    def test_keeps_independent_rules(self, phi1, phi2):
+        cover = minimal_cover([phi1, phi2])
+        assert len(cover) == 2
+
+    def test_drops_duplicates(self):
+        a = parse_gfd("x:R", "x.A = 1 => x.B = 2", name="a")
+        a_copy = parse_gfd("x:R", "x.A = 1 => x.B = 2", name="copy")
+        assert len(minimal_cover([a, a_copy])) == 1

@@ -1,0 +1,58 @@
+"""Tests for graph (de)serialisation."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    PropertyGraph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    power_law_graph,
+    save_graph,
+)
+
+
+def test_roundtrip_file(tmp_path):
+    g = power_law_graph(40, 90, seed=3)
+    path = tmp_path / "g.jsonl"
+    save_graph(g, path)
+    assert load_graph(path) == g
+
+
+def test_roundtrip_preserves_attributes(tmp_path):
+    g = PropertyGraph()
+    g.add_node("a", "person", {"name": "Ann", "age": 30})
+    g.add_node("b", "person")
+    g.add_edge("a", "b", "knows")
+    path = tmp_path / "g.jsonl"
+    save_graph(g, path)
+    loaded = load_graph(path)
+    assert loaded.get_attr("a", "age") == 30
+    assert loaded.has_edge("a", "b", "knows")
+
+
+def test_load_skips_blank_lines(tmp_path):
+    path = tmp_path / "g.jsonl"
+    path.write_text('{"n": 1, "l": "x"}\n\n{"n": 2, "l": "y"}\n')
+    g = load_graph(path)
+    assert g.num_nodes == 2
+
+
+def test_load_rejects_edge_before_node(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"s": 1, "d": 2, "l": "e"}\n')
+    with pytest.raises(GraphError, match="line 1"):
+        load_graph(path)
+
+
+def test_load_rejects_unknown_record(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"what": true}\n')
+    with pytest.raises(GraphError):
+        load_graph(path)
+
+
+def test_dict_roundtrip():
+    g = power_law_graph(25, 50, seed=1)
+    assert graph_from_dict(graph_to_dict(g)) == g

@@ -1,0 +1,108 @@
+"""Tests for GFD literals and their parsing."""
+
+import pytest
+
+from repro.core import (
+    ConstantLiteral,
+    LiteralParseError,
+    VariableLiteral,
+    is_constant_literal,
+    is_variable_literal,
+    literal_variables,
+    parse_literal,
+    parse_literals,
+)
+
+
+class TestConstruction:
+    def test_constant_literal(self):
+        lit = ConstantLiteral("x", "city", "Edi")
+        assert lit.variables() == frozenset({"x"})
+        assert not lit.is_tautology()
+        assert is_constant_literal(lit)
+
+    def test_variable_literal(self):
+        lit = VariableLiteral("x", "zip", "y", "zip")
+        assert lit.variables() == frozenset({"x", "y"})
+        assert is_variable_literal(lit)
+
+    def test_tautology(self):
+        assert VariableLiteral("x", "A", "x", "A").is_tautology()
+        assert not VariableLiteral("x", "A", "x", "B").is_tautology()
+        assert not VariableLiteral("x", "A", "y", "A").is_tautology()
+
+    def test_rename(self):
+        lit = VariableLiteral("x", "A", "y", "B").rename({"x": "u"})
+        assert lit == VariableLiteral("u", "A", "y", "B")
+
+    def test_rename_constant(self):
+        lit = ConstantLiteral("x", "A", 1).rename({"x": "v", "other": "w"})
+        assert lit == ConstantLiteral("v", "A", 1)
+
+    def test_normalized_symmetry(self):
+        a = VariableLiteral("y", "B", "x", "A").normalized()
+        b = VariableLiteral("x", "A", "y", "B").normalized()
+        assert a == b
+
+    def test_literal_variables_union(self):
+        lits = [ConstantLiteral("x", "A", 1), VariableLiteral("y", "B", "z", "C")]
+        assert literal_variables(lits) == frozenset({"x", "y", "z"})
+
+
+class TestParsing:
+    def test_quoted_constant(self):
+        assert parse_literal("x.city = 'Edi'") == ConstantLiteral("x", "city", "Edi")
+
+    def test_double_quoted(self):
+        assert parse_literal('x.city = "NYC"') == ConstantLiteral("x", "city", "NYC")
+
+    def test_integer(self):
+        assert parse_literal("x.country = 44") == ConstantLiteral("x", "country", 44)
+
+    def test_float(self):
+        assert parse_literal("x.score = 1.5") == ConstantLiteral("x", "score", 1.5)
+
+    def test_bare_word(self):
+        assert parse_literal("x.is_fake = true") == ConstantLiteral(
+            "x", "is_fake", "true"
+        )
+
+    def test_variable_form(self):
+        assert parse_literal("x.zip = y.zip") == VariableLiteral("x", "zip", "y", "zip")
+
+    def test_primed_variable(self):
+        lit = parse_literal("z.id = z'.id")
+        assert lit == VariableLiteral("z", "id", "z'", "id")
+
+    def test_missing_equals(self):
+        with pytest.raises(LiteralParseError):
+            parse_literal("x.city")
+
+    def test_bad_left_side(self):
+        with pytest.raises(LiteralParseError):
+            parse_literal("42 = x.A")
+
+    def test_empty_right_side(self):
+        with pytest.raises(LiteralParseError):
+            parse_literal("x.A = ")
+
+
+class TestConjunctions:
+    def test_comma_separated(self):
+        lits = parse_literals("x.A = y.A, x.B = 'v'")
+        assert len(lits) == 2
+
+    def test_ampersand_separated(self):
+        lits = parse_literals("x.A = y.A & y.B = 1")
+        assert len(lits) == 2
+
+    def test_empty_means_empty_set(self):
+        assert parse_literals("") == ()
+        assert parse_literals("   ") == ()
+        assert parse_literals("true") == ()
+
+    def test_str_roundtrip(self):
+        lit = parse_literal("x.city = 'Edi'")
+        assert parse_literal(str(lit)) == lit
+        var = parse_literal("x.A = y.B")
+        assert parse_literal(str(var)) == var

@@ -1,0 +1,184 @@
+"""Tests for subgraph isomorphism matching (Section 2 semantics)."""
+
+import pytest
+
+from repro.graph import PropertyGraph, graph_from_edges
+from repro.matching import (
+    MatchStats,
+    SubgraphMatcher,
+    compute_candidates,
+    count_matches,
+    find_matches,
+    has_match,
+)
+from repro.matching.locality import (
+    candidate_permutations,
+    data_block,
+    pivot_candidates,
+)
+from repro.pattern import parse_pattern, pivot_vector
+
+
+class TestPaperExample4:
+    def test_q1_match_in_g1(self, q1, g1):
+        """Example 4: h1 maps x→flight1, y→flight2 (and the symmetric h)."""
+        matches = list(find_matches(q1, g1))
+        assert len(matches) == 2
+        bindings = {(m["x"], m["y"]) for m in matches}
+        assert bindings == {("flight1", "flight2"), ("flight2", "flight1")}
+        for m in matches:
+            if m["x"] == "flight1":
+                assert m["x3"] == "flight1_to"
+                assert m["y3"] == "flight2_to"
+
+    def test_q6_match_in_g2(self, g2):
+        """Example 4: Q6 (k=2) matches acct3/acct4 among others."""
+        q6 = parse_pattern(
+            "x:account -like-> y1:blog; x':account -like-> y1; "
+            "x -like-> y2:blog; x' -like-> y2; "
+            "x' -post-> z1:blog; x -post-> z2:blog"
+        )
+        matches = list(find_matches(q6, g2))
+        pairs = {(m["x'"], m["x"]) for m in matches}
+        assert ("acct3", "acct4") in pairs
+        assert ("acct1", "acct2") in pairs
+
+    def test_q2_no_match_in_g3(self, q2, g3):
+        """Example 6(b): G3's country has a unique capital."""
+        assert not has_match(q2, g3)
+
+
+class TestSemantics:
+    def test_injectivity(self):
+        g = graph_from_edges([("a", "e", "b")], node_labels={"a": "n", "b": "n"})
+        q = parse_pattern("x:n; y:n")
+        matches = list(find_matches(q, g))
+        assert all(m["x"] != m["y"] for m in matches)
+        assert len(matches) == 2
+
+    def test_non_induced(self):
+        # Extra edges between matched nodes are fine.
+        g = graph_from_edges(
+            [("a", "e", "b"), ("b", "e", "a")], node_labels={"a": "n", "b": "n"}
+        )
+        q = parse_pattern("x:n -e-> y:n")
+        assert count_matches(q, g) == 2
+
+    def test_edge_label_must_match(self):
+        g = graph_from_edges([("a", "e", "b")], node_labels={"a": "n", "b": "n"})
+        q = parse_pattern("x:n -f-> y:n")
+        assert not has_match(q, g)
+
+    def test_wildcard_node_label(self):
+        g = graph_from_edges([("a", "e", "b")], node_labels={"a": "p", "b": "q"})
+        q = parse_pattern("x -e-> y")
+        assert count_matches(q, g) == 1
+
+    def test_wildcard_edge_label(self):
+        g = graph_from_edges([("a", "weird", "b")], node_labels={"a": "p", "b": "q"})
+        q = parse_pattern("x:p --> y:q")
+        assert count_matches(q, g) == 1
+
+    def test_directionality(self):
+        g = graph_from_edges([("a", "e", "b")], node_labels={"a": "p", "b": "q"})
+        backwards = parse_pattern("x:q -e-> y:p")
+        assert not has_match(backwards, g)
+
+    def test_self_loop(self):
+        g = PropertyGraph()
+        g.add_node("a", "n")
+        g.add_edge("a", "a", "loop")
+        q = parse_pattern("x:n -loop-> x")
+        assert count_matches(q, g) == 1
+
+    def test_disconnected_pattern_spans_graph(self):
+        g = graph_from_edges(
+            [("a", "e", "b"), ("c", "f", "d")],
+            node_labels={"a": "p", "b": "q", "c": "p", "d": "r"},
+        )
+        q = parse_pattern("x:p -e-> y:q; u:p -f-> v:r")
+        matches = list(find_matches(q, g))
+        assert len(matches) == 1
+        assert matches[0] == {"x": "a", "y": "b", "u": "c", "v": "d"}
+
+
+class TestMatcherFeatures:
+    def test_fixed_assignment(self, q1, g1):
+        matcher = SubgraphMatcher(q1, g1)
+        pinned = list(matcher.matches(fixed={"x": "flight1", "y": "flight2"}))
+        assert len(pinned) == 1
+
+    def test_fixed_incompatible_label(self, q1, g1):
+        matcher = SubgraphMatcher(q1, g1)
+        assert list(matcher.matches(fixed={"x": "flight1_id"})) == []
+
+    def test_fixed_non_injective(self, q1, g1):
+        matcher = SubgraphMatcher(q1, g1)
+        assert list(matcher.matches(fixed={"x": "flight1", "y": "flight1"})) == []
+
+    def test_fixed_unknown_variable(self, q1, g1):
+        matcher = SubgraphMatcher(q1, g1)
+        with pytest.raises(KeyError):
+            list(matcher.matches(fixed={"nope": "flight1"}))
+
+    def test_limit(self, g2):
+        q = parse_pattern("x:account -like-> y:blog")
+        limited = list(find_matches(q, g2, limit=3))
+        assert len(limited) == 3
+
+    def test_stats_accumulate(self, q2, g3):
+        stats = MatchStats()
+        list(find_matches(q2, g3, stats=stats))
+        assert stats.matches == 0
+        assert stats.steps >= 0
+
+    def test_count(self, g2):
+        q = parse_pattern("x:account -like-> y:blog")
+        assert count_matches(q, g2) == 8
+
+
+class TestCandidates:
+    def test_label_filtering(self, q1, g1):
+        candidates = compute_candidates(q1, g1)
+        assert candidates["x"] == {"flight1", "flight2"}
+        assert candidates["x1"] == {"flight1_id", "flight2_id"}
+
+    def test_degree_filtering_prunes(self):
+        g = graph_from_edges(
+            [("hub", "e", "l1"), ("hub", "e", "l2"), ("poor", "e", "l3")],
+            node_labels={"hub": "n", "poor": "n", "l1": "m", "l2": "m", "l3": "m"},
+        )
+        q = parse_pattern("x:n -e-> a:m; x -e-> b:m")
+        candidates = compute_candidates(q, g)
+        assert candidates["x"] == {"hub"}
+
+
+class TestLocality:
+    def test_pivot_candidates_dedup_symmetric(self, q1, g1):
+        pv = pivot_vector(q1)
+        tuples = list(pivot_candidates(g1, q1, pv))
+        # flights {flight1, flight2}: symmetric dedup keeps one of two orders
+        assert len(tuples) == 1
+
+    def test_candidate_permutations_expand(self, q1, g1):
+        pv = pivot_vector(q1)
+        base = next(pivot_candidates(g1, q1, pv))
+        perms = list(candidate_permutations(q1, pv, base))
+        assert len(perms) == 2
+        assert {tuple(sorted(p.values())) for p in perms} == {
+            ("flight1", "flight2")
+        }
+
+    def test_asymmetric_pivots_not_deduped(self, g1):
+        q = parse_pattern("x:flight -number-> i:id; y:city")
+        pv = pivot_vector(q)
+        tuples = list(pivot_candidates(g1, q, pv))
+        # 2 flights × 4 city value-nodes, no symmetry
+        assert len(tuples) == 8
+
+    def test_block_contains_all_match_nodes(self, q1, g1):
+        pv = pivot_vector(q1)
+        base = next(pivot_candidates(g1, q1, pv))
+        block = data_block(g1, pv, base)
+        for match in find_matches(q1, g1):
+            assert all(node in block for node in match.values())

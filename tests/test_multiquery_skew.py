@@ -1,0 +1,91 @@
+"""Tests for multi-query sharing and replicate-and-split (Appendix)."""
+
+import pytest
+
+from repro.core import parse_gfd
+from repro.parallel import build_shared_groups, singleton_groups, split_oversized
+from repro.parallel.skew import split_statistics
+from repro.parallel.multiquery import _isomorphism
+
+
+A = parse_gfd("x:R -e-> y:S", "x.A = 1 => y.B = 2", name="a")
+B = parse_gfd("u:R -e-> v:S", "u.A = 9 => v.C = 3", name="b")  # same pattern
+C = parse_gfd("x:R -f-> y:S", "x.A = 1 => y.B = 2", name="c")  # different edge
+DUP = parse_gfd("p:R -e-> q:S", "p.A = 1 => q.B = 2", name="dup")  # ≡ A
+
+
+class TestSharedGroups:
+    def test_isomorphic_patterns_grouped(self):
+        groups = build_shared_groups([A, B, C])
+        sizes = sorted(len(g.members) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_every_gfd_in_exactly_one_group(self):
+        groups = build_shared_groups([A, B, C, DUP])
+        indices = sorted(i for g in groups for i in g.indices)
+        assert indices == [0, 1, 2, 3]
+
+    def test_member_literals_translated_to_leader_space(self):
+        groups = build_shared_groups([A, B])
+        group = next(g for g in groups if len(g.members) == 2)
+        member = group.members[1]
+        for literal in (*member.lhs, *member.rhs):
+            for var in literal.variables():
+                assert var in A.pattern  # leader variables
+
+    def test_iso_maps_leader_to_member(self):
+        groups = build_shared_groups([A, B])
+        group = next(g for g in groups if len(g.members) == 2)
+        member = group.members[1]
+        assert member.iso == {"x": "u", "y": "v"}
+
+    def test_singleton_groups(self):
+        groups = singleton_groups([A, B, C])
+        assert len(groups) == 3
+        assert all(len(g.members) == 1 for g in groups)
+
+    def test_wildcards_only_align_with_wildcards(self):
+        wild = parse_gfd("x -e-> y:S", " => y.B = 1", name="w")
+        concrete = parse_gfd("x:R -e-> y:S", " => y.B = 1", name="k")
+        assert _isomorphism(wild, concrete) is None
+        groups = build_shared_groups([wild, concrete])
+        assert len(groups) == 2
+
+
+class TestSplitOversized:
+    def test_small_units_untouched(self):
+        from tests.test_balancing_assignment import make_unit
+
+        units = [make_unit(5, size=5)]
+        assert split_oversized(units, threshold=10) == units
+
+    def test_oversized_split_into_k(self):
+        from tests.test_balancing_assignment import make_unit
+
+        units = [make_unit(100, size=25)]
+        split = split_oversized(units, threshold=10)
+        assert len(split) == 3  # ceil(25/10)
+        assert sum(1 for u in split if u.primary) == 1
+        assert all(u.split_k == 3 for u in split)
+        assert all(abs(u.cost_share - 1 / 3) < 1e-9 for u in split)
+
+    def test_split_ids_distinct_per_original(self):
+        from tests.test_balancing_assignment import make_unit
+
+        units = [make_unit(100, size=25), make_unit(100, size=30)]
+        split = split_oversized(units, threshold=10)
+        ids = {u.split_id for u in split}
+        assert len(ids) == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            split_oversized([], threshold=0)
+
+    def test_statistics(self):
+        from tests.test_balancing_assignment import make_unit
+
+        units = split_oversized([make_unit(100, size=25)], threshold=10)
+        stats = split_statistics(units)
+        assert stats["split_units"] == 3
+        assert stats["split_groups"] == 1
+        assert stats["max_block"] == 25

@@ -1,0 +1,92 @@
+"""Tests for graph fragmentation (Section 6.2)."""
+
+import pytest
+
+from repro.graph import (
+    Fragmentation,
+    PropertyGraph,
+    greedy_edge_cut_partition,
+    hash_partition,
+    power_law_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return power_law_graph(120, 300, seed=5)
+
+
+class TestFragmentationInvariants:
+    def test_every_node_owned_once(self, graph):
+        fr = hash_partition(graph, 4)
+        owners = [frag for frag in fr.fragments]
+        total = sum(len(frag.owned) for frag in owners)
+        assert total == graph.num_nodes
+        for node in graph.nodes():
+            assert node in fr.fragment_of(node).owned
+
+    def test_edge_union_covers_graph(self, graph):
+        fr = hash_partition(graph, 4)
+        union = set()
+        for frag in fr.fragments:
+            union |= set(frag.graph.edges())
+        assert union == set(graph.edges())
+
+    def test_border_bookkeeping(self, graph):
+        fr = hash_partition(graph, 3)
+        for src, dst, _ in graph.edges():
+            if fr.owner[src] != fr.owner[dst]:
+                assert dst in fr.fragments[fr.owner[src]].out_nodes
+                assert dst in fr.fragments[fr.owner[dst]].in_nodes
+
+    def test_local_edges_have_no_border_entries(self):
+        g = PropertyGraph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(1, 2, "e")
+        fr = Fragmentation(g, {1: 0, 2: 0}, n=2)
+        assert not fr.fragments[0].border_nodes
+        assert fr.edge_cut() == 0
+
+    def test_stub_copies_carry_attributes(self):
+        g = PropertyGraph()
+        g.add_node(1, "a", {"val": "x"})
+        g.add_node(2, "b", {"val": "y"})
+        g.add_edge(1, 2, "e")
+        fr = Fragmentation(g, {1: 0, 2: 1}, n=2)
+        local = fr.fragments[0].graph
+        assert local.get_attr(2, "val") == "y"  # stub replicated with attrs
+
+    def test_missing_owner_rejected(self):
+        g = PropertyGraph()
+        g.add_node(1, "a")
+        with pytest.raises(ValueError):
+            Fragmentation(g, {}, n=2)
+
+    def test_zero_fragments_rejected(self, graph):
+        with pytest.raises(ValueError):
+            Fragmentation(graph, {}, n=0)
+
+
+class TestPartitioners:
+    def test_hash_partition_balance(self, graph):
+        fr = hash_partition(graph, 4)
+        assert fr.balance() < 1.1
+
+    def test_hash_partition_deterministic(self, graph):
+        a = hash_partition(graph, 4, seed=9)
+        b = hash_partition(graph, 4, seed=9)
+        assert a.owner == b.owner
+
+    def test_greedy_reduces_cut(self, graph):
+        hashed = hash_partition(graph, 4, seed=1)
+        greedy = greedy_edge_cut_partition(graph, 4, seed=1)
+        assert greedy.edge_cut() <= hashed.edge_cut()
+
+    def test_greedy_covers_all_nodes(self, graph):
+        fr = greedy_edge_cut_partition(graph, 5, seed=2)
+        assert sum(len(f.owned) for f in fr.fragments) == graph.num_nodes
+
+    def test_greedy_respects_capacity_roughly(self, graph):
+        fr = greedy_edge_cut_partition(graph, 4, seed=3)
+        assert fr.balance() <= 1.5

@@ -1,0 +1,168 @@
+"""Tests for graph patterns, the DSL, pivots and components (§2, §5.2)."""
+
+import pytest
+
+from repro.graph import WILDCARD
+from repro.pattern import (
+    GraphPattern,
+    PatternError,
+    component_patterns,
+    connected_components,
+    format_pattern,
+    parse_pattern,
+    pattern_eccentricity,
+    pattern_from_edges,
+    pivot_vector,
+)
+
+
+class TestGraphPattern:
+    def test_basic_construction(self):
+        q = GraphPattern()
+        q.add_node("x", "flight")
+        q.add_node("y", "city")
+        q.add_edge("x", "y", "to")
+        assert q.num_nodes == 2
+        assert q.num_edges == 1
+        assert q.size == 3
+        assert q.variables == ["x", "y"]
+
+    def test_relabel_rejected(self):
+        q = GraphPattern()
+        q.add_node("x", "a")
+        with pytest.raises(PatternError):
+            q.add_node("x", "b")
+
+    def test_edge_requires_nodes(self):
+        q = GraphPattern()
+        q.add_node("x", "a")
+        with pytest.raises(PatternError):
+            q.add_edge("x", "missing", "e")
+
+    def test_duplicate_edge_noop(self):
+        q = parse_pattern("x:a -e-> y:b")
+        q.add_edge("x", "y", "e")
+        assert q.num_edges == 1
+
+    def test_rename(self):
+        q = parse_pattern("x:a -e-> y:b")
+        renamed = q.rename({"x": "u"})
+        assert "u" in renamed and "x" not in renamed
+        assert renamed.has_edge("u", "y", "e")
+
+    def test_rename_must_be_injective(self):
+        q = parse_pattern("x:a -e-> y:b")
+        with pytest.raises(PatternError):
+            q.rename({"x": "y"})
+
+    def test_restricted_to(self):
+        q = parse_pattern("x:a -e-> y:b -f-> z:c")
+        sub = q.restricted_to(["x", "y"])
+        assert set(sub.nodes()) == {"x", "y"}
+        assert sub.num_edges == 1
+
+    def test_is_tree(self, q2):
+        assert q2.is_tree()
+        cyclic = parse_pattern("x:a -e-> y:b; y -f-> x")
+        assert not cyclic.is_tree()
+
+    def test_forest_is_tree(self):
+        forest = parse_pattern("x:a -e-> y:b; u:c -f-> v:d")
+        assert forest.is_tree()
+
+    def test_equality_and_hash(self):
+        a = parse_pattern("x:a -e-> y:b")
+        b = parse_pattern("x:a -e-> y:b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_pattern_from_edges(self):
+        q = pattern_from_edges(
+            [("x", "y", "e")], labels={"x": "a"}, isolated={"z": "c"}
+        )
+        assert q.label("x") == "a"
+        assert q.label("y") == WILDCARD
+        assert "z" in q
+
+
+class TestParser:
+    def test_chain(self):
+        q = parse_pattern("x:a -e-> y:b -f-> z:c")
+        assert q.has_edge("x", "y", "e")
+        assert q.has_edge("y", "z", "f")
+
+    def test_isolated_nodes(self):
+        q = parse_pattern("x:R; y:R")
+        assert q.num_nodes == 2
+        assert q.num_edges == 0
+
+    def test_wildcard_defaults(self):
+        q = parse_pattern("x -e-> y")
+        assert q.label("x") == WILDCARD
+
+    def test_wildcard_edge(self):
+        q = parse_pattern("x:a --> y:b")
+        assert q.has_edge("x", "y", WILDCARD)
+
+    def test_label_fixed_by_first_use(self):
+        q = parse_pattern("x:a -e-> y:b; x -f-> z:c")
+        assert q.label("x") == "a"
+
+    def test_conflicting_relabel_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("x:a -e-> y:b; x:c -f-> z:d")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("   ")
+
+    def test_primed_variables(self):
+        q = parse_pattern("z:country; z':country")
+        assert "z'" in q
+
+    def test_format_roundtrip(self, q2):
+        assert parse_pattern(format_pattern(q2)) == q2
+
+    def test_format_roundtrip_isolated(self):
+        q = parse_pattern("x:R; y:S")
+        assert parse_pattern(format_pattern(q)) == q
+
+
+class TestComponentsAndPivots:
+    def test_q1_has_two_components(self, q1):
+        assert len(connected_components(q1)) == 2
+
+    def test_component_patterns(self, q1):
+        comps = component_patterns(q1)
+        assert len(comps) == 2
+        assert all(c.num_nodes == 6 for c in comps)
+
+    def test_eccentricity(self):
+        q = parse_pattern("a:x -e-> b:x -e-> c:x")
+        assert pattern_eccentricity(q, "b") == 1
+        assert pattern_eccentricity(q, "a") == 2
+
+    def test_pivot_vector_example9_q1(self, q1):
+        """Example 9: PV(φ1) = ((x, 1), (y, 1))."""
+        pv = pivot_vector(q1)
+        assert pv.variables == ("x", "y")
+        assert pv.radii == (1, 1)
+        assert pv.arity == 2
+
+    def test_pivot_vector_example9_q2(self, q2):
+        """Example 9: PV(φ2) = ((x, 1))."""
+        pv = pivot_vector(q2)
+        assert pv.variables == ("x",)
+        assert pv.radii == (1,)
+
+    def test_pivot_vector_two_isolated_nodes(self):
+        """Example 9: PV(φ4) = ((x, 0), (y, 0)) over pattern Q4."""
+        q4 = parse_pattern("x:R; y:R")
+        pv = pivot_vector(q4)
+        assert pv.radii == (0, 0)
+
+    def test_pivot_prefers_central_high_degree_node(self):
+        star = parse_pattern("c:hub -e-> l1:leaf; c -e-> l2:leaf; c -e-> l3:leaf")
+        pv = pivot_vector(star)
+        assert pv.variables == ("c",)
+        assert pv.radii == (1,)

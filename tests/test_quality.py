@@ -1,0 +1,162 @@
+"""Tests for noise injection, metrics, and the two baselines (Appendix)."""
+
+import pytest
+
+from repro.core import det_vio, parse_gfd, violation_entities
+from repro.graph import power_law_graph
+from repro.pattern import parse_pattern
+from repro.quality import (
+    accuracy,
+    expressible_as_gcfd,
+    gfds_to_gcfds,
+    inject_noise,
+    is_path_pattern,
+    validate_bigdansing,
+    validate_gcfd,
+)
+from repro.relational import EngineStats
+from repro.datasets import yago_like
+
+
+class TestNoise:
+    def test_probability_zero_injects_nothing(self):
+        g = power_law_graph(100, 200, seed=1)
+        report = inject_noise(g, probability=0.0, seed=1)
+        assert len(report) == 0
+
+    def test_injection_rate_roughly_matches(self):
+        g = power_law_graph(500, 1000, seed=2)
+        report = inject_noise(g, probability=0.1, seed=2)
+        assert 20 <= len(report) <= 90
+
+    def test_corrupt_values_absent_from_clean_data(self):
+        g = power_law_graph(200, 400, seed=3)
+        report = inject_noise(g, probability=0.05, seed=3)
+        for record in report.records:
+            if record.attr is not None:
+                assert str(record.new_value).startswith("<dirty>")
+                assert g.get_attr(record.node, record.attr) == record.new_value
+
+    def test_type_noise_changes_label(self):
+        g = power_law_graph(300, 600, seed=4)
+        report = inject_noise(g, probability=0.1, seed=4, kinds=("type",))
+        type_records = [r for r in report.records if r.kind == "type"]
+        assert type_records
+        for record in type_records:
+            assert g.label(record.node) == record.new_value
+            assert record.new_value != record.old_value
+
+    def test_entities_deduplicated(self):
+        g = power_law_graph(200, 400, seed=5)
+        report = inject_noise(g, probability=0.2, seed=5)
+        assert len(report.entities) <= len(report.records) + 1
+
+    def test_deterministic(self):
+        g1 = power_law_graph(100, 200, seed=6)
+        g2 = power_law_graph(100, 200, seed=6)
+        r1 = inject_noise(g1, probability=0.1, seed=7)
+        r2 = inject_noise(g2, probability=0.1, seed=7)
+        assert r1.entities == r2.entities
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        acc = accuracy({1, 2}, {1, 2})
+        assert acc.precision == 1.0 and acc.recall == 1.0 and acc.f1 == 1.0
+
+    def test_partial(self):
+        acc = accuracy({1, 2, 3, 4}, {1, 2})
+        assert acc.precision == 0.5
+        assert acc.recall == 1.0
+
+    def test_miss(self):
+        acc = accuracy({1}, {1, 2, 3, 4})
+        assert acc.recall == 0.25
+
+    def test_empty_detected(self):
+        acc = accuracy(set(), {1})
+        assert acc.precision == 1.0  # vacuous
+        assert acc.recall == 0.0
+        assert acc.f1 == 0.0
+
+
+class TestGCFDExpressibility:
+    def test_paths_accepted(self):
+        assert is_path_pattern(parse_pattern("a:x -e-> b:y -f-> c:z"))
+
+    def test_out_trees_accepted(self):
+        """Fig. 7: Q12 is a tree, so its *shape* is GCFD-compatible."""
+        q12 = parse_pattern(
+            "x:person -mayorOf-> y:city -locatedIn-> z:country; "
+            "x -memberOf-> w:party -locatedIn-> z':country"
+        )
+        assert is_path_pattern(q12)
+
+    def test_cycles_rejected(self):
+        """Fig. 7: Q10 is cyclic → GFD 1 not expressible."""
+        q10 = parse_pattern("x:person -hasChild-> y:person; x -hasParent-> y")
+        assert not is_path_pattern(q10)
+
+    def test_converging_edges_rejected(self):
+        """Fig. 7: Q11's disjoint-type shape converges on y'."""
+        q11 = parse_pattern(
+            "x:entity -type-> y:class; x -type-> y':class; y -disjointWith-> y'"
+        )
+        assert not is_path_pattern(q11)
+
+    def test_id_test_rejected(self):
+        """Fig. 7: GFD 3 needs z.id = z'.id, beyond GCFDs."""
+        gfd3 = parse_gfd(
+            "x:person -mayorOf-> y:city -locatedIn-> z:country; "
+            "x -memberOf-> w:party -locatedIn-> z':country",
+            " => z.id = z'.id",
+        )
+        assert not expressible_as_gcfd(gfd3)
+
+    def test_split_matches_paper_story(self):
+        sigma = yago_like.curated_gfds()
+        expressible, rejected = gfds_to_gcfds(sigma)
+        assert {g.name for g in rejected} == {
+            "gfd1-child-parent", "gfd3-mayor-party"
+        }
+        assert {g.name for g in expressible} == {"phi1-flight", "phi2-capital"}
+
+    def test_gcfd_recall_lower(self):
+        ds = yago_like.build(scale=60, seed=8)
+        full = violation_entities(det_vio(ds.gfds, ds.graph))
+        partial = violation_entities(validate_gcfd(ds.gfds, ds.graph))
+        full_acc = accuracy(full, ds.truth_entities)
+        partial_acc = accuracy(partial, ds.truth_entities)
+        assert partial_acc.recall < full_acc.recall
+        assert partial_acc.precision == 1.0
+
+
+class TestBigDansing:
+    def test_same_violations_as_native(self):
+        ds = yago_like.build(scale=40, seed=9)
+        native = det_vio(ds.gfds, ds.graph)
+        relational = validate_bigdansing(ds.gfds, ds.graph)
+        assert relational == native
+
+    def test_handles_isolated_pattern_nodes(self, g1):
+        gfd = parse_gfd("x:flight; y:flight", " => x.val = y.val")
+        assert validate_bigdansing([gfd], g1) == det_vio([gfd], g1)
+
+    def test_handles_constant_cfd_single_node(self, g1):
+        gfd = parse_gfd("x:id", "x.val = 'DL1' => x.val = 'DL1'")
+        assert validate_bigdansing([gfd], g1) == det_vio([gfd], g1)
+
+    def test_rows_touched_exceed_native_steps(self):
+        """The 4.6× story: relational plans touch far more rows."""
+        from repro.matching.vf2 import MatchStats
+
+        ds = yago_like.build(scale=40, seed=10)
+        native_stats = MatchStats()
+        det_vio(ds.gfds, ds.graph, stats=native_stats)
+        rel_stats = EngineStats()
+        validate_bigdansing(ds.gfds, ds.graph, rel_stats)
+        assert rel_stats.total > native_stats.steps
+
+    def test_wildcard_pattern(self, g2):
+        gfd = parse_gfd("x -post-> y:blog", " => y.keyword = 'free prize'")
+        assert validate_bigdansing([gfd], g2) == det_vio([gfd], g2)

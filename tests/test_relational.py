@@ -1,0 +1,116 @@
+"""Tests for the minimal relational engine."""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.relational import (
+    EngineStats,
+    Table,
+    cross_product,
+    distinct,
+    graph_to_tables,
+    attribute_lookup,
+    hash_join,
+    project,
+    rename,
+    select,
+)
+
+
+@pytest.fixture
+def people():
+    return Table(
+        "people",
+        ["id", "name", "city"],
+        [
+            {"id": 1, "name": "Ann", "city": "Edi"},
+            {"id": 2, "name": "Bob", "city": "NYC"},
+            {"id": 3, "name": "Cat", "city": "Edi"},
+        ],
+    )
+
+
+@pytest.fixture
+def cities():
+    return Table(
+        "cities",
+        ["city", "country"],
+        [
+            {"city": "Edi", "country": "UK"},
+            {"city": "NYC", "country": "US"},
+        ],
+    )
+
+
+class TestOperators:
+    def test_select(self, people):
+        stats = EngineStats()
+        out = select(people, lambda r: r["city"] == "Edi", stats)
+        assert len(out) == 2
+        assert stats.rows_scanned == 3
+        assert stats.rows_output == 2
+
+    def test_project(self, people):
+        out = project(people, ["name"])
+        assert out.columns == ["name"]
+        assert {row["name"] for row in out} == {"Ann", "Bob", "Cat"}
+
+    def test_rename(self, people):
+        out = rename(people, {"name": "person_name"})
+        assert "person_name" in out.columns
+        assert out.rows[0]["person_name"] == "Ann"
+
+    def test_hash_join(self, people, cities):
+        out = hash_join(people, cities, on=[("city", "city")])
+        assert len(out) == 3
+        ann = next(r for r in out if r["name"] == "Ann")
+        assert ann["country"] == "UK"
+
+    def test_hash_join_no_matches(self, people):
+        empty = Table("empty", ["city", "x"], [])
+        out = hash_join(people, empty, on=[("city", "city")])
+        assert len(out) == 0
+
+    def test_hash_join_clashing_columns_suffixed(self, people):
+        other = Table("other", ["id", "name"], [{"id": 1, "name": "X"}])
+        out = hash_join(people, other, on=[("id", "id")])
+        assert len(out) == 1
+        row = out.rows[0]
+        assert row["name"] == "Ann"
+        assert row["name__other"] == "X"
+
+    def test_cross_product(self, people, cities):
+        out = cross_product(people, cities)
+        assert len(out) == 6
+
+    def test_cross_product_with_filter(self, people, cities):
+        out = cross_product(
+            people, cities, filter_fn=lambda r: r["city"] == r["city__cities"]
+        )
+        assert len(out) == 3
+
+    def test_distinct(self):
+        t = Table("t", ["a"], [{"a": 1}, {"a": 1}, {"a": 2}])
+        assert len(distinct(t)) == 2
+
+    def test_insert_fills_missing_columns(self):
+        t = Table("t", ["a", "b"])
+        t.insert({"a": 1})
+        assert t.rows[0] == {"a": 1, "b": None}
+
+    def test_stats_total(self):
+        stats = EngineStats(rows_scanned=2, rows_joined=3, rows_output=4)
+        assert stats.total == 9
+
+
+class TestGraphEncoding:
+    def test_tables_cover_graph(self, g3):
+        tables = graph_to_tables(g3)
+        assert len(tables["nodes"]) == g3.num_nodes
+        assert len(tables["edges"]) == g3.num_edges
+        assert len(tables["attrs"]) == 2  # val on both nodes
+
+    def test_attribute_lookup(self, g3):
+        lookup = attribute_lookup(graph_to_tables(g3))
+        assert lookup[("au", "val")] == "Australia"
+        assert ("au", "nope") not in lookup

@@ -1,0 +1,132 @@
+"""Tests for repair suggestions (quality/repair.py)."""
+
+import pytest
+
+from repro.core import det_vio, parse_gfd, relation_to_graph, satisfies
+from repro.core.gfd import denial
+from repro.graph import PropertyGraph
+from repro.pattern import parse_pattern
+from repro.quality.repair import (
+    AttributeWrite,
+    apply_repairs,
+    candidate_fixes,
+    repair_plan,
+)
+
+
+@pytest.fixture
+def capital_conflict(phi2):
+    graph = PropertyGraph()
+    graph.add_node("au", "country", {"val": "Australia"})
+    graph.add_node("c1", "city", {"val": "Canberra"})
+    graph.add_node("c2", "city", {"val": "Melbourne"})
+    graph.add_edge("au", "c1", "capital")
+    graph.add_edge("au", "c2", "capital")
+    return graph
+
+
+class TestCandidateFixes:
+    def test_variable_rhs_copy_fix(self, capital_conflict, phi2):
+        violation = next(iter(det_vio([phi2], capital_conflict)))
+        fixes = candidate_fixes(phi2, capital_conflict, violation)
+        satisfy = [f for f in fixes if f.kind == "satisfy-rhs"]
+        assert satisfy
+        assert satisfy[0].cost == 1  # copy one val over the other
+
+    def test_break_lhs_available_when_premise_present(self):
+        graph = relation_to_graph("R", [{"A": 1, "B": 2}])
+        gfd = parse_gfd("x:R", "x.A = 1 => x.B = 99", name="g")
+        violation = next(iter(det_vio([gfd], graph)))
+        fixes = candidate_fixes(gfd, graph, violation)
+        kinds = {f.kind for f in fixes}
+        assert kinds == {"satisfy-rhs", "break-lhs"}
+
+    def test_denial_only_breakable(self, g1):
+        rule = denial(parse_pattern("x:flight -number-> y:id"), name="no")
+        violation = next(iter(det_vio([rule], g1)))
+        fixes = candidate_fixes(rule, g1, violation)
+        # The RHS binds one attribute to two constants → unsatisfiable;
+        # a denial has an empty LHS, so nothing can be retracted either.
+        assert all(f.kind != "satisfy-rhs" for f in fixes)
+
+
+class TestRepairPlan:
+    def test_plan_covers_all_violations(self, capital_conflict, phi2):
+        plan = repair_plan([phi2], capital_conflict)
+        assert plan.fixes
+        assert not plan.unfixable
+        assert plan.total_writes >= 1
+
+    def test_conflicting_writes_deduplicated(self):
+        # Two rules pulling the same attribute to different constants:
+        # the plan keeps only compatible writes.
+        graph = relation_to_graph("R", [{"A": 1, "B": 0}])
+        up = parse_gfd("x:R", "x.A = 1 => x.B = 2", name="up")
+        down = parse_gfd("x:R", "x.A = 1 => x.B = 3", name="down")
+        plan = repair_plan([up, down], graph)
+        writes = [w for fix in plan.fixes for w in fix.writes]
+        values = {}
+        for write in writes:
+            key = (write.node, write.attr)
+            assert values.setdefault(key, write.value) == write.value
+
+
+class TestApplyRepairs:
+    def test_repairs_reach_clean_state(self, capital_conflict, phi2):
+        rounds, remaining = apply_repairs([phi2], capital_conflict)
+        assert remaining == set()
+        assert satisfies([phi2], capital_conflict)
+        assert rounds >= 1
+
+    def test_fd_repair(self):
+        rows = [
+            {"zip": "EH8", "street": "Mayfield"},
+            {"zip": "EH8", "street": "Queen St"},
+        ]
+        graph = relation_to_graph("R", rows)
+        fd = parse_gfd("x:R; y:R", "x.zip = y.zip => x.street = y.street",
+                       name="fd")
+        rounds, remaining = apply_repairs([fd], graph)
+        assert remaining == set()
+        streets = {graph.get_attr(n, "street") for n in graph.nodes()}
+        assert len(streets) == 1  # one street copied onto the other
+
+    def test_break_lhs_used_for_contradictory_rules(self):
+        graph = relation_to_graph("R", [{"A": 1, "B": 0}])
+        up = parse_gfd("x:R", "x.A = 1 => x.B = 2", name="up")
+        down = parse_gfd("x:R", "x.A = 1 => x.B = 3", name="down")
+        rounds, remaining = apply_repairs([up, down], graph)
+        # Only retracting x.A can clean this; both rules then hold.
+        assert remaining == set()
+        assert not graph.has_attr(0, "A")
+
+    def test_noop_on_clean_graph(self, g3, phi2):
+        rounds, remaining = apply_repairs([phi2], g3)
+        assert rounds == 0
+        assert remaining == set()
+
+    def test_yago_dataset_repairable(self):
+        """Value fixes clean every non-denial rule; denial constraints
+        (gfd1) need structural repair, outside this module's fragment."""
+        from repro.datasets import yago_like
+
+        ds = yago_like.build(scale=40, seed=13, family_errors=0)
+        assert det_vio(ds.gfds, ds.graph)
+        rounds, remaining = apply_repairs(ds.gfds, ds.graph, max_rounds=8)
+        assert remaining == set()
+        assert satisfies(ds.gfds, ds.graph)
+
+    def test_denial_violations_reported_unfixable(self):
+        from repro.datasets import yago_like
+
+        ds = yago_like.build(scale=40, seed=13, flight_errors=0,
+                             capital_errors=0, mayor_errors=0)
+        plan = repair_plan(ds.gfds, ds.graph)
+        assert plan.unfixable  # gfd1's child/parent cycles
+        assert not plan.fixes
+
+
+class TestAttributeWrite:
+    def test_describe(self):
+        assert "clear" in AttributeWrite("n", "A", None).describe()
+        assert "set" in AttributeWrite("n", "A", 5).describe()

@@ -1,0 +1,142 @@
+"""Integration tests: repVal / disVal and variants (Section 6, Exp-1/2/3).
+
+The central invariant: every algorithm and every variant computes exactly
+the same ``Vio(Σ, G)`` as sequential ``detVio``; the algorithms differ
+only in cost.
+"""
+
+import pytest
+
+from repro.core import det_vio, generate_gfds
+from repro.graph import greedy_edge_cut_partition, hash_partition, power_law_graph
+from repro.parallel import (
+    dis_nop,
+    dis_ran,
+    dis_val,
+    rep_nop,
+    rep_ran,
+    rep_val,
+    sequential_run,
+)
+from repro.datasets import yago_like
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = power_law_graph(800, 2000, seed=13, domain_size=20)
+    sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=13)
+    expected = det_vio(sigma, graph)
+    return graph, sigma, expected
+
+
+class TestCorrectness:
+    def test_repval_matches_detvio(self, workload):
+        graph, sigma, expected = workload
+        assert rep_val(sigma, graph, n=4).violations == expected
+
+    def test_repran_matches_detvio(self, workload):
+        graph, sigma, expected = workload
+        assert rep_ran(sigma, graph, n=4).violations == expected
+
+    def test_repnop_matches_detvio(self, workload):
+        graph, sigma, expected = workload
+        assert rep_nop(sigma, graph, n=4).violations == expected
+
+    def test_disval_matches_detvio(self, workload):
+        graph, sigma, expected = workload
+        fr = hash_partition(graph, 4)
+        assert dis_val(sigma, fr).violations == expected
+
+    def test_disran_disnop_match_detvio(self, workload):
+        graph, sigma, expected = workload
+        fr = greedy_edge_cut_partition(graph, 4)
+        assert dis_ran(sigma, fr).violations == expected
+        assert dis_nop(sigma, fr).violations == expected
+
+    def test_split_threshold_preserves_vio(self, workload):
+        graph, sigma, expected = workload
+        run = rep_val(sigma, graph, n=4, split_threshold=50)
+        assert run.violations == expected
+
+    def test_curated_dataset_consistency(self):
+        ds = yago_like.build(scale=60, seed=3)
+        expected = det_vio(ds.gfds, ds.graph)
+        assert rep_val(ds.gfds, ds.graph, n=3).violations == expected
+        fr = hash_partition(ds.graph, 3)
+        assert dis_val(ds.gfds, fr).violations == expected
+
+    def test_sequential_run_agrees(self, workload):
+        graph, sigma, expected = workload
+        violations, cost = sequential_run(sigma, graph)
+        assert violations == expected
+        assert cost > 0
+
+    def test_sequential_budget_abandons(self, workload):
+        graph, sigma, _ = workload
+        violations, cost = sequential_run(sigma, graph, step_budget=1)
+        assert violations is None
+        assert cost > 0
+
+
+class TestParallelScalability:
+    def test_more_workers_less_time_repval(self, workload):
+        """Theorem 10 / Exp-1: parallel time falls as n grows."""
+        graph, sigma, _ = workload
+        t4 = rep_val(sigma, graph, n=4).parallel_time
+        t16 = rep_val(sigma, graph, n=16).parallel_time
+        assert t16 < t4
+        assert t4 / t16 > 1.5
+
+    def test_more_workers_less_time_disval(self, workload):
+        """Theorem 11 / Exp-1."""
+        graph, sigma, _ = workload
+        t4 = dis_val(sigma, hash_partition(graph, 4)).parallel_time
+        t16 = dis_val(sigma, hash_partition(graph, 16)).parallel_time
+        assert t16 < t4
+
+    def test_repval_faster_than_disval(self, workload):
+        """Exp-1(3): repVal avoids data exchange."""
+        graph, sigma, _ = workload
+        rep = rep_val(sigma, graph, n=8).parallel_time
+        dis = dis_val(sigma, hash_partition(graph, 8)).parallel_time
+        assert rep < dis
+
+    def test_balanced_beats_random(self, workload):
+        """Exp-1(2): repVal outperforms repran (on average).
+
+        LPT balances *estimated* weights while the makespan measures
+        executed cost, so individual seeds can flip; we compare against
+        the mean of several random assignments.
+        """
+        graph, sigma, _ = workload
+        balanced = rep_val(sigma, graph, n=8).report.makespan
+        randoms = [
+            rep_ran(sigma, graph, n=8, seed=seed).report.makespan
+            for seed in range(3)
+        ]
+        assert balanced <= sum(randoms) / len(randoms) * 1.05
+
+    def test_communication_positive_for_disval(self, workload):
+        """Exp-3: disVal ships data; repVal does not."""
+        graph, sigma, _ = workload
+        rep = rep_val(sigma, graph, n=4)
+        dis = dis_val(sigma, hash_partition(graph, 4))
+        assert rep.report.total_shipped == 0
+        assert dis.report.total_shipped > 0
+
+    def test_algorithm_labels(self, workload):
+        graph, sigma, _ = workload
+        assert rep_val(sigma, graph, n=2).algorithm == "repVal"
+        assert rep_ran(sigma, graph, n=2).algorithm == "repran"
+        assert rep_nop(sigma, graph, n=2).algorithm == "repnop"
+        fr = hash_partition(graph, 2)
+        assert dis_val(sigma, fr).algorithm == "disVal"
+        assert dis_ran(sigma, fr).algorithm == "disran"
+        assert dis_nop(sigma, fr).algorithm == "disnop"
+
+    def test_unknown_strategy_rejected(self, workload):
+        graph, sigma, _ = workload
+        with pytest.raises(ValueError):
+            rep_val(sigma, graph, n=2, assignment="nope")
+        with pytest.raises(ValueError):
+            dis_val(sigma, hash_partition(graph, 2), assignment="nope")

@@ -1,0 +1,103 @@
+"""Tests for GFD satisfaction semantics (Section 3)."""
+
+from repro.graph import PropertyGraph
+from repro.core import (
+    match_satisfies,
+    match_satisfies_all,
+    match_satisfies_literal,
+    make_gfd,
+    parse_gfd,
+    satisfies_generic,
+)
+from repro.core.literals import ConstantLiteral, VariableLiteral
+from repro.core.satisfaction import GENERIC_ATTR
+from repro.pattern import parse_pattern
+
+
+def single_node_graph(attrs):
+    g = PropertyGraph()
+    g.add_node("v", "R", attrs)
+    return g
+
+
+class TestLiteralSatisfaction:
+    def test_constant_holds(self):
+        g = single_node_graph({"A": 1})
+        assert match_satisfies_literal(g, {"x": "v"}, ConstantLiteral("x", "A", 1))
+
+    def test_constant_wrong_value(self):
+        g = single_node_graph({"A": 2})
+        assert not match_satisfies_literal(g, {"x": "v"}, ConstantLiteral("x", "A", 1))
+
+    def test_missing_attribute_fails_literal(self):
+        g = single_node_graph({})
+        assert not match_satisfies_literal(g, {"x": "v"}, ConstantLiteral("x", "A", 1))
+
+    def test_variable_literal(self):
+        g = PropertyGraph()
+        g.add_node("u", "R", {"A": 5})
+        g.add_node("w", "R", {"B": 5})
+        match = {"x": "u", "y": "w"}
+        assert match_satisfies_literal(g, match, VariableLiteral("x", "A", "y", "B"))
+        assert not match_satisfies_literal(g, match, VariableLiteral("x", "A", "y", "C"))
+
+    def test_empty_conjunction_holds(self):
+        g = single_node_graph({})
+        assert match_satisfies_all(g, {"x": "v"}, [])
+
+
+class TestDependencySemantics:
+    def test_missing_lhs_attribute_trivially_satisfies(self):
+        """Section 3, observation (1): absent X-attribute ⇒ trivial holds."""
+        g = single_node_graph({})  # no attribute A at all
+        gfd = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert match_satisfies(g, {"x": "v"}, gfd)
+
+    def test_rhs_attribute_must_exist(self):
+        """Section 3, observation (2): Y-literals require the attribute."""
+        g = single_node_graph({"A": 1})  # B absent
+        gfd = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert not match_satisfies(g, {"x": "v"}, gfd)
+
+    def test_satisfied_dependency(self):
+        g = single_node_graph({"A": 1, "B": 2})
+        gfd = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert match_satisfies(g, {"x": "v"}, gfd)
+
+    def test_empty_lhs_applies_to_all_matches(self):
+        g = single_node_graph({"B": 3})
+        gfd = parse_gfd("x:R", " => x.B = 2")
+        assert not match_satisfies(g, {"x": "v"}, gfd)
+
+
+class TestGenericAttributes:
+    def test_is_a_inheritance_violation(self):
+        """Example 5(3): penguins marked as birds that can fly."""
+        g = PropertyGraph()
+        g.add_node("bird", "bird", {"can_fly": "true"})
+        g.add_node("penguin", "penguin", {"can_fly": "false"})
+        g.add_edge("penguin", "bird", "is_a")
+        pattern = parse_pattern("y -is_a-> x")
+        gfd = make_gfd(
+            pattern,
+            rhs=[VariableLiteral("x", GENERIC_ATTR, "y", GENERIC_ATTR)],
+            name="phi3",
+        )
+        match = {"x": "bird", "y": "penguin"}
+        assert not satisfies_generic(g, match, gfd)
+
+    def test_is_a_consistent(self):
+        g = PropertyGraph()
+        g.add_node("bird", "bird", {"can_fly": "true"})
+        g.add_node("robin", "robin", {"can_fly": "true"})
+        g.add_edge("robin", "bird", "is_a")
+        pattern = parse_pattern("y -is_a-> x")
+        gfd = make_gfd(
+            pattern, rhs=[VariableLiteral("x", GENERIC_ATTR, "y", GENERIC_ATTR)]
+        )
+        assert satisfies_generic(g, {"x": "bird", "y": "robin"}, gfd)
+
+    def test_generic_falls_back_to_plain(self):
+        g = single_node_graph({"A": 1, "B": 2})
+        gfd = parse_gfd("x:R", "x.A = 1 => x.B = 2")
+        assert satisfies_generic(g, {"x": "v"}, gfd)

@@ -1,0 +1,136 @@
+"""Tests for GFD satisfiability (Section 4.1, Theorem 1, Corollary 4)."""
+
+import pytest
+
+from repro.core import (
+    build_model,
+    canonical_graph,
+    det_vio,
+    find_conflicting_host,
+    is_satisfiable,
+    parse_gfd,
+    trivially_satisfiable,
+)
+from repro.matching import has_match
+
+
+PHI7 = parse_gfd("x:tau", " => x.A = 'c'", name="phi7")
+PHI7B = parse_gfd("x:tau", " => x.A = 'd'", name="phi7'")
+
+Q8_TEXT = "x:tau -l-> y:tau; x -l-> z:tau; y -l-> z"
+Q9_TEXT = "x:tau -l-> y:tau; x -l-> z:tau; y -l-> z; y -l-> w:tau; z -l-> w"
+PHI8 = parse_gfd(Q8_TEXT, " => x.A = 'c'", name="phi8")
+PHI9 = parse_gfd(Q9_TEXT, " => x.A = 'd'", name="phi9")
+
+
+class TestExample7:
+    def test_same_pattern_conflict(self):
+        """φ7, φ7′ force x.A to both c and d on any τ node."""
+        assert is_satisfiable([PHI7])
+        assert is_satisfiable([PHI7B])
+        assert not is_satisfiable([PHI7, PHI7B])
+
+    def test_cross_pattern_conflict(self):
+        """φ8 and φ9: each satisfiable alone, conflicting together since
+        Q8 embeds in Q9."""
+        assert is_satisfiable([PHI8])
+        assert is_satisfiable([PHI9])
+        assert not is_satisfiable([PHI8, PHI9])
+
+    def test_conflicting_host_diagnostic(self):
+        host = find_conflicting_host([PHI8, PHI9])
+        assert host is not None
+        pattern, participants = host
+        assert sorted(participants) == [0, 1]
+
+    def test_no_host_for_satisfiable(self):
+        assert find_conflicting_host([PHI7]) is None
+
+
+class TestCorollary4:
+    def test_variable_gfds_always_satisfiable(self, phi1, phi2):
+        assert trivially_satisfiable([phi1, phi2])
+        assert is_satisfiable([phi1, phi2])
+
+    def test_no_empty_lhs_always_satisfiable(self):
+        guarded = parse_gfd("x:tau", "x.B = 1 => x.A = 'c'")
+        guarded2 = parse_gfd("x:tau", "x.B = 1 => x.A = 'd'")
+        assert trivially_satisfiable([guarded, guarded2])
+        assert is_satisfiable([guarded, guarded2])
+
+    def test_tautological_lhs_counts_as_empty(self):
+        sneaky = parse_gfd("x:tau", "x.A = x.A => x.B = 'c'")
+        sneaky2 = parse_gfd("x:tau", "x.A = x.A => x.B = 'd'")
+        assert not trivially_satisfiable([sneaky, sneaky2])
+        assert not is_satisfiable([sneaky, sneaky2])
+
+
+class TestInteractionThroughPremises:
+    def test_constant_chain_conflict(self):
+        """Premises fire through constants enforced by other GFDs."""
+        a = parse_gfd("x:tau", " => x.A = 'c'")
+        b = parse_gfd("x:tau", "x.A = 'c' => x.B = '1'")
+        c = parse_gfd("x:tau", "x.A = 'c' => x.B = '2'")
+        assert not is_satisfiable([a, b, c])
+        assert is_satisfiable([a, b])
+
+    def test_disconnected_pattern_interaction(self):
+        """Disconnected patterns match across instances: any τ pairs with
+        the σ required by the second pattern."""
+        every_tau = parse_gfd("x:tau; y:sigma", " => x.A = 'c'")
+        some_tau = parse_gfd("x:tau", " => x.A = 'd'")
+        assert not is_satisfiable([every_tau, some_tau])
+
+    def test_disjoint_labels_no_interaction(self):
+        a = parse_gfd("x:tau -e-> y:sigma", " => x.A = 'c'")
+        b = parse_gfd("x:tau -f-> z:rho", " => x.A = 'd'")
+        # Optional overlap only: a model can keep the two τ roles separate.
+        assert is_satisfiable([a, b])
+
+    def test_wildcard_forces_interaction(self):
+        anything = parse_gfd("x", " => x.A = 'c'")
+        tau = parse_gfd("x:tau", " => x.A = 'd'")
+        assert not is_satisfiable([anything, tau])
+
+
+class TestModelConstruction:
+    def test_model_satisfies_sigma(self):
+        sigma = [
+            parse_gfd("x:tau", " => x.A = 'c'"),
+            parse_gfd("x:tau", "x.A = 'c' => x.B = '1'"),
+        ]
+        model = build_model(sigma)
+        assert model is not None
+        assert det_vio(sigma, model) == set()
+
+    def test_model_contains_all_patterns(self, phi1, phi2):
+        model = build_model([phi1, phi2])
+        assert model is not None
+        assert has_match(phi1.pattern, model)
+        assert has_match(phi2.pattern, model)
+
+    def test_no_model_when_unsatisfiable(self):
+        assert build_model([PHI7, PHI7B]) is None
+
+    def test_empty_sigma(self):
+        assert is_satisfiable([])
+        assert build_model([]) is not None
+
+    def test_variable_rhs_gets_fresh_values(self):
+        sigma = [parse_gfd("x:tau -e-> y:tau", " => x.A = y.A")]
+        model = build_model(sigma)
+        assert model is not None
+        assert det_vio(sigma, model) == set()
+
+
+class TestCanonicalGraph:
+    def test_one_instance_per_pattern(self, phi1, phi2):
+        graph, instantiations = canonical_graph([phi1, phi2])
+        assert len(instantiations) == 2
+        assert graph.num_nodes == phi1.pattern.num_nodes + phi2.pattern.num_nodes
+
+    def test_wildcards_get_private_labels(self):
+        gfd = parse_gfd("x -e-> y", " => x.A = 1")
+        graph, _ = canonical_graph([gfd])
+        labels = graph.labels()
+        assert all(label.startswith("⊥") for label in labels)

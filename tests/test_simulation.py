@@ -1,0 +1,73 @@
+"""Tests for graph simulation (Section 6.2, partial-match estimation)."""
+
+from repro.graph import (
+    PropertyGraph,
+    graph_from_edges,
+    graph_simulation,
+    has_simulation_match,
+    simulation_match_count_bound,
+)
+from repro.matching import has_match
+from repro.pattern import parse_pattern
+
+
+def line_graph():
+    return graph_from_edges(
+        [("a", "e", "b"), ("b", "e", "c")],
+        node_labels={"a": "x", "b": "y", "c": "z"},
+    )
+
+
+class TestSimulationRelation:
+    def test_exact_images(self):
+        g = line_graph()
+        q = parse_pattern("u:x -e-> v:y -e-> w:z")
+        sim = graph_simulation(q, g)
+        assert sim == {"u": {"a"}, "v": {"b"}, "w": {"c"}}
+
+    def test_empty_image_refutes_match(self):
+        g = line_graph()
+        q = parse_pattern("u:x -e-> v:z")  # x never points to z directly
+        sim = graph_simulation(q, g)
+        assert sim["u"] == set()
+        assert not has_simulation_match(q, g)
+
+    def test_wildcards_simulate_everything_compatible(self):
+        g = line_graph()
+        q = parse_pattern("u -e-> v")
+        sim = graph_simulation(q, g)
+        assert sim["u"] == {"a", "b"}
+        assert sim["v"] == {"b", "c"}
+
+    def test_edge_label_mismatch(self):
+        g = line_graph()
+        q = parse_pattern("u:x -nope-> v:y")
+        assert not has_simulation_match(q, g)
+
+
+class TestOverApproximation:
+    def test_simulation_necessary_for_isomorphism(self):
+        # Simulation may accept where isomorphism fails (a cycle simulating
+        # in a path), but never the other way round.
+        g = graph_from_edges(
+            [("a", "e", "b"), ("b", "e", "a")],
+            node_labels={"a": "n", "b": "n"},
+        )
+        q = parse_pattern("u:n -e-> v:n -e-> w:n")  # needs 3 distinct nodes
+        assert has_simulation_match(q, g)       # loop unrolls under simulation
+        assert not has_match(q, g)              # isomorphism needs injectivity
+
+    def test_bound_dominates_match_count(self):
+        g = graph_from_edges(
+            [(i, "e", i + 10) for i in range(4)],
+            node_labels={**{i: "s" for i in range(4)},
+                         **{i + 10: "t" for i in range(4)}},
+        )
+        q = parse_pattern("u:s -e-> v:t")
+        bound = simulation_match_count_bound(q, g)
+        assert bound >= 4  # there are exactly 4 matches
+
+    def test_zero_bound_when_unmatchable(self):
+        g = line_graph()
+        q = parse_pattern("u:nolabel -e-> v:y")
+        assert simulation_match_count_bound(q, g) == 0

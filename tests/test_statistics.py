@@ -1,0 +1,112 @@
+"""Tests for graph statistics: histograms and balanced ranges (§6.1)."""
+
+import pytest
+
+from repro.graph import (
+    EquiDepthHistogram,
+    PropertyGraph,
+    balanced_ranges,
+    candidates_in_range,
+    degree_statistics,
+    edge_label_frequencies,
+    label_frequencies,
+    power_law_graph,
+    skewness_ratio,
+    uniform_random_graph,
+)
+
+
+@pytest.fixture
+def labelled():
+    g = PropertyGraph()
+    for i in range(9):
+        g.add_node(i, "flight" if i < 6 else "city", {"val": f"f{i:02d}"})
+    g.add_edge(0, 6, "from")
+    g.add_edge(1, 6, "from")
+    g.add_edge(2, 7, "to")
+    return g
+
+
+class TestFrequencies:
+    def test_label_frequencies(self, labelled):
+        freq = label_frequencies(labelled)
+        assert freq["flight"] == 6
+        assert freq["city"] == 3
+
+    def test_edge_label_frequencies(self, labelled):
+        freq = edge_label_frequencies(labelled)
+        assert freq["from"] == 2
+        assert freq["to"] == 1
+
+    def test_degree_statistics(self, labelled):
+        stats = degree_statistics(labelled)
+        assert stats["max"] == 2  # node 6 has two in-edges
+        assert stats["min"] == 0
+
+
+class TestEquiDepthHistogram:
+    def test_even_depths(self):
+        hist = EquiDepthHistogram(list(range(12)), buckets=3)
+        assert hist.depths == [4, 4, 4]
+
+    def test_uneven_split(self):
+        hist = EquiDepthHistogram(list(range(10)), buckets=3)
+        assert sorted(hist.depths) == [3, 3, 4]
+        assert sum(hist.depths) == 10
+
+    def test_bucket_lookup(self):
+        hist = EquiDepthHistogram([1, 2, 3, 10, 20, 30], buckets=2)
+        assert hist.bucket_of(2) == 0
+        assert hist.bucket_of(20) == 1
+
+    def test_lookup_clamps_out_of_range(self):
+        hist = EquiDepthHistogram([5, 6, 7], buckets=1)
+        assert hist.bucket_of(-100) == 0
+        assert hist.bucket_of(100) == 0
+
+    def test_more_buckets_than_values(self):
+        hist = EquiDepthHistogram([1, 2], buckets=5)
+        assert len(hist) == 2
+
+    def test_empty(self):
+        hist = EquiDepthHistogram([], buckets=3)
+        assert len(hist) == 0
+        with pytest.raises(ValueError):
+            hist.bucket_of(1)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram([1], buckets=0)
+
+
+class TestBalancedRanges:
+    def test_ranges_cover_candidates_evenly(self, labelled):
+        ranges = balanced_ranges(labelled, "flight", "val", m=3)
+        assert len(ranges) == 3
+        counts = [
+            len(candidates_in_range(labelled, "flight", "val", r))
+            for r in ranges
+        ]
+        assert counts == [2, 2, 2]
+
+    def test_union_of_ranges_covers_all(self, labelled):
+        ranges = balanced_ranges(labelled, "flight", "val", m=2)
+        seen = set()
+        for r in ranges:
+            seen.update(candidates_in_range(labelled, "flight", "val", r))
+        assert seen == labelled.nodes_with_label("flight")
+
+    def test_missing_label(self, labelled):
+        assert balanced_ranges(labelled, "nothing", "val", m=2) == []
+
+
+class TestSkewness:
+    def test_skewed_graph_has_smaller_ratio(self):
+        uniform = uniform_random_graph(150, 400, seed=3)
+        skewed = power_law_graph(150, 400, alpha=1.6, seed=3)
+        assert skewness_ratio(skewed, d=2) < skewness_ratio(uniform, d=2)
+
+    def test_ratio_bounded(self):
+        g = uniform_random_graph(60, 120, seed=1)
+        ratio = skewness_ratio(g, d=2)
+        assert 0 < ratio <= 1.0

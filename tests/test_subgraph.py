@@ -1,0 +1,84 @@
+"""Tests for neighbourhood extraction (data blocks, Section 5.2)."""
+
+import pytest
+
+from repro.graph import (
+    PropertyGraph,
+    connected_components,
+    eccentricity,
+    graph_from_edges,
+    k_hop_nodes,
+    k_hop_size,
+    k_hop_subgraph,
+    undirected_distances,
+)
+
+
+@pytest.fixture
+def path5():
+    """A directed path 0 → 1 → 2 → 3 → 4."""
+    g = PropertyGraph()
+    for i in range(5):
+        g.add_node(i, "n")
+    for i in range(4):
+        g.add_edge(i, i + 1, "e")
+    return g
+
+
+class TestKHop:
+    def test_zero_hops(self, path5):
+        assert k_hop_nodes(path5, [2], 0) == {2}
+
+    def test_hops_ignore_direction(self, path5):
+        assert k_hop_nodes(path5, [2], 1) == {1, 2, 3}
+
+    def test_full_cover(self, path5):
+        assert k_hop_nodes(path5, [2], 2) == {0, 1, 2, 3, 4}
+
+    def test_multiple_seeds(self, path5):
+        assert k_hop_nodes(path5, [0, 4], 1) == {0, 1, 3, 4}
+
+    def test_subgraph_contains_induced_edges(self, path5):
+        block = k_hop_subgraph(path5, [2], 1)
+        assert set(block.nodes()) == {1, 2, 3}
+        assert block.num_edges == 2
+
+    def test_size_matches_materialised_block(self, path5):
+        block = k_hop_subgraph(path5, [2], 1)
+        assert k_hop_size(path5, [2], 1) == block.size
+
+
+class TestComponents:
+    def test_single_component(self, path5):
+        assert len(connected_components(path5)) == 1
+
+    def test_two_components(self):
+        g = graph_from_edges([("a", "e", "b"), ("c", "e", "d")])
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [["a", "b"], ["c", "d"]]
+
+    def test_isolated_nodes(self):
+        g = PropertyGraph()
+        g.add_node(1, "x")
+        g.add_node(2, "y")
+        assert len(connected_components(g)) == 2
+
+
+class TestDistances:
+    def test_eccentricity_center_vs_end(self, path5):
+        assert eccentricity(path5, 2) == 2
+        assert eccentricity(path5, 0) == 4
+
+    def test_singleton_eccentricity(self):
+        g = PropertyGraph()
+        g.add_node("solo", "x")
+        assert eccentricity(g, "solo") == 0
+
+    def test_undirected_distances(self, path5):
+        dist = undirected_distances(path5, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_cover_component_only(self):
+        g = graph_from_edges([("a", "e", "b"), ("c", "e", "d")])
+        dist = undirected_distances(g, "a")
+        assert "c" not in dist

@@ -1,0 +1,120 @@
+"""Tests for typed (finite-domain) satisfiability — the §8 extension."""
+
+import pytest
+
+from repro.core import is_satisfiable, parse_gfd
+from repro.core.typed import TypeSchema, is_satisfiable_typed, type_conflicts
+
+
+class TestTypeSchema:
+    def test_declare_and_lookup(self):
+        schema = TypeSchema()
+        schema.declare("account", "is_fake", {"true", "false"})
+        assert schema.domain("account", "is_fake") == {"true", "false"}
+        assert schema.domain("account", "age") is None
+        assert len(schema) == 1
+
+    def test_empty_domain_rejected(self):
+        schema = TypeSchema()
+        with pytest.raises(ValueError):
+            schema.declare("x", "a", set())
+
+    def test_conformance_check(self):
+        from repro.graph import PropertyGraph
+
+        schema = TypeSchema()
+        schema.declare("account", "is_fake", {"true", "false"})
+        g = PropertyGraph()
+        g.add_node(1, "account", {"is_fake": "maybe"})
+        g.add_node(2, "account", {"is_fake": "true"})
+        bad = schema.conforms(g)
+        assert bad == [(1, "is_fake", "maybe")]
+
+
+class TestTypedSatisfiability:
+    def test_unconstrained_matches_classical(self):
+        phi7 = parse_gfd("x:tau", " => x.A = 'c'")
+        phi7b = parse_gfd("x:tau", " => x.A = 'd'")
+        schema = TypeSchema()
+        assert is_satisfiable_typed([phi7], schema)
+        assert not is_satisfiable_typed([phi7, phi7b], schema)
+
+    def test_out_of_domain_conclusion_unsatisfiable(self):
+        """Classically fine, but the forced value is outside the domain."""
+        rule = parse_gfd("x:account", " => x.is_fake = 'maybe'", name="weird")
+        schema = TypeSchema()
+        schema.declare("account", "is_fake", {"true", "false"})
+        assert is_satisfiable([rule])  # no schema: fine
+        assert not is_satisfiable_typed([rule], schema)
+        assert type_conflicts([rule], schema)
+
+    def test_case_split_conflict(self):
+        """Both domain values trigger a clash — the CFD-style gadget.
+
+        Classically satisfiable (leave x.flag absent), but the Boolean
+        domain plus a completeness rule forces one of the two branches.
+        """
+        setter = parse_gfd("x:tau", " => x.flag = x.flag")  # flag must exist
+        # Under satisfaction semantics the tautological RHS enforces
+        # presence, but for reasoning it is vacuous — so drive the split
+        # through premise rules instead:
+        on = parse_gfd("x:tau", "x.flag = 'on' => x.A = '1'", name="on")
+        off = parse_gfd("x:tau", "x.flag = 'off' => x.A = '2'", name="off")
+        pin = parse_gfd("x:tau", " => x.A = '3'", name="pin")
+        schema = TypeSchema()
+        schema.declare("tau", "flag", {"on", "off"})
+        # Classically: leave flag absent → only 'pin' fires → satisfiable.
+        assert is_satisfiable([on, off, pin])
+        # With the domain, flag may still be ABSENT (domains constrain
+        # values, not existence), so the set stays satisfiable...
+        assert is_satisfiable_typed([on, off, pin], schema)
+
+    def test_forced_split_both_branches_conflict(self):
+        """When a rule *forces* the attribute to exist with some domain
+        value, and every value conflicts, Σ is unsatisfiable."""
+        force_on = parse_gfd("x:tau", " => x.flag = 'on'", name="force")
+        on = parse_gfd("x:tau", "x.flag = 'on' => x.A = '1'", name="on")
+        pin = parse_gfd("x:tau", " => x.A = '3'", name="pin")
+        schema = TypeSchema()
+        schema.declare("tau", "flag", {"on", "off"})
+        assert not is_satisfiable_typed([force_on, on, pin], schema)
+        # Without the firing chain it stays satisfiable.
+        assert is_satisfiable_typed([force_on, pin], schema)
+
+    def test_split_on_existence_forcing_rule(self):
+        """A variable-literal conclusion forces the attribute to exist
+        with an unknown value; the Boolean domain then case-splits, and
+        both branches clash — unsatisfiable under the schema only."""
+        exists = parse_gfd(
+            "x:tau -e-> y:tau", " => x.flag = y.flag", name="exists"
+        )
+        on = parse_gfd("x:tau", "x.flag = 'on' => x.A = '1'", name="on")
+        off = parse_gfd("x:tau", "x.flag = 'off' => x.A = '2'", name="off")
+        pin = parse_gfd("x:tau", " => x.A = '3'", name="pin")
+        sigma = [exists, on, off, pin]
+        assert is_satisfiable(sigma)  # classically: flag gets a fresh value
+        schema = TypeSchema()
+        schema.declare("tau", "flag", {"on", "off"})
+        assert not is_satisfiable_typed(sigma, schema)
+        # A three-valued domain leaves an escape hatch.
+        wider = TypeSchema()
+        wider.declare("tau", "flag", {"on", "off", "dunno"})
+        assert is_satisfiable_typed(sigma, wider)
+
+    def test_split_resolves_when_one_branch_survives(self):
+        force = parse_gfd("x:tau", " => x.flag = 'off'", name="force")
+        on = parse_gfd("x:tau", "x.flag = 'on' => x.A = '1'", name="on")
+        pin = parse_gfd("x:tau", " => x.A = '3'", name="pin")
+        schema = TypeSchema()
+        schema.declare("tau", "flag", {"on", "off"})
+        # flag = 'off' avoids the clash branch entirely.
+        assert is_satisfiable_typed([force, on, pin], schema)
+
+    def test_empty_sigma(self):
+        assert is_satisfiable_typed([], TypeSchema())
+
+    def test_type_conflicts_reports_nothing_when_clean(self):
+        rule = parse_gfd("x:account", " => x.is_fake = 'true'")
+        schema = TypeSchema()
+        schema.declare("account", "is_fake", {"true", "false"})
+        assert type_conflicts([rule], schema) == []

@@ -1,0 +1,90 @@
+"""Tests for sequential validation / error detection (Section 5.1)."""
+
+from repro.core import (
+    Violation,
+    det_vio,
+    make_violation,
+    parse_gfd,
+    satisfies,
+    violation_entities,
+    violations_of,
+)
+from repro.matching.vf2 import MatchStats
+
+
+class TestExample6:
+    def test_g1_violates_phi1(self, g1, phi1):
+        """Example 6(a): G1 ⊭ φ1, witnessed by the two DL1 flights."""
+        assert not satisfies([phi1], g1)
+        vio = det_vio([phi1], g1)
+        assert len(vio) == 2  # both orientations of the flight pair
+        flights = {v.match["x"] for v in vio}
+        assert flights == {"flight1", "flight2"}
+
+    def test_g2_violates_phi6(self, g2, phi6):
+        """Example 6(a): G2 ⊭ φ6 via x′ → acct3, x → acct4."""
+        vio = det_vio([phi6], g2)
+        assert vio
+        witnesses = {(v.match["x'"], v.match["x"]) for v in vio}
+        assert ("acct3", "acct4") in witnesses
+        # acct1/acct2 are both fake: those matches satisfy the dependency.
+        assert ("acct1", "acct2") not in witnesses
+
+    def test_g3_satisfies_phi2(self, g3, phi2):
+        """Example 6(b): no Q2 match in G3, trivial satisfaction."""
+        assert satisfies([phi2], g3)
+        assert det_vio([phi2], g3) == set()
+
+
+class TestViolationObjects:
+    def test_hashable_and_deduplicated(self, g1, phi1):
+        first = set(violations_of(phi1, g1))
+        second = set(violations_of(phi1, g1))
+        assert first == second
+        assert len(first | second) == len(first)
+
+    def test_assignment_order_follows_pattern_variables(self, g1, phi1):
+        violation = next(iter(violations_of(phi1, g1)))
+        assert [var for var, _ in violation.assignment] == phi1.pattern.variables
+
+    def test_match_roundtrip(self, g1, phi1):
+        violation = next(iter(violations_of(phi1, g1)))
+        rebuilt = make_violation(phi1, violation.match)
+        assert rebuilt == violation
+
+    def test_nodes_and_entities(self, g1, phi1):
+        vio = det_vio([phi1], g1)
+        entities = violation_entities(vio)
+        assert "flight1" in entities and "flight2" in entities
+
+    def test_str_mentions_gfd_name(self, g1, phi1):
+        violation = next(iter(violations_of(phi1, g1)))
+        assert "phi1" in str(violation)
+
+
+class TestDetVio:
+    def test_union_over_sigma(self, g1, g3, phi1, phi2):
+        graph = g1.copy()
+        graph.merge(g3)
+        vio = det_vio([phi1, phi2], graph)
+        assert {v.gfd_name for v in vio} == {"phi1"}
+
+    def test_limit(self, g1, phi1):
+        assert len(list(violations_of(phi1, g1, limit=1))) == 1
+
+    def test_stats_accumulate(self, g1, phi1):
+        stats = MatchStats()
+        det_vio([phi1], g1, stats=stats)
+        assert stats.steps > 0
+
+    def test_empty_sigma(self, g1):
+        assert det_vio([], g1) == set()
+        assert satisfies([], g1)
+
+    def test_lhs_filtering(self, g1):
+        """Matches whose premise fails are not violations."""
+        guarded = parse_gfd(
+            "x:flight -number-> x1:id; y:flight -number-> y1:id",
+            "x1.val = 'NOPE' => x1.val = y1.val",
+        )
+        assert satisfies([guarded], g1)

@@ -1,0 +1,92 @@
+"""Tests for the workload model (Section 5.2) and estimation (§6.1)."""
+
+import pytest
+
+from repro.core import generate_gfds, parse_gfd
+from repro.graph import power_law_graph
+from repro.parallel import (
+    SimulatedCluster,
+    build_shared_groups,
+    estimate_workload,
+    singleton_groups,
+    total_weight,
+    unit_weight,
+)
+from repro.parallel.workload import block_of, block_size_of
+from repro.graph.partition import hash_partition
+
+
+class TestUnitWeight:
+    def test_monotone_in_block_size(self):
+        assert unit_weight(10, 2) < unit_weight(20, 2)
+
+    def test_exponent_tracks_pattern_edges(self):
+        assert unit_weight(10, 1) == 10.0
+        assert unit_weight(10, 2) == 100.0
+
+    def test_exponent_capped(self):
+        assert unit_weight(10, 99) == 10.0 ** 3
+
+
+class TestEstimation:
+    def test_one_unit_per_candidate(self, phi2, g3):
+        units = estimate_workload([phi2], g3)
+        assert len(units) == 1  # one country
+        unit = units[0]
+        assert unit.pivot_assignment == {"x": "au"}
+        assert unit.block_nodes == frozenset({"au", "canberra"})
+
+    def test_block_size_counts_nodes_and_edges(self, phi2, g3):
+        unit = estimate_workload([phi2], g3)[0]
+        assert unit.block_size == 3  # 2 nodes + 1 edge
+
+    def test_example10_symmetric_dedup(self, phi1, g1):
+        """Example 10/11: isomorphic flight components deduplicate pairs."""
+        units = estimate_workload([phi1], g1)
+        assert len(units) == 1  # (flight1, flight2) only, not both orders
+
+    def test_workunit_block_is_paperexample_g1(self, phi1, g1):
+        """Example 11: the unit for (flight1, flight2) covers all of G1
+        (22 nodes + edges)."""
+        unit = estimate_workload([phi1], g1)[0]
+        assert unit.block_size == g1.size == 22
+
+    def test_shared_groups_reduce_units(self, small_power_law):
+        sigma = generate_gfds(small_power_law, count=6, pattern_edges=2, seed=1)
+        sigma = sigma + sigma  # duplicate rule set → same patterns
+        shared = estimate_workload(
+            sigma, small_power_law, groups=build_shared_groups(sigma)
+        )
+        solo = estimate_workload(
+            sigma, small_power_law, groups=singleton_groups(sigma)
+        )
+        assert len(shared) < len(solo)
+
+    def test_estimation_cost_charged(self, phi1, g1):
+        cluster = SimulatedCluster(4)
+        estimate_workload([phi1], g1, cluster=cluster)
+        assert cluster.planning_time > 0
+
+    def test_fragment_sizes_sum_to_at_most_block(self, small_power_law):
+        sigma = generate_gfds(small_power_law, count=3, pattern_edges=2, seed=2)
+        fr = hash_partition(small_power_law, 4)
+        units = estimate_workload(sigma, small_power_law, fragmentation=fr)
+        for unit in units[:50]:
+            local_total = sum(unit.fragment_sizes.values())
+            # Cross-fragment edges are owned by neither side's count.
+            assert local_total <= unit.block_size
+            assert unit.missing_size(0) >= 0
+
+    def test_total_weight(self, phi2, g3):
+        units = estimate_workload([phi2], g3)
+        assert total_weight(units) == sum(u.weight for u in units)
+
+
+class TestBlockHelpers:
+    def test_block_of_uses_radii(self, phi1, g1):
+        pivot = phi1.pivot
+        nodes = block_of(g1, pivot, {"x": "flight1", "y": "flight2"})
+        assert nodes == set(g1.nodes())
+
+    def test_block_size_of(self, g3):
+        assert block_size_of(g3, set(g3.nodes())) == g3.size
