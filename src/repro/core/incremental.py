@@ -134,7 +134,13 @@ class IncrementalValidator:
         out: Set[Violation] = set()
         matcher = self._matchers.get(index)
         if matcher is None:
-            matcher = SubgraphMatcher(gfd.pattern, self.graph)
+            # Deliberately the legacy backend: an "auto" matcher would
+            # rebuild the whole-graph snapshot after every structural
+            # update (O(|G|) per update), defeating the locality bound
+            # this class exists to honour.  The snapshot backend pays off
+            # for repeated whole-graph sweeps, not single-touched-node
+            # re-matching; see graph/snapshot.py for the selection rules.
+            matcher = SubgraphMatcher(gfd.pattern, self.graph, backend="legacy")
             self._matchers[index] = matcher
         graph = self.graph
         for node in touched:

@@ -57,13 +57,17 @@ def violations_of(
     graph: PropertyGraph,
     limit: Optional[int] = None,
     stats: Optional[MatchStats] = None,
+    backend: str = "auto",
 ) -> Iterator[Violation]:
     """Enumerate violations of a single GFD in ``graph``.
 
     A match violates when it satisfies ``X`` but not ``Y``; matching and
     the two literal checks follow Section 3's semantics exactly.
+    ``backend`` selects the matching backend (``"auto"`` shares the
+    graph's cached snapshot across the rule set; ``"legacy"`` forces the
+    dict-backed path — see :mod:`repro.graph.snapshot`).
     """
-    matcher = SubgraphMatcher(gfd.pattern, graph)
+    matcher = SubgraphMatcher(gfd.pattern, graph, backend=backend)
     emitted = 0
     for match in matcher.matches(stats=stats):
         if not match_satisfies_all(graph, match, gfd.lhs):
@@ -80,16 +84,18 @@ def det_vio(
     sigma: Sequence[GFD],
     graph: PropertyGraph,
     stats: Optional[MatchStats] = None,
+    backend: str = "auto",
 ) -> Set[Violation]:
     """The sequential algorithm ``detVio``: compute ``Vio(Σ, G)`` directly.
 
     Enumerates all matches of every GFD's pattern and filters violators.
     Exponential in pattern size — "prohibitive for big G" (Section 5.1) —
     but the ground truth the parallel algorithms are tested against.
+    The graph's snapshot is built once and reused across all of Σ.
     """
     out: Set[Violation] = set()
     for gfd in sigma:
-        out.update(violations_of(gfd, graph, stats=stats))
+        out.update(violations_of(gfd, graph, stats=stats, backend=backend))
     return out
 
 

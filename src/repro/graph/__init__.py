@@ -3,6 +3,7 @@ the validation algorithms need from it (neighbourhood blocks, statistics,
 fragmentation, simulation, synthetic generation, serialisation)."""
 
 from .graph import GraphError, PropertyGraph, WILDCARD, graph_from_edges
+from .snapshot import GraphSnapshot
 from .subgraph import (
     connected_components,
     eccentricity,
@@ -36,6 +37,7 @@ from .io import graph_from_dict, graph_to_dict, load_graph, save_graph
 
 __all__ = [
     "GraphError",
+    "GraphSnapshot",
     "PropertyGraph",
     "WILDCARD",
     "graph_from_edges",

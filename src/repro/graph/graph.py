@@ -43,7 +43,17 @@ class PropertyGraph:
         g.add_edge(1, 2, "to")
     """
 
-    __slots__ = ("_labels", "_attrs", "_out", "_in", "_label_index", "_num_edges")
+    __slots__ = (
+        "_labels",
+        "_attrs",
+        "_out",
+        "_in",
+        "_label_index",
+        "_num_edges",
+        "_version",
+        "_snapshot_cache",
+        "_snapshot_version",
+    )
 
     def __init__(self) -> None:
         # node -> label
@@ -56,6 +66,12 @@ class PropertyGraph:
         # label -> set of nodes
         self._label_index: Dict[str, Set[NodeId]] = {}
         self._num_edges = 0
+        # structural version: bumped on node/edge/label mutation so cached
+        # snapshots know when they are stale (attribute edits don't count —
+        # snapshots index structure only, see graph/snapshot.py).
+        self._version = 0
+        self._snapshot_cache: Optional["GraphSnapshot"] = None
+        self._snapshot_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -73,6 +89,8 @@ class PropertyGraph:
         old_label = self._labels.get(node)
         if old_label is not None and old_label != label:
             self._label_index[old_label].discard(node)
+        if old_label is None or old_label != label:
+            self._version += 1
         if old_label is None:
             self._out[node] = {}
             self._in[node] = {}
@@ -99,6 +117,7 @@ class PropertyGraph:
         labels.add(label)
         self._in[dst].setdefault(src, set()).add(label)
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, src: NodeId, dst: NodeId, label: str) -> None:
         """Remove the edge ``src -[label]-> dst``; raise if absent."""
@@ -114,6 +133,7 @@ class PropertyGraph:
         if not in_labels:
             del self._in[dst][src]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges."""
@@ -130,6 +150,7 @@ class PropertyGraph:
         del self._attrs[node]
         del self._out[node]
         del self._in[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # attributes
@@ -235,6 +256,25 @@ class PropertyGraph:
             for labels in nbrs.values():
                 out |= labels
         return out
+
+    # ------------------------------------------------------------------
+    # indexed view
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "GraphSnapshot":
+        """The compact indexed view of this graph (the matching backend).
+
+        Built lazily and cached per structural version: repeated calls on
+        an unmutated graph return the same object; any node/edge/label
+        mutation invalidates the cache so the next call rebuilds.
+        Attribute updates do not invalidate — snapshots index structure
+        only (see :mod:`repro.graph.snapshot` for the selection rules).
+        """
+        from .snapshot import GraphSnapshot
+
+        if self._snapshot_cache is None or self._snapshot_version != self._version:
+            self._snapshot_cache = GraphSnapshot(self)
+            self._snapshot_version = self._version
+        return self._snapshot_cache
 
     # ------------------------------------------------------------------
     # derived graphs

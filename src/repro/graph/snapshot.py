@@ -1,0 +1,414 @@
+"""Immutable compact index over a :class:`PropertyGraph` — the fast
+matching backend.
+
+A :class:`GraphSnapshot` re-encodes a property graph into integer-interned,
+CSR-style structures so the subgraph-matching hot path (candidate seeding,
+degree filtering, frontier expansion, edge checks) runs on dense ints and
+precomputed indices instead of nested ``Dict[NodeId, Dict[NodeId,
+Set[str]]]`` walks:
+
+* node identifiers are interned to dense indices ``0 .. |V|-1``;
+* node and edge labels are interned to small ints;
+* out/in adjacency is stored CSR-style (``array`` offsets + flat
+  neighbour/label arrays), with per-``(node, edge label)`` slices so a
+  frontier expansion over one edge label is a contiguous array slice;
+* every node carries a precomputed neighbour-label histogram, so the
+  degree filter never re-counts edge labels per candidate;
+* a ``(src_label, edge_label, dst_label)`` pair index maps each concrete
+  label triple to the nodes that actually participate in such an edge,
+  seeding candidate sets far tighter than the label index alone.
+
+Backend-selection rule
+----------------------
+
+:class:`~repro.matching.vf2.SubgraphMatcher` and
+:func:`~repro.matching.candidates.compute_candidates` accept either a
+:class:`PropertyGraph` or a :class:`GraphSnapshot`:
+
+* passing a snapshot (or a graph with ``backend="snapshot"``/the default
+  ``"auto"``) runs the indexed path;
+* ``backend="legacy"`` forces the original dict-of-dicts path — used by
+  :class:`~repro.core.incremental.IncrementalValidator` after structural
+  updates, where rebuilding a whole-graph snapshot per update would cost
+  ``O(|G|)`` and defeat the locality argument, and by the differential
+  test harness that locks the two paths together.
+
+When snapshots are rebuilt
+--------------------------
+
+``PropertyGraph.snapshot()`` caches the snapshot on the graph and tags it
+with the graph's structural version; any structural mutation (node/edge
+add or remove, label change) bumps the version so the *next*
+``snapshot()`` call rebuilds.  Attribute-only updates (``set_attr``) do
+not invalidate: snapshots index structure and labels only — attribute
+literals are always evaluated against the backing ``PropertyGraph``.
+Snapshots themselves are immutable by convention: every exposed structure
+is a build-time artefact and must not be mutated.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .graph import Edge, NodeId, PropertyGraph, WILDCARD
+
+#: Pattern-edge label codes with no concrete interned id.
+WILD_CODE = -1  #: the wildcard label — matches any edge label
+ABSENT_CODE = -2  #: a label the snapshot has never seen — matches nothing
+
+
+class GraphSnapshot:
+    """Read-only indexed view of one structural version of a graph.
+
+    Exposed attributes are build-time artefacts shared with the matching
+    layer; treat them as frozen.  All ``*_code``/``*_idx`` APIs work in
+    interned index space, the remaining methods mirror the
+    :class:`PropertyGraph` inspection API in original-id space.
+    """
+
+    __slots__ = (
+        "node_ids",
+        "index",
+        "node_label_names",
+        "node_label_ids",
+        "edge_label_names",
+        "edge_label_ids",
+        "label_codes",
+        "nodes_by_label",
+        "out_offsets",
+        "out_nbrs",
+        "out_labs",
+        "in_offsets",
+        "in_nbrs",
+        "in_labs",
+        "out_slices",
+        "in_slices",
+        "out_uniq",
+        "in_uniq",
+        "out_hist",
+        "in_hist",
+        "out_deg",
+        "in_deg",
+        "edge_set",
+        "adj_set",
+        "pair_src",
+        "pair_dst",
+        "num_edges",
+    )
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        #: index -> original node id
+        self.node_ids: List[NodeId] = list(graph.nodes())
+        #: original node id -> index
+        self.index: Dict[NodeId, int] = {
+            node: i for i, node in enumerate(self.node_ids)
+        }
+        n = len(self.node_ids)
+
+        #: node label interning (id -> name, name -> id)
+        self.node_label_names: List[str] = []
+        self.node_label_ids: Dict[str, int] = {}
+        #: node index -> node label id
+        label_codes = array("l")
+        for node in self.node_ids:
+            name = graph.label(node)
+            code = self.node_label_ids.get(name)
+            if code is None:
+                code = len(self.node_label_names)
+                self.node_label_ids[name] = code
+                self.node_label_names.append(name)
+            label_codes.append(code)
+        self.label_codes = label_codes
+
+        #: node label id -> frozenset of node indices
+        by_label: Dict[int, Set[int]] = {}
+        for idx, code in enumerate(label_codes):
+            by_label.setdefault(code, set()).add(idx)
+        self.nodes_by_label: Dict[int, FrozenSet[int]] = {
+            code: frozenset(members) for code, members in by_label.items()
+        }
+
+        #: edge label interning
+        self.edge_label_names: List[str] = []
+        self.edge_label_ids: Dict[str, int] = {}
+
+        #: (src idx, dst idx, edge label id) for O(1) labelled-edge checks
+        self.edge_set: Set[Tuple[int, int, int]] = set()
+        #: (src idx, dst idx) for O(1) wildcard-edge checks
+        self.adj_set: Set[Tuple[int, int]] = set()
+        #: (src label id, edge label id, dst label id) -> participating nodes
+        pair_src: Dict[Tuple[int, int, int], Set[int]] = {}
+        pair_dst: Dict[Tuple[int, int, int], Set[int]] = {}
+
+        # CSR adjacency + per-node indices, one pass per direction; the
+        # out pass also fills the edge sets and the label-pair index.
+        (
+            self.out_offsets,
+            self.out_nbrs,
+            self.out_labs,
+            self.out_slices,
+            self.out_uniq,
+            self.out_hist,
+            self.out_deg,
+        ) = self._build_direction(graph, out=True, pair_src=pair_src, pair_dst=pair_dst)
+        (
+            self.in_offsets,
+            self.in_nbrs,
+            self.in_labs,
+            self.in_slices,
+            self.in_uniq,
+            self.in_hist,
+            self.in_deg,
+        ) = self._build_direction(graph, out=False)
+
+        self.pair_src: Dict[Tuple[int, int, int], FrozenSet[int]] = {
+            key: frozenset(members) for key, members in pair_src.items()
+        }
+        self.pair_dst: Dict[Tuple[int, int, int], FrozenSet[int]] = {
+            key: frozenset(members) for key, members in pair_dst.items()
+        }
+        self.num_edges = len(self.edge_set)
+
+    def _build_direction(
+        self,
+        graph: PropertyGraph,
+        out: bool,
+        pair_src: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
+        pair_dst: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
+    ):
+        """CSR rows sorted by (edge label id, neighbour index), one pass."""
+        offsets: List[int] = [0]
+        nbrs: List[int] = []
+        labs: List[int] = []
+        slices: List[Dict[int, Tuple[int, int]]] = []
+        uniq: List[Tuple[int, ...]] = []
+        hist: List[Dict[int, int]] = []
+        deg: List[int] = []
+        intern = self.edge_label_ids
+        names = self.edge_label_names
+        index = self.index
+        label_codes = self.label_codes
+        adjacency_of = graph.out_neighbors if out else graph.in_neighbors
+        fill_pairs = pair_src is not None
+        edge_set = self.edge_set
+        adj_set = self.adj_set
+        for src_idx, node in enumerate(self.node_ids):
+            row: List[Tuple[int, int]] = []
+            uniq_row: Set[int] = set()
+            for nbr, labels in adjacency_of(node).items():
+                nbr_idx = index[nbr]
+                uniq_row.add(nbr_idx)
+                for label in labels:
+                    code = intern.get(label)
+                    if code is None:
+                        code = len(names)
+                        intern[label] = code
+                        names.append(label)
+                    row.append((code, nbr_idx))
+            row.sort()
+            base = len(nbrs)
+            row_slices: Dict[int, Tuple[int, int]] = {}
+            row_hist: Dict[int, int] = {}
+            if fill_pairs:
+                src_lab = label_codes[src_idx]
+                for code, nbr_idx in row:
+                    edge_set.add((src_idx, nbr_idx, code))
+                    key = (src_lab, code, label_codes[nbr_idx])
+                    entry = pair_src.get(key)
+                    if entry is None:
+                        pair_src[key] = {src_idx}
+                        pair_dst[key] = {nbr_idx}
+                    else:
+                        entry.add(src_idx)
+                        pair_dst[key].add(nbr_idx)
+                adj_set.update((src_idx, nbr_idx) for nbr_idx in uniq_row)
+            # Rows are label-sorted, so each label's slice is one run.
+            run_code: Optional[int] = None
+            run_start = base
+            for pos, (code, nbr_idx) in enumerate(row, start=base):
+                nbrs.append(nbr_idx)
+                labs.append(code)
+                if code != run_code:
+                    if run_code is not None:
+                        row_slices[run_code] = (run_start, pos)
+                        row_hist[run_code] = pos - run_start
+                    run_code = code
+                    run_start = pos
+            end = base + len(row)
+            if run_code is not None:
+                row_slices[run_code] = (run_start, end)
+                row_hist[run_code] = end - run_start
+            offsets.append(end)
+            slices.append(row_slices)
+            uniq.append(tuple(sorted(uniq_row)))
+            hist.append(row_hist)
+            deg.append(len(row))
+        return (
+            array("l", offsets),
+            array("l", nbrs),
+            array("l", labs),
+            slices,
+            uniq,
+            hist,
+            array("l", deg),
+        )
+
+    # ------------------------------------------------------------------
+    # index-space API (matching hot path)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self.node_ids)
+
+    @property
+    def size(self) -> int:
+        """``|V| + |E|`` — the paper's size measure."""
+        return len(self.node_ids) + self.num_edges
+
+    def index_of(self, node: NodeId) -> Optional[int]:
+        """The interned index of ``node``, or ``None`` if absent."""
+        return self.index.get(node)
+
+    def node_of(self, idx: int) -> NodeId:
+        """The original id of interned index ``idx``."""
+        return self.node_ids[idx]
+
+    def node_label_code(self, label: str) -> Optional[int]:
+        """The interned id of node label ``label`` (``None`` if unseen)."""
+        return self.node_label_ids.get(label)
+
+    def edge_label_code(self, label: str) -> int:
+        """Pattern-edge label -> interned code, wildcard- and absence-aware."""
+        if label == WILDCARD:
+            return WILD_CODE
+        return self.edge_label_ids.get(label, ABSENT_CODE)
+
+    def out_pool(self, idx: int, code: int):
+        """Out-neighbours of ``idx`` over edge-label ``code`` (a sequence).
+
+        ``WILD_CODE`` returns the deduplicated neighbour tuple; a concrete
+        code returns the contiguous CSR slice (each neighbour at most once
+        per label); ``ABSENT_CODE`` returns nothing.
+        """
+        if code >= 0:
+            slc = self.out_slices[idx].get(code)
+            if slc is None:
+                return ()
+            return self.out_nbrs[slc[0] : slc[1]]
+        if code == WILD_CODE:
+            return self.out_uniq[idx]
+        return ()
+
+    def in_pool(self, idx: int, code: int):
+        """In-neighbours of ``idx`` over edge-label ``code`` (see out_pool)."""
+        if code >= 0:
+            slc = self.in_slices[idx].get(code)
+            if slc is None:
+                return ()
+            return self.in_nbrs[slc[0] : slc[1]]
+        if code == WILD_CODE:
+            return self.in_uniq[idx]
+        return ()
+
+    def edge_ok(self, src_idx: int, dst_idx: int, code: int) -> bool:
+        """Whether edge ``src -> dst`` exists with label ``code``."""
+        if code >= 0:
+            return (src_idx, dst_idx, code) in self.edge_set
+        if code == WILD_CODE:
+            return (src_idx, dst_idx) in self.adj_set
+        return False
+
+    # ------------------------------------------------------------------
+    # original-id API (mirrors PropertyGraph inspection)
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.index
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over original node identifiers."""
+        return iter(self.node_ids)
+
+    def label(self, node: NodeId) -> str:
+        """The label of ``node``."""
+        return self.node_label_names[self.label_codes[self.index[node]]]
+
+    def labels(self) -> Set[str]:
+        """The set of node labels present."""
+        return set(self.node_label_ids)
+
+    def edge_labels(self) -> Set[str]:
+        """The set of edge labels present."""
+        return set(self.edge_label_ids)
+
+    def nodes_with_label(self, label: str) -> Set[NodeId]:
+        """All original node ids carrying ``label``."""
+        code = self.node_label_ids.get(label)
+        if code is None:
+            return set()
+        ids = self.node_ids
+        return {ids[idx] for idx in self.nodes_by_label[code]}
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(src, dst, label)`` triples in original ids."""
+        ids = self.node_ids
+        names = self.edge_label_names
+        for src_idx in range(len(ids)):
+            start, stop = self.out_offsets[src_idx], self.out_offsets[src_idx + 1]
+            for pos in range(start, stop):
+                yield (ids[src_idx], ids[self.out_nbrs[pos]], names[self.out_labs[pos]])
+
+    def has_edge(self, src: NodeId, dst: NodeId, label: Optional[str] = None) -> bool:
+        """Whether edge ``src -> dst`` exists (with ``label`` if given).
+
+        ``label`` is literal, mirroring ``PropertyGraph.has_edge`` — the
+        string ``"_"`` names a ``"_"``-labelled data edge here, not the
+        pattern wildcard (pattern-label semantics live in
+        :meth:`edge_label_code`/:meth:`edge_ok`).
+        """
+        src_idx = self.index.get(src)
+        dst_idx = self.index.get(dst)
+        if src_idx is None or dst_idx is None:
+            return False
+        if label is None:
+            return (src_idx, dst_idx) in self.adj_set
+        code = self.edge_label_ids.get(label)
+        if code is None:
+            return False
+        return (src_idx, dst_idx, code) in self.edge_set
+
+    def out_degree(self, node: NodeId) -> int:
+        """Number of outgoing labelled edges of ``node``."""
+        return self.out_deg[self.index[node]]
+
+    def in_degree(self, node: NodeId) -> int:
+        """Number of incoming labelled edges of ``node``."""
+        return self.in_deg[self.index[node]]
+
+    def neighbor_label_counts(self, node: NodeId, out: bool = True) -> Dict[str, int]:
+        """Edge-label histogram of ``node`` (out or in) with string keys."""
+        hist = (self.out_hist if out else self.in_hist)[self.index[node]]
+        names = self.edge_label_names
+        return {names[code]: count for code, count in hist.items()}
+
+    def pair_nodes(
+        self, src_label: str, edge_label: str, dst_label: str
+    ) -> Tuple[Set[NodeId], Set[NodeId]]:
+        """Original-id view of one pair-index entry: ``(sources, targets)``."""
+        key = (
+            self.node_label_ids.get(src_label),
+            self.edge_label_ids.get(edge_label),
+            self.node_label_ids.get(dst_label),
+        )
+        ids = self.node_ids
+        return (
+            {ids[idx] for idx in self.pair_src.get(key, ())},
+            {ids[idx] for idx in self.pair_dst.get(key, ())},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GraphSnapshot(|V|={self.num_nodes}, |E|={self.num_edges})"

@@ -1,7 +1,12 @@
 """Subgraph isomorphism matching: candidate filtering, the VF2-style
 backtracking enumerator, and pivoted local matching over data blocks."""
 
-from .candidates import compute_candidates, degree_filter, label_candidates
+from .candidates import (
+    compute_candidate_indices,
+    compute_candidates,
+    degree_filter,
+    label_candidates,
+)
 from .vf2 import (
     Match,
     MatchStats,
@@ -20,6 +25,7 @@ from .locality import (
 )
 
 __all__ = [
+    "compute_candidate_indices",
     "compute_candidates",
     "degree_filter",
     "label_candidates",

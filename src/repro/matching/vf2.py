@@ -15,21 +15,39 @@ and edges).
 The matcher is a VF2-flavoured backtracking search: variables are ordered
 so that each one (where possible) is adjacent to an already-placed
 variable, in which case its candidates come from the placed neighbour's
-adjacency list rather than the global label index.  Disconnected patterns
+adjacency rather than the global label index.  Disconnected patterns
 fall back to the label index when a fresh component starts, preserving
 completeness.
+
+Two interchangeable backends drive the search (see
+:mod:`repro.graph.snapshot` for the selection rules):
+
+* ``legacy`` — the original dict-of-dicts walk over a
+  :class:`PropertyGraph`;
+* ``snapshot`` — index-space search over a :class:`GraphSnapshot`:
+  candidates, frontiers, and edge checks all run on interned ints, and
+  matches are translated back to original node ids only when yielded.
+
+Both backends enumerate exactly the same match set (the differential
+harness in ``tests/test_matcher_differential.py`` locks this in); only
+the traversal cost differs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from ..graph.graph import NodeId, PropertyGraph, WILDCARD
+from ..graph.snapshot import GraphSnapshot
 from ..pattern.pattern import GraphPattern, Variable
-from .candidates import compute_candidates
+from .candidates import compute_candidate_indices, compute_candidates
 
 Match = Dict[Variable, NodeId]
+
+#: Accepted matcher backends: ``auto`` resolves a PropertyGraph to its
+#: cached snapshot; ``legacy``/``snapshot`` force one path.
+BACKENDS = ("auto", "legacy", "snapshot")
 
 
 @dataclass
@@ -37,7 +55,9 @@ class MatchStats:
     """Search-effort counters, used by the cluster cost model.
 
     ``steps`` counts candidate extensions attempted — a deterministic,
-    machine-independent proxy for matching work.
+    machine-independent proxy for matching work.  The two backends may
+    report different ``steps`` for the same query (the indexed one prunes
+    earlier); ``matches`` is always identical.
     """
 
     steps: int = 0
@@ -50,13 +70,80 @@ class SubgraphMatcher:
     Construct once, then call :meth:`matches` (optionally with pre-assigned
     pivot variables) as many times as needed; candidate computation is done
     once at construction.
+
+    ``graph`` may be a :class:`PropertyGraph` or a :class:`GraphSnapshot`.
+    ``backend`` selects the search implementation: ``"auto"`` (default)
+    uses the graph's cached snapshot, ``"legacy"`` forces the dict-backed
+    path, ``"snapshot"`` forces the indexed path.
     """
 
-    def __init__(self, pattern: GraphPattern, graph: PropertyGraph) -> None:
+    def __init__(
+        self,
+        pattern: GraphPattern,
+        graph: Union[PropertyGraph, GraphSnapshot],
+        backend: str = "auto",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown matcher backend {backend!r}")
         self.pattern = pattern
-        self.graph = graph
-        self.candidates = compute_candidates(pattern, graph)
+        self.graph: Optional[PropertyGraph]
+        self.snapshot: Optional[GraphSnapshot]
+        if isinstance(graph, GraphSnapshot):
+            if backend == "legacy":
+                raise ValueError(
+                    "backend='legacy' requires a PropertyGraph, got a snapshot"
+                )
+            self.graph = None
+            self.snapshot = graph
+        elif backend == "legacy":
+            self.graph = graph
+            self.snapshot = None
+        else:
+            self.graph = graph
+            self.snapshot = graph.snapshot()
+        self.backend = "legacy" if self.snapshot is None else "snapshot"
+
+        if self.snapshot is not None:
+            self._cand: Dict[Variable, Set] = compute_candidate_indices(
+                pattern, self.snapshot
+            )
+            self._compile_pattern(self.snapshot)
+            self._frontier = self._frontier_indexed
+            self._consistent = self._consistent_indexed
+        else:
+            self._cand = compute_candidates(pattern, graph)
+            self._frontier = self._frontier_legacy
+            self._consistent = self._consistent_legacy
+        self._cand_nodes: Optional[Dict[Variable, Set[NodeId]]] = None
         self.order = self._plan_order()
+
+    def _compile_pattern(self, snap: GraphSnapshot) -> None:
+        """Pre-translate pattern edge labels to interned codes."""
+        self._pat_out: Dict[Variable, List[Tuple[Variable, int]]] = {}
+        self._pat_in: Dict[Variable, List[Tuple[Variable, int]]] = {}
+        for var in self.pattern.nodes():
+            self._pat_out[var] = [
+                (nbr, snap.edge_label_code(elabel))
+                for nbr, elabel in self.pattern.out_edges(var)
+            ]
+            self._pat_in[var] = [
+                (nbr, snap.edge_label_code(elabel))
+                for nbr, elabel in self.pattern.in_edges(var)
+            ]
+
+    @property
+    def candidates(self) -> Dict[Variable, Set[NodeId]]:
+        """Candidate sets in original-id space (either backend)."""
+        if self._cand_nodes is None:
+            if self.snapshot is not None:
+                ids = self.snapshot.node_ids
+                self._cand_nodes = {
+                    var: {ids[idx] for idx in members}
+                    for var, members in self._cand.items()
+                }
+            else:
+                self._cand_nodes = self._cand
+        return self._cand_nodes
 
     def _plan_order(self) -> List[Variable]:
         """Connectivity-first, rarest-candidates-first search order."""
@@ -69,7 +156,7 @@ class SubgraphMatcher:
                 connected = sum(
                     1 for nbr, _ in pattern.out_edges(var) if nbr in placed
                 ) + sum(1 for nbr, _ in pattern.in_edges(var) if nbr in placed)
-                return (-connected, len(self.candidates[var]), var)
+                return (-connected, len(self._cand[var]), var)
 
             best = min(remaining, key=key)
             order.append(best)
@@ -95,20 +182,31 @@ class SubgraphMatcher:
         """
         fixed = fixed or {}
         stats = stats if stats is not None else MatchStats()
-        for var, node in fixed.items():
+        for var in fixed:
             if var not in self.pattern:
                 raise KeyError(f"unknown pattern variable {var!r}")
-            if node not in self.candidates[var]:
-                return  # incompatible pivot: no matches
-        if len(set(fixed.values())) != len(fixed):
+        if self.snapshot is not None:
+            index_of = self.snapshot.index
+            pinned: Dict[Variable, int] = {}
+            for var, node in fixed.items():
+                idx = index_of.get(node)
+                if idx is None or idx not in self._cand[var]:
+                    return  # incompatible pivot: no matches
+                pinned[var] = idx
+        else:
+            pinned = dict(fixed)
+            for var, node in pinned.items():
+                if node not in self._cand[var]:
+                    return  # incompatible pivot: no matches
+        if len(set(pinned.values())) != len(pinned):
             return  # pivot assignment not injective
-        mapping: Match = dict(fixed)
-        used: Set[NodeId] = set(fixed.values())
+        mapping = dict(pinned)
+        used = set(pinned.values())
         # Validate edges among fixed variables up front.
-        for var in fixed:
+        for var in pinned:
             if not self._consistent(var, mapping[var], mapping, skip=var):
                 return
-        order = [v for v in self.order if v not in fixed]
+        order = [v for v in self.order if v not in pinned]
         yield from self._search(order, 0, mapping, used, limit, stats)
 
     def first_match(self, fixed: Optional[Match] = None) -> Optional[Match]:
@@ -128,14 +226,14 @@ class SubgraphMatcher:
         self,
         order: List[Variable],
         index: int,
-        mapping: Match,
-        used: Set[NodeId],
+        mapping: Dict[Variable, object],
+        used: Set,
         limit: Optional[int],
         stats: MatchStats,
     ) -> Iterator[Match]:
         if index == len(order):
             stats.matches += 1
-            yield dict(mapping)
+            yield self._emit(mapping)
             return
         var = order[index]
         for node in self._frontier(var, mapping):
@@ -152,7 +250,14 @@ class SubgraphMatcher:
             if limit is not None and stats.matches >= limit:
                 return
 
-    def _frontier(self, var: Variable, mapping: Match) -> Iterator[NodeId]:
+    def _emit(self, mapping: Dict[Variable, object]) -> Match:
+        if self.snapshot is not None:
+            ids = self.snapshot.node_ids
+            return {var: ids[idx] for var, idx in mapping.items()}
+        return dict(mapping)
+
+    # -- legacy backend -------------------------------------------------
+    def _frontier_legacy(self, var: Variable, mapping: Match) -> Iterator[NodeId]:
         """Candidates for ``var`` given the partial mapping.
 
         If ``var`` is adjacent to a mapped variable, walk that node's
@@ -160,7 +265,7 @@ class SubgraphMatcher:
         """
         pattern = self.pattern
         graph = self.graph
-        candidates = self.candidates[var]
+        candidates = self._cand[var]
         # Find the mapped neighbour with the smallest adjacency.
         best: Optional[Tuple[int, Iterator[NodeId]]] = None
         for nbr, elabel in pattern.in_edges(var):
@@ -191,7 +296,7 @@ class SubgraphMatcher:
             return best[1]
         return iter(candidates)
 
-    def _consistent(
+    def _consistent_legacy(
         self,
         var: Variable,
         node: NodeId,
@@ -213,6 +318,58 @@ class SubgraphMatcher:
                     return False
         return True
 
+    # -- indexed backend ------------------------------------------------
+    def _frontier_indexed(self, var: Variable, mapping: Dict[Variable, int]):
+        """Index-space frontier: CSR slices instead of adjacency-dict scans."""
+        snap = self.snapshot
+        candidates = self._cand[var]
+        best: Optional[List[int]] = None
+        for nbr, code in self._pat_in[var]:
+            # pattern edge nbr -> var: candidates are out-neighbours of h(nbr)
+            if nbr in mapping:
+                pool = [
+                    idx
+                    for idx in snap.out_pool(mapping[nbr], code)
+                    if idx in candidates
+                ]
+                if best is None or len(pool) < len(best):
+                    best = pool
+        for nbr, code in self._pat_out[var]:
+            # pattern edge var -> nbr: candidates are in-neighbours of h(nbr)
+            if nbr in mapping:
+                pool = [
+                    idx
+                    for idx in snap.in_pool(mapping[nbr], code)
+                    if idx in candidates
+                ]
+                if best is None or len(pool) < len(best):
+                    best = pool
+        if best is not None:
+            return best
+        return iter(candidates)
+
+    def _consistent_indexed(
+        self,
+        var: Variable,
+        node: int,
+        mapping: Dict[Variable, int],
+        skip: Optional[Variable] = None,
+    ) -> bool:
+        """Consistency via the snapshot's O(1) interned edge sets."""
+        edge_ok = self.snapshot.edge_ok
+        for nbr, code in self._pat_out[var]:
+            if nbr == var:  # self loop
+                if not edge_ok(node, node, code):
+                    return False
+            elif nbr in mapping and nbr != skip:
+                if not edge_ok(node, mapping[nbr], code):
+                    return False
+        for nbr, code in self._pat_in[var]:
+            if nbr in mapping and nbr != skip and nbr != var:
+                if not edge_ok(mapping[nbr], node, code):
+                    return False
+        return True
+
 
 def _edge_ok(graph: PropertyGraph, src: NodeId, dst: NodeId, elabel: str) -> bool:
     if elabel == WILDCARD:
@@ -225,22 +382,31 @@ def _edge_ok(graph: PropertyGraph, src: NodeId, dst: NodeId, elabel: str) -> boo
 # ----------------------------------------------------------------------
 def find_matches(
     pattern: GraphPattern,
-    graph: PropertyGraph,
+    graph: Union[PropertyGraph, GraphSnapshot],
     fixed: Optional[Match] = None,
     limit: Optional[int] = None,
     stats: Optional[MatchStats] = None,
+    backend: str = "auto",
 ) -> Iterator[Match]:
     """Enumerate matches of ``pattern`` in ``graph`` (see the class docs)."""
-    return SubgraphMatcher(pattern, graph).matches(
+    return SubgraphMatcher(pattern, graph, backend=backend).matches(
         fixed=fixed, limit=limit, stats=stats
     )
 
 
-def has_match(pattern: GraphPattern, graph: PropertyGraph) -> bool:
+def has_match(
+    pattern: GraphPattern,
+    graph: Union[PropertyGraph, GraphSnapshot],
+    backend: str = "auto",
+) -> bool:
     """Whether ``pattern`` matches anywhere in ``graph``."""
-    return SubgraphMatcher(pattern, graph).first_match() is not None
+    return SubgraphMatcher(pattern, graph, backend=backend).first_match() is not None
 
 
-def count_matches(pattern: GraphPattern, graph: PropertyGraph) -> int:
+def count_matches(
+    pattern: GraphPattern,
+    graph: Union[PropertyGraph, GraphSnapshot],
+    backend: str = "auto",
+) -> int:
     """Number of matches of ``pattern`` in ``graph``."""
-    return SubgraphMatcher(pattern, graph).count_matches()
+    return SubgraphMatcher(pattern, graph, backend=backend).count_matches()

@@ -29,7 +29,7 @@ from ..graph.simulation import graph_simulation
 from ..core.gfd import GFD
 from .assignment import balance_only_assign, bicriteria_assign, random_assign
 from .cluster import CostModel, SimulatedCluster
-from .engine import ValidationRun, run_assignment
+from .engine import BlockMaterialiser, ValidationRun, run_assignment
 from .multiquery import build_shared_groups, singleton_groups
 from .skew import split_oversized
 from .repval import SPLIT_FACTOR
@@ -91,9 +91,19 @@ def dis_val(
         cluster.cost.partition_unit_cost * n * w * math.log2(w + 1)
     )
 
-    _charge_data_shipment(sigma, fragmentation, plan, cluster)
+    # One materialiser for both the shipment estimate and detection: the
+    # blocks graph-simulated for partial-match sizing are exactly the
+    # blocks detection matches over, so each is built (with its snapshot)
+    # once per run.
+    materialiser = BlockMaterialiser(graph)
+    _charge_data_shipment(sigma, fragmentation, plan, cluster, materialiser)
     violations = run_assignment(
-        sigma, graph, plan, cluster, ship_partial_matches=True
+        sigma,
+        graph,
+        plan,
+        cluster,
+        ship_partial_matches=True,
+        materialiser=materialiser,
     )
     return ValidationRun(
         violations=violations,
@@ -108,6 +118,7 @@ def _charge_data_shipment(
     fragmentation: Fragmentation,
     plan: Sequence[Sequence[WorkUnit]],
     cluster: SimulatedCluster,
+    materialiser: BlockMaterialiser,
 ) -> None:
     """Account per-unit communication, choosing the cheaper scheme.
 
@@ -137,7 +148,7 @@ def _charge_data_shipment(
                 else 0.0
             )
             partial_cost = _partial_match_cost(
-                sigma, fragmentation, unit, worker
+                sigma, fragmentation, unit, worker, materialiser
             )
             shipped = min(prefetch_cost, partial_cost) * unit.cost_share
             if shipped > 0:
@@ -153,6 +164,7 @@ def _partial_match_cost(
     fragmentation: Fragmentation,
     unit: WorkUnit,
     worker: int,
+    materialiser: BlockMaterialiser,
 ) -> float:
     """Estimated bytes to ship partial matches instead of block data.
 
@@ -164,11 +176,10 @@ def _partial_match_cost(
     not shipping them is sound.
     """
     leader = sigma[unit.group.leader_index]
-    graph = fragmentation.graph
     owner = fragmentation.owner
     if all(owner[node] == worker for node in unit.block_nodes):
         return 0.0
-    block = graph.induced_subgraph(unit.block_nodes)
+    block = materialiser.block(unit.block_nodes)
     sim = graph_simulation(leader.pattern, block)
     volume = 0
     for image in sim.values():

@@ -15,10 +15,11 @@ simulated cluster.  Detection inside a unit:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..graph.graph import PropertyGraph
+from ..graph.graph import NodeId, PropertyGraph
 from ..matching.locality import candidate_permutations
 from ..matching.vf2 import MatchStats, SubgraphMatcher
 from ..core.gfd import GFD
@@ -60,17 +61,86 @@ class ValidationRun:
         return self.report.parallel_time
 
 
+#: total block size (``|V| + |E|``, the paper's measure) retained per run:
+#: bounds BlockMaterialiser's peak memory at O(budget) instead of
+#: O(sum of all distinct blocks), while the typical repVal/disVal run —
+#: many small, heavily-shared pivot blocks — stays fully cached.
+BLOCK_CACHE_BUDGET = 200_000
+
+
+class BlockMaterialiser:
+    """Per-run size-bounded LRU cache of data blocks and their matchers.
+
+    Symmetric pivot candidates and split units repeatedly name the same
+    ``G_z̄``; materialising a block therefore builds its induced subgraph
+    and its :class:`GraphSnapshot` once per distinct node set (within the
+    cache budget), and one indexed matcher per ``(leader pattern, block)``
+    — instead of re-deriving adjacency structure and candidate sets per
+    work unit.  Least-recently-used blocks are evicted once the summed
+    block size exceeds :data:`BLOCK_CACHE_BUDGET`, so peak memory is
+    bounded by the budget, not by the number of distinct blocks in the
+    run (an evicted block is simply rebuilt on its next use).
+    """
+
+    def __init__(
+        self, graph: PropertyGraph, budget: int = BLOCK_CACHE_BUDGET
+    ) -> None:
+        self.graph = graph
+        self.budget = budget
+        self._retained = 0
+        self._cache: "OrderedDict[FrozenSet[NodeId], Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]]" = (
+            OrderedDict()
+        )
+
+    def _entry(
+        self, block_nodes: Set[NodeId]
+    ) -> Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]:
+        key = frozenset(block_nodes)
+        entry = self._cache.get(key)
+        if entry is None:
+            block = self.graph.induced_subgraph(block_nodes)
+            block.snapshot()  # one snapshot per materialised block
+            entry = (block, {})
+            self._cache[key] = entry
+            self._retained += block.size
+            while self._retained > self.budget and len(self._cache) > 1:
+                _, (evicted, _) = self._cache.popitem(last=False)
+                self._retained -= evicted.size
+        else:
+            self._cache.move_to_end(key)
+        return entry
+
+    def block(self, block_nodes: Set[NodeId]) -> PropertyGraph:
+        """The induced subgraph for ``block_nodes`` (cached, snapshot warm)."""
+        return self._entry(block_nodes)[0]
+
+    def matcher(
+        self, sigma: Sequence[GFD], leader_index: int, block_nodes: Set[NodeId]
+    ) -> Tuple[PropertyGraph, SubgraphMatcher]:
+        """The block plus the leader pattern's matcher over it (cached)."""
+        block, matchers = self._entry(block_nodes)
+        matcher = matchers.get(leader_index)
+        if matcher is None:
+            matcher = SubgraphMatcher(sigma[leader_index].pattern, block)
+            matchers[leader_index] = matcher
+        return block, matcher
+
+
 def execute_unit(
     sigma: Sequence[GFD],
     graph: PropertyGraph,
     unit: WorkUnit,
+    materialiser: Optional[BlockMaterialiser] = None,
 ) -> UnitResult:
     """Run local error detection for one (primary) work unit."""
-    leader = sigma[unit.group.leader_index]
-    block = graph.induced_subgraph(unit.block_nodes)
+    if materialiser is None:
+        materialiser = BlockMaterialiser(graph)
     stats = MatchStats()
     violations: Set[Violation] = set()
-    matcher = SubgraphMatcher(leader.pattern, block)
+    block, matcher = materialiser.matcher(
+        sigma, unit.group.leader_index, unit.block_nodes
+    )
+    leader = sigma[unit.group.leader_index]
     for pinned in candidate_permutations(
         leader.pattern, leader.pivot, unit.pivot_assignment
     ):
@@ -96,6 +166,7 @@ def run_assignment(
     assignment: Sequence[Sequence[WorkUnit]],
     cluster: SimulatedCluster,
     ship_partial_matches: bool = False,
+    materialiser: Optional[BlockMaterialiser] = None,
 ) -> Set[Violation]:
     """Execute a per-worker unit assignment, charging costs as measured.
 
@@ -106,17 +177,21 @@ def run_assignment(
     additionally charged the partial-match shipment the strategy incurs;
     over a replicated graph the exchange is free (Section 6.1: repVal
     "requires no data exchange").  Primaries are processed first so the
-    shares are known when replicas are charged.
+    shares are known when replicas are charged.  ``materialiser`` shares
+    block/matcher materialisation across units (one is created per run
+    when not supplied).
     """
     violations: Set[Violation] = set()
     split_steps: Dict[int, int] = {}
+    if materialiser is None:
+        materialiser = BlockMaterialiser(graph)
 
     # Pass 1: primaries (every unsplit unit is its own primary).
     for worker, worker_units in enumerate(assignment):
         for unit in worker_units:
             if not unit.primary:
                 continue
-            result = execute_unit(sigma, graph, unit)
+            result = execute_unit(sigma, graph, unit, materialiser)
             violations |= result.violations
             if unit.split_id is not None:
                 split_steps[unit.split_id] = result.steps

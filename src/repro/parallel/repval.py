@@ -26,7 +26,7 @@ from ..graph.graph import PropertyGraph
 from ..core.gfd import GFD
 from .balancing import lpt_partition, random_partition
 from .cluster import CostModel, SimulatedCluster
-from .engine import ValidationRun, run_assignment
+from .engine import BlockMaterialiser, ValidationRun, run_assignment
 from .multiquery import build_shared_groups, singleton_groups
 from .skew import split_oversized
 from .workload import estimate_workload
@@ -75,7 +75,12 @@ def rep_val(
         raise ValueError(f"unknown assignment strategy {assignment!r}")
     cluster.charge_partitioning(len(units))
 
-    violations = run_assignment(sigma, graph, plan, cluster)
+    # One materialiser per run: symmetric candidates and split replicas
+    # share their block's snapshot and matcher instead of re-deriving them.
+    materialiser = BlockMaterialiser(graph)
+    violations = run_assignment(
+        sigma, graph, plan, cluster, materialiser=materialiser
+    )
     return ValidationRun(
         violations=violations,
         report=cluster.report(),

@@ -94,3 +94,25 @@ class TestExecuteUnit:
             collected |= execute_unit(sigma, graph, unit).violations
         assert {v.gfd_name for v in collected} == {"fd1", "fd2"}
         assert collected == det_vio(sigma, graph)
+
+
+class TestBlockMaterialiser:
+    def test_size_budget_and_reuse(self):
+        from repro.parallel.engine import BlockMaterialiser
+        from repro.graph import power_law_graph
+
+        graph = power_law_graph(120, 240, seed=3, domain_size=10)
+        mat = BlockMaterialiser(graph, budget=300)
+        nodes = list(graph.nodes())
+        # Repeated requests for the same block return the same object...
+        first = mat.block(set(nodes[:10]))
+        assert mat.block(set(nodes[:10])) is first
+        # ...and retained size never outgrows the budget (except when a
+        # single oversized block is all that remains).
+        for start in range(0, 110):
+            mat.block(set(nodes[start : start + 8]))
+            assert mat._retained <= mat.budget or len(mat._cache) == 1
+        assert len(mat._cache) >= 1
+        # An evicted block is rebuilt, not lost.
+        rebuilt = mat.block(set(nodes[:10]))
+        assert rebuilt == first
