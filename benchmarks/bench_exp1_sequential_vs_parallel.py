@@ -17,6 +17,9 @@ EXPERIMENTS.md):
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro import (
@@ -27,12 +30,22 @@ from repro import (
     rep_val,
     sequential_run,
 )
+from repro.parallel import (
+    build_shared_groups,
+    estimate_workload,
+    execute_plan,
+    lpt_partition,
+)
+from repro.parallel.executors import usable_cpus
 
 from _bench_utils import emit_table
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
 
 def test_exp1_parallel_scalability(benchmark):
-    graph = power_law_graph(3000, 6000, seed=10, domain_size=25)
+    nodes, edges = (1500, 3000) if QUICK else (3000, 6000)
+    graph = power_law_graph(nodes, edges, seed=10, domain_size=25)
     sigma = generate_gfds(graph, count=6, pattern_edges=3, seed=10)
 
     rep1 = rep_val(sigma, graph, n=1)
@@ -73,4 +86,62 @@ def test_exp1_parallel_scalability(benchmark):
 
     benchmark.pedantic(
         lambda: rep_val(sigma, graph, n=20), rounds=1, iterations=1
+    )
+
+
+def test_exp1_real_multiprocess_speedup(benchmark):
+    """Real concurrency, real wall clocks: the process executor against the
+    serial in-process run of the *same* plan on the fig6-scale workload.
+
+    Simulated costs model the paper's cluster; this measurement is the
+    sanity check behind them — shipping each worker's shard to a process
+    and detecting violations there must beat executing the whole plan
+    serially once enough cores exist.  The > 1.3x bar at 4 workers is
+    asserted only when >= 4 CPUs are usable (single-core runners can only
+    report the numbers); violation equality is asserted everywhere.
+    """
+    nodes, edges = (1500, 3000) if QUICK else (3000, 6000)
+    graph = power_law_graph(nodes, edges, seed=10, domain_size=25)
+    sigma = generate_gfds(graph, count=6, pattern_edges=3, seed=10)
+    units = estimate_workload(sigma, graph, groups=build_shared_groups(sigma))
+    plan, _ = lpt_partition(units, 4)
+
+    serial_start = time.perf_counter()
+    serial = execute_plan(sigma, graph, plan, executor="simulated")
+    serial_time = time.perf_counter() - serial_start
+
+    process_start = time.perf_counter()
+    parallel = execute_plan(sigma, graph, plan, executor="process", processes=4)
+    process_time = time.perf_counter() - process_start
+
+    def vio(results):
+        return set().union(
+            *(r.violations for worker in results for r in worker if r)
+        )
+
+    assert vio(serial) == vio(parallel)  # real parallelism changes nothing
+
+    speedup = serial_time / process_time if process_time else float("inf")
+    cpus = usable_cpus()
+    emit_table(
+        "exp1_real_multiprocess",
+        ["executor", "wall s", "speedup", "workers", "cpus"],
+        [
+            ("simulated (serial)", f"{serial_time:.2f}", "1.0x", 1, cpus),
+            ("process", f"{process_time:.2f}", f"{speedup:.2f}x", 4, cpus),
+        ],
+    )
+    if cpus >= 4:
+        assert speedup > 1.3, (
+            f"real 4-worker speedup only {speedup:.2f}x on {cpus} CPUs"
+        )
+    else:
+        print(f"(speedup bar skipped: only {cpus} usable CPU(s))")
+
+    benchmark.pedantic(
+        lambda: execute_plan(
+            sigma, graph, plan, executor="process", processes=4
+        ),
+        rounds=1,
+        iterations=1,
     )

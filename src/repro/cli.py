@@ -147,17 +147,19 @@ def cmd_generate(args, out: TextIO) -> int:
 def cmd_bench(args, out: TextIO) -> int:
     graph = load_graph(args.graph)
     rules = parse_rule_file(Path(args.rules).read_text())
-    rep = rep_val(rules, graph, n=args.workers)
+    rep = rep_val(rules, graph, n=args.workers, executor=args.executor,
+                  processes=args.processes)
     fragmentation = greedy_edge_cut_partition(graph, args.workers, seed=0)
-    dis = dis_val(rules, fragmentation)
+    dis = dis_val(rules, fragmentation, executor=args.executor,
+                  processes=args.processes)
     out.write(f"{'algorithm':8s} {'T(cost)':>12s} {'makespan':>10s} "
-              f"{'comm%':>6s} {'|Vio|':>6s}\n")
+              f"{'comm%':>6s} {'|Vio|':>6s}  executor\n")
     for run in (rep, dis):
         out.write(
             f"{run.algorithm:8s} {run.parallel_time:12,.0f} "
             f"{run.report.makespan:10,.0f} "
             f"{run.report.communication_share * 100:5.1f}% "
-            f"{len(run.violations):6d}\n"
+            f"{len(run.violations):6d}  {run.executor}\n"
         )
     if rep.violations != dis.violations:
         out.write("WARNING: algorithms disagree on Vio — this is a bug\n")
@@ -224,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("graph", help="graph file")
     bench.add_argument("rules", help="rule file")
     bench.add_argument("--workers", type=int, default=8)
+    bench.add_argument("--executor", choices=["simulated", "process", "auto"],
+                       default="simulated",
+                       help="execution backend: cost-simulated serial run, "
+                            "a real process pool, or auto-selection")
+    bench.add_argument("--processes", type=int, default=None,
+                       help="cap the real process pool (executor=process/auto)")
     bench.set_defaults(func=cmd_bench)
 
     discover = sub.add_parser("discover", help="mine GFDs from a graph")

@@ -277,6 +277,39 @@ class PropertyGraph:
         return self._snapshot_cache
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple:
+        """Pickle the graph without its cached snapshot.
+
+        Workers rebuild (shard-local) snapshots from the shipped graph
+        data, so carrying the coordinator's cached whole-graph index would
+        roughly double the payload for nothing.
+        """
+        return (
+            self._labels,
+            self._attrs,
+            self._out,
+            self._in,
+            self._label_index,
+            self._num_edges,
+            self._version,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self._labels,
+            self._attrs,
+            self._out,
+            self._in,
+            self._label_index,
+            self._num_edges,
+            self._version,
+        ) = state
+        self._snapshot_cache = None
+        self._snapshot_version = -1
+
+    # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "PropertyGraph":

@@ -46,6 +46,19 @@ class Fragment:
         """Whether ``node``'s owner is this fragment."""
         return node in self.owned
 
+    def snapshot(self):
+        """The shard-local :class:`~repro.graph.snapshot.GraphSnapshot`.
+
+        Indexes exactly this fragment's resident share — its owned nodes,
+        every edge whose source it owns, and the stub copies of foreign
+        endpoints those edges point at (the partition contract of
+        :class:`Fragmentation`).  This is what a ``disVal`` worker matches
+        against before any data is prefetched; cached per structural
+        version like any graph snapshot, and pickle-friendly for shipping
+        to worker processes.
+        """
+        return self.graph.snapshot()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Fragment({self.index}, |owned|={len(self.owned)}, "

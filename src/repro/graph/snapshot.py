@@ -44,6 +44,19 @@ not invalidate: snapshots index structure and labels only — attribute
 literals are always evaluated against the backing ``PropertyGraph``.
 Snapshots themselves are immutable by convention: every exposed structure
 is a build-time artefact and must not be mutated.
+
+Pickling
+--------
+
+Snapshots are pickle-friendly — the groundwork the multiprocess executor
+(:mod:`repro.parallel.executors`) relies on to ship shard-local indices to
+worker processes.  Only the *primary* structures travel over the wire
+(node ids, interned label tables, and the CSR arrays); every derived
+index — the edge/adjacency sets, label-pair index, per-node slices,
+histograms and degree arrays — is rebuilt on unpickling from the CSR in
+one ``O(|V| + |E|)`` pass.  This keeps the pickled payload within a small
+factor of :meth:`GraphSnapshot.memory_estimate` (guarded by tests) rather
+than paying for the set-heavy derived structures twice.
 """
 
 from __future__ import annotations
@@ -100,159 +113,224 @@ class GraphSnapshot:
     def __init__(self, graph: PropertyGraph) -> None:
         #: index -> original node id
         self.node_ids: List[NodeId] = list(graph.nodes())
-        #: original node id -> index
-        self.index: Dict[NodeId, int] = {
+        index: Dict[NodeId, int] = {
             node: i for i, node in enumerate(self.node_ids)
         }
-        n = len(self.node_ids)
 
-        #: node label interning (id -> name, name -> id)
+        #: node label interning (id -> name); name -> id is derived
         self.node_label_names: List[str] = []
-        self.node_label_ids: Dict[str, int] = {}
+        node_label_ids: Dict[str, int] = {}
         #: node index -> node label id
         label_codes = array("l")
         for node in self.node_ids:
             name = graph.label(node)
-            code = self.node_label_ids.get(name)
+            code = node_label_ids.get(name)
             if code is None:
                 code = len(self.node_label_names)
-                self.node_label_ids[name] = code
+                node_label_ids[name] = code
                 self.node_label_names.append(name)
             label_codes.append(code)
         self.label_codes = label_codes
 
-        #: node label id -> frozenset of node indices
-        by_label: Dict[int, Set[int]] = {}
-        for idx, code in enumerate(label_codes):
-            by_label.setdefault(code, set()).add(idx)
-        self.nodes_by_label: Dict[int, FrozenSet[int]] = {
-            code: frozenset(members) for code, members in by_label.items()
-        }
-
-        #: edge label interning
+        #: edge label interning (id -> name); name -> id is derived
         self.edge_label_names: List[str] = []
-        self.edge_label_ids: Dict[str, int] = {}
+        edge_label_ids: Dict[str, int] = {}
 
-        #: (src idx, dst idx, edge label id) for O(1) labelled-edge checks
-        self.edge_set: Set[Tuple[int, int, int]] = set()
-        #: (src idx, dst idx) for O(1) wildcard-edge checks
-        self.adj_set: Set[Tuple[int, int]] = set()
-        #: (src label id, edge label id, dst label id) -> participating nodes
-        pair_src: Dict[Tuple[int, int, int], Set[int]] = {}
-        pair_dst: Dict[Tuple[int, int, int], Set[int]] = {}
+        # Primary CSR adjacency, one pass per direction.  Everything else
+        # — edge/adjacency sets, the label-pair index, per-node slices,
+        # histograms and degrees — is derived from it by the same
+        # ``_derive_indices`` pass construction and unpickling share.
+        self.out_offsets, self.out_nbrs, self.out_labs = self._build_csr(
+            graph, index, edge_label_ids, out=True
+        )
+        self.in_offsets, self.in_nbrs, self.in_labs = self._build_csr(
+            graph, index, edge_label_ids, out=False
+        )
+        self._derive_indices()
 
-        # CSR adjacency + per-node indices, one pass per direction; the
-        # out pass also fills the edge sets and the label-pair index.
-        (
-            self.out_offsets,
-            self.out_nbrs,
-            self.out_labs,
-            self.out_slices,
-            self.out_uniq,
-            self.out_hist,
-            self.out_deg,
-        ) = self._build_direction(graph, out=True, pair_src=pair_src, pair_dst=pair_dst)
-        (
-            self.in_offsets,
-            self.in_nbrs,
-            self.in_labs,
-            self.in_slices,
-            self.in_uniq,
-            self.in_hist,
-            self.in_deg,
-        ) = self._build_direction(graph, out=False)
-
-        self.pair_src: Dict[Tuple[int, int, int], FrozenSet[int]] = {
-            key: frozenset(members) for key, members in pair_src.items()
-        }
-        self.pair_dst: Dict[Tuple[int, int, int], FrozenSet[int]] = {
-            key: frozenset(members) for key, members in pair_dst.items()
-        }
-        self.num_edges = len(self.edge_set)
-
-    def _build_direction(
+    def _build_csr(
         self,
         graph: PropertyGraph,
+        index: Dict[NodeId, int],
+        edge_label_ids: Dict[str, int],
         out: bool,
-        pair_src: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
-        pair_dst: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
-    ):
+    ) -> Tuple["array", "array", "array"]:
         """CSR rows sorted by (edge label id, neighbour index), one pass."""
         offsets: List[int] = [0]
         nbrs: List[int] = []
         labs: List[int] = []
+        names = self.edge_label_names
+        adjacency_of = graph.out_neighbors if out else graph.in_neighbors
+        for node in self.node_ids:
+            row: List[Tuple[int, int]] = []
+            for nbr, labels in adjacency_of(node).items():
+                nbr_idx = index[nbr]
+                for label in labels:
+                    code = edge_label_ids.get(label)
+                    if code is None:
+                        code = len(names)
+                        edge_label_ids[label] = code
+                        names.append(label)
+                    row.append((code, nbr_idx))
+            row.sort()
+            for code, nbr_idx in row:
+                nbrs.append(nbr_idx)
+                labs.append(code)
+            offsets.append(len(nbrs))
+        return array("l", offsets), array("l", nbrs), array("l", labs)
+
+    # ------------------------------------------------------------------
+    # pickling (multiprocess shipping)
+    # ------------------------------------------------------------------
+    #: slots that travel over the wire; everything else is derived.
+    _PICKLED_FIELDS = (
+        "node_ids",
+        "node_label_names",
+        "label_codes",
+        "edge_label_names",
+        "out_offsets",
+        "out_nbrs",
+        "out_labs",
+        "in_offsets",
+        "in_nbrs",
+        "in_labs",
+    )
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Primary structures only — derived indices are rebuilt on load."""
+        return {name: getattr(self, name) for name in self._PICKLED_FIELDS}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name in self._PICKLED_FIELDS:
+            setattr(self, name, state[name])
+        self._derive_indices()
+
+    def _derive_indices(self) -> None:
+        """Build every derived structure from the primary CSR state.
+
+        The single implementation shared by construction and unpickling:
+        rows are already sorted by (edge label id, neighbour index), so
+        slices are runs and histograms are run lengths.  One pass per
+        direction, ``O(|V| + |E|)`` total.
+        """
+        self.index = {node: i for i, node in enumerate(self.node_ids)}
+        self.node_label_ids = {
+            name: code for code, name in enumerate(self.node_label_names)
+        }
+        self.edge_label_ids = {
+            name: code for code, name in enumerate(self.edge_label_names)
+        }
+        by_label: Dict[int, Set[int]] = {}
+        for idx, code in enumerate(self.label_codes):
+            by_label.setdefault(code, set()).add(idx)
+        self.nodes_by_label = {
+            code: frozenset(members) for code, members in by_label.items()
+        }
+        self.edge_set = set()
+        self.adj_set = set()
+        pair_src: Dict[Tuple[int, int, int], Set[int]] = {}
+        pair_dst: Dict[Tuple[int, int, int], Set[int]] = {}
+        (
+            self.out_slices,
+            self.out_uniq,
+            self.out_hist,
+            self.out_deg,
+        ) = self._derive_direction(
+            self.out_offsets, self.out_nbrs, self.out_labs, pair_src, pair_dst
+        )
+        (
+            self.in_slices,
+            self.in_uniq,
+            self.in_hist,
+            self.in_deg,
+        ) = self._derive_direction(self.in_offsets, self.in_nbrs, self.in_labs)
+        self.pair_src = {
+            key: frozenset(members) for key, members in pair_src.items()
+        }
+        self.pair_dst = {
+            key: frozenset(members) for key, members in pair_dst.items()
+        }
+        self.num_edges = len(self.edge_set)
+
+    def _derive_direction(
+        self,
+        offsets,
+        nbrs,
+        labs,
+        pair_src: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
+        pair_dst: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
+    ):
+        """Per-node slices/uniq/hist/deg from one direction's CSR rows."""
+        label_codes = self.label_codes
+        fill_pairs = pair_src is not None
+        edge_set = self.edge_set
+        adj_set = self.adj_set
         slices: List[Dict[int, Tuple[int, int]]] = []
         uniq: List[Tuple[int, ...]] = []
         hist: List[Dict[int, int]] = []
         deg: List[int] = []
-        intern = self.edge_label_ids
-        names = self.edge_label_names
-        index = self.index
-        label_codes = self.label_codes
-        adjacency_of = graph.out_neighbors if out else graph.in_neighbors
-        fill_pairs = pair_src is not None
-        edge_set = self.edge_set
-        adj_set = self.adj_set
-        for src_idx, node in enumerate(self.node_ids):
-            row: List[Tuple[int, int]] = []
-            uniq_row: Set[int] = set()
-            for nbr, labels in adjacency_of(node).items():
-                nbr_idx = index[nbr]
-                uniq_row.add(nbr_idx)
-                for label in labels:
-                    code = intern.get(label)
-                    if code is None:
-                        code = len(names)
-                        intern[label] = code
-                        names.append(label)
-                    row.append((code, nbr_idx))
-            row.sort()
-            base = len(nbrs)
+        for src_idx in range(len(self.node_ids)):
+            base, end = offsets[src_idx], offsets[src_idx + 1]
             row_slices: Dict[int, Tuple[int, int]] = {}
             row_hist: Dict[int, int] = {}
-            if fill_pairs:
-                src_lab = label_codes[src_idx]
-                for code, nbr_idx in row:
-                    edge_set.add((src_idx, nbr_idx, code))
-                    key = (src_lab, code, label_codes[nbr_idx])
-                    entry = pair_src.get(key)
-                    if entry is None:
-                        pair_src[key] = {src_idx}
-                        pair_dst[key] = {nbr_idx}
-                    else:
-                        entry.add(src_idx)
-                        pair_dst[key].add(nbr_idx)
-                adj_set.update((src_idx, nbr_idx) for nbr_idx in uniq_row)
-            # Rows are label-sorted, so each label's slice is one run.
+            uniq_row: Set[int] = set()
             run_code: Optional[int] = None
             run_start = base
-            for pos, (code, nbr_idx) in enumerate(row, start=base):
-                nbrs.append(nbr_idx)
-                labs.append(code)
+            for pos in range(base, end):
+                code = labs[pos]
+                nbr_idx = nbrs[pos]
+                uniq_row.add(nbr_idx)
+                if fill_pairs:
+                    edge_set.add((src_idx, nbr_idx, code))
+                    key = (label_codes[src_idx], code, label_codes[nbr_idx])
+                    pair_src.setdefault(key, set()).add(src_idx)
+                    pair_dst.setdefault(key, set()).add(nbr_idx)
                 if code != run_code:
                     if run_code is not None:
                         row_slices[run_code] = (run_start, pos)
                         row_hist[run_code] = pos - run_start
                     run_code = code
                     run_start = pos
-            end = base + len(row)
             if run_code is not None:
                 row_slices[run_code] = (run_start, end)
                 row_hist[run_code] = end - run_start
-            offsets.append(end)
+            if fill_pairs:
+                adj_set.update((src_idx, nbr_idx) for nbr_idx in uniq_row)
             slices.append(row_slices)
             uniq.append(tuple(sorted(uniq_row)))
             hist.append(row_hist)
-            deg.append(len(row))
-        return (
-            array("l", offsets),
-            array("l", nbrs),
-            array("l", labs),
-            slices,
-            uniq,
-            hist,
-            array("l", deg),
+            deg.append(end - base)
+        return slices, uniq, hist, array("l", deg)
+
+    def memory_estimate(self) -> int:
+        """Estimated resident bytes of this snapshot (primary + derived).
+
+        The byte-level counterpart of the ``|V| + |E|`` size units the
+        :class:`~repro.parallel.engine.BlockMaterialiser` LRU budget is
+        measured in.  The per-node/per-edge constants approximate the
+        CPython cost of the dict/set-heavy derived indices; the pickled
+        payload (primary structures only) is guarded by tests to stay
+        within 3× of this estimate, so shipping a snapshot never costs
+        wildly more than holding it.
+        """
+        arrays = (
+            self.label_codes,
+            self.out_offsets,
+            self.out_nbrs,
+            self.out_labs,
+            self.out_deg,
+            self.in_offsets,
+            self.in_nbrs,
+            self.in_labs,
+            self.in_deg,
         )
+        estimate = sum(a.itemsize * len(a) for a in arrays)
+        estimate += 80 * self.num_nodes  # node_ids, index, per-node dicts
+        estimate += 96 * self.num_edges  # edge/adj sets, pair index, slices
+        estimate += 64 * (
+            len(self.node_label_names) + len(self.edge_label_names)
+        )
+        return estimate
 
     # ------------------------------------------------------------------
     # index-space API (matching hot path)

@@ -26,6 +26,14 @@ from .engine import (
     run_assignment,
     sequential_run,
 )
+from .executors import (
+    EXECUTORS,
+    MultiprocessExecutor,
+    SimulatedExecutor,
+    execute_plan,
+    resolve_executor,
+    worker_graph,
+)
 from .repval import rep_nop, rep_ran, rep_val
 from .disval import dis_nop, dis_ran, dis_val
 from .reduction import reduce_rules, reduction_ratio
@@ -59,6 +67,12 @@ __all__ = [
     "execute_unit",
     "run_assignment",
     "sequential_run",
+    "EXECUTORS",
+    "MultiprocessExecutor",
+    "SimulatedExecutor",
+    "execute_plan",
+    "resolve_executor",
+    "worker_graph",
     "rep_nop",
     "rep_ran",
     "rep_val",

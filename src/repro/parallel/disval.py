@@ -30,6 +30,7 @@ from ..core.gfd import GFD
 from .assignment import balance_only_assign, bicriteria_assign, random_assign
 from .cluster import CostModel, SimulatedCluster
 from .engine import BlockMaterialiser, ValidationRun, run_assignment
+from .executors import resolve_executor
 from .multiquery import build_shared_groups, singleton_groups
 from .skew import split_oversized
 from .repval import SPLIT_FACTOR
@@ -47,12 +48,19 @@ def dis_val(
     optimize: bool = True,
     split_threshold: Optional[int] = None,
     seed: int = 0,
+    executor: str = "simulated",
+    processes: Optional[int] = None,
 ) -> ValidationRun:
     """Compute ``Vio(Σ, G)`` over a fragmented graph.
 
     ``assignment`` ∈ {``"bicriteria"`` (the paper's disPar),
     ``"random"`` (disran), ``"balance_only"`` (ablation: ignore
-    communication)}.  ``optimize=False`` gives ``disnop``.
+    communication)}.  ``optimize=False`` gives ``disnop``.  ``executor``
+    selects the execution backend (``"simulated"``/``"process"``/
+    ``"auto"``); with ``"process"`` each worker process receives and
+    indexes only its shard — the resident share of its assigned blocks —
+    mirroring ``dlovalVio``'s locally-available data after prefetching
+    (see :mod:`repro.parallel.executors`).
     """
     graph = fragmentation.graph
     n = fragmentation.n
@@ -94,7 +102,9 @@ def dis_val(
     # One materialiser for both the shipment estimate and detection: the
     # blocks graph-simulated for partial-match sizing are exactly the
     # blocks detection matches over, so each is built (with its snapshot)
-    # once per run.
+    # once per run.  (Simulated backend only — worker processes build
+    # shard-local materialisers over their resident share.)
+    resolved = resolve_executor(executor, plan, processes)
     materialiser = BlockMaterialiser(graph)
     _charge_data_shipment(sigma, fragmentation, plan, cluster, materialiser)
     violations = run_assignment(
@@ -104,12 +114,15 @@ def dis_val(
         cluster,
         ship_partial_matches=True,
         materialiser=materialiser,
+        executor=resolved,
+        processes=processes,
     )
     return ValidationRun(
         violations=violations,
         report=cluster.report(),
         num_units=len(units),
         algorithm=_name(assignment, optimize),
+        executor=resolved,
     )
 
 

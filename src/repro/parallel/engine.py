@@ -15,6 +15,7 @@ simulated cluster.  Detection inside a unit:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -48,12 +49,18 @@ class ValidationRun:
 
     ``report.parallel_time`` is the quantity the paper's figures plot;
     ``violations`` is exact (every unit is executed for real).
+    ``executor`` records which execution backend actually ran the units —
+    ``"simulated"`` (serial, cost-accounted) or ``"process"`` (a real
+    :class:`~concurrent.futures.ProcessPoolExecutor`); both produce
+    identical violations and reports (see
+    :mod:`repro.parallel.executors`).
     """
 
     violations: Set[Violation]
     report: ClusterReport
     num_units: int
     algorithm: str
+    executor: str = "simulated"
 
     @property
     def parallel_time(self) -> float:
@@ -80,6 +87,24 @@ class BlockMaterialiser:
     block size exceeds :data:`BLOCK_CACHE_BUDGET`, so peak memory is
     bounded by the budget, not by the number of distinct blocks in the
     run (an evicted block is simply rebuilt on its next use).
+
+    Concurrency semantics (the coordinator path): one materialiser may be
+    shared by concurrently running workers (e.g. the thread-backed
+    :func:`~repro.parallel.cluster.run_concurrently` demo).  All cache
+    state — the LRU order, the retained-size accounting against the
+    single shared budget, and the per-block matcher tables — is guarded
+    by one reentrant lock, and a block or matcher is *built while holding
+    it*: two workers requesting the same block serialise on the lock and
+    the second finds the first's entry, so no duplicate snapshot builds
+    occur and ``retained`` never drifts from the cache contents.  Builds
+    of *distinct* blocks therefore also serialise — acceptable on the
+    coordinator path, where the alternative (duplicate builds racing into
+    a shared budget) costs more than it saves.  Worker *processes* never
+    share a materialiser; each builds its own over its shard
+    (:mod:`repro.parallel.executors`).  ``builds`` counts the block
+    materialisations actually performed (cache-miss builds, including
+    rebuilds after eviction); tests use it to pin the no-duplicates
+    guarantee.
     """
 
     def __init__(
@@ -87,7 +112,10 @@ class BlockMaterialiser:
     ) -> None:
         self.graph = graph
         self.budget = budget
+        #: number of block materialisations performed (cache misses)
+        self.builds = 0
         self._retained = 0
+        self._lock = threading.RLock()
         self._cache: "OrderedDict[FrozenSet[NodeId], Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]]" = (
             OrderedDict()
         )
@@ -96,19 +124,21 @@ class BlockMaterialiser:
         self, block_nodes: Set[NodeId]
     ) -> Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]:
         key = frozenset(block_nodes)
-        entry = self._cache.get(key)
-        if entry is None:
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                return entry
             block = self.graph.induced_subgraph(block_nodes)
             block.snapshot()  # one snapshot per materialised block
             entry = (block, {})
             self._cache[key] = entry
+            self.builds += 1
             self._retained += block.size
             while self._retained > self.budget and len(self._cache) > 1:
                 _, (evicted, _) = self._cache.popitem(last=False)
                 self._retained -= evicted.size
-        else:
-            self._cache.move_to_end(key)
-        return entry
+            return entry
 
     def block(self, block_nodes: Set[NodeId]) -> PropertyGraph:
         """The induced subgraph for ``block_nodes`` (cached, snapshot warm)."""
@@ -119,10 +149,11 @@ class BlockMaterialiser:
     ) -> Tuple[PropertyGraph, SubgraphMatcher]:
         """The block plus the leader pattern's matcher over it (cached)."""
         block, matchers = self._entry(block_nodes)
-        matcher = matchers.get(leader_index)
-        if matcher is None:
-            matcher = SubgraphMatcher(sigma[leader_index].pattern, block)
-            matchers[leader_index] = matcher
+        with self._lock:
+            matcher = matchers.get(leader_index)
+            if matcher is None:
+                matcher = SubgraphMatcher(sigma[leader_index].pattern, block)
+                matchers[leader_index] = matcher
         return block, matcher
 
 
@@ -167,6 +198,8 @@ def run_assignment(
     cluster: SimulatedCluster,
     ship_partial_matches: bool = False,
     materialiser: Optional[BlockMaterialiser] = None,
+    executor: str = "simulated",
+    processes: Optional[int] = None,
 ) -> Set[Violation]:
     """Execute a per-worker unit assignment, charging costs as measured.
 
@@ -179,19 +212,36 @@ def run_assignment(
     "requires no data exchange").  Primaries are processed first so the
     shares are known when replicas are charged.  ``materialiser`` shares
     block/matcher materialisation across units (one is created per run
-    when not supplied).
+    when not supplied; simulated backend only).
+
+    ``executor`` selects how the primary units actually run —
+    ``"simulated"`` (serial, in-process), ``"process"`` (a real
+    :class:`~concurrent.futures.ProcessPoolExecutor`, ``processes``
+    capping the pool), or ``"auto"`` (see
+    :func:`~repro.parallel.executors.resolve_executor`).  Cost charging
+    happens on the coordinator from the per-unit measurements either way,
+    so both backends yield identical violations *and* identical cluster
+    reports.
     """
+    from .executors import execute_plan
+
     violations: Set[Violation] = set()
     split_steps: Dict[int, int] = {}
-    if materialiser is None:
-        materialiser = BlockMaterialiser(graph)
 
-    # Pass 1: primaries (every unsplit unit is its own primary).
+    # Pass 1: primaries (every unsplit unit is its own primary), executed
+    # by the selected backend; results align 1:1 with the assignment.
+    results = execute_plan(
+        sigma,
+        graph,
+        assignment,
+        executor=executor,
+        processes=processes,
+        materialiser=materialiser,
+    )
     for worker, worker_units in enumerate(assignment):
-        for unit in worker_units:
+        for unit, result in zip(worker_units, results[worker]):
             if not unit.primary:
                 continue
-            result = execute_unit(sigma, graph, unit, materialiser)
             violations |= result.violations
             if unit.split_id is not None:
                 split_steps[unit.split_id] = result.steps

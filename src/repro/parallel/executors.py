@@ -1,0 +1,277 @@
+"""Execution backends for the parallel engine: simulated vs. real processes.
+
+The simulated cluster (:mod:`repro.parallel.cluster`) charges deterministic
+costs while work units execute serially in-process.  This module adds the
+other half the paper's Figures 5–8 are about — *real* concurrency:
+
+* :class:`SimulatedExecutor` — the original path: every worker's units run
+  on the coordinator, sharing one :class:`~repro.parallel.engine.
+  BlockMaterialiser` so heavily-shared blocks are indexed once;
+* :class:`MultiprocessExecutor` — a :class:`concurrent.futures.
+  ProcessPoolExecutor` backend: each (simulated) worker's primary units
+  are shipped to a worker process together with its *shard-local* graph —
+  the subgraph induced by the union of its assigned blocks, i.e. exactly
+  the resident share a ``disVal`` fragment holds after prefetching.  The
+  worker process materialises shard-local
+  :class:`~repro.graph.snapshot.GraphSnapshot`s per block (never the whole
+  graph), runs local error detection for real, and returns per-unit
+  results for the coordinator to aggregate.
+
+Both backends return the same per-unit :class:`~repro.parallel.engine.
+UnitResult`s — violations are value-equal sets, and ``steps`` counts every
+candidate extension attempted during full enumeration, which is a set-
+not order-dependent quantity — so cost charging on the coordinator yields
+*identical* :class:`~repro.parallel.cluster.ClusterReport`s.  The
+differential suite ``tests/test_parallel_executors.py`` locks this in.
+
+Selection rule
+--------------
+
+``executor="simulated"`` (the default everywhere) keeps the original
+behaviour; ``"process"`` forces the pool; ``"auto"`` picks the pool only
+when it can plausibly pay off — more than one non-empty worker, at least
+:data:`AUTO_MIN_PRIMARY_UNITS` primary units, and more than one usable
+CPU — and falls back to ``"simulated"`` otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+from ..graph.graph import PropertyGraph
+from ..core.gfd import GFD
+from .workload import WorkUnit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import BlockMaterialiser, UnitResult
+
+#: Accepted executor names (``auto`` resolves per the module docstring).
+EXECUTORS = ("simulated", "process", "auto")
+
+#: ``auto`` only reaches for processes when the plan has at least this
+#: many primary units — below it, pool start-up dwarfs the matching work.
+AUTO_MIN_PRIMARY_UNITS = 8
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_executor(
+    executor: str,
+    plan: Sequence[Sequence[WorkUnit]] = (),
+    processes: Optional[int] = None,
+) -> str:
+    """Resolve an executor name to ``"simulated"`` or ``"process"``.
+
+    ``"auto"`` chooses the process pool only when the plan is big enough
+    to amortise pool start-up and the machine has more than one usable
+    CPU; otherwise it stays simulated.  Unknown names raise.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if executor != "auto":
+        return executor
+    primaries = sum(1 for units in plan for unit in units if unit.primary)
+    busy_workers = sum(1 for units in plan if units)
+    cpus = usable_cpus()
+    if processes is not None:
+        cpus = min(processes, cpus)  # the pool is capped by both anyway
+    if busy_workers > 1 and primaries >= AUTO_MIN_PRIMARY_UNITS and cpus > 1:
+        return "process"
+    return "simulated"
+
+
+def worker_graph(
+    graph: PropertyGraph, units: Sequence[WorkUnit]
+) -> PropertyGraph:
+    """The shard-local graph a worker needs for ``units``.
+
+    The subgraph induced by the union of the units' block node sets.
+    Data blocks are induced subgraphs of ``G``, and each block's node set
+    is contained in the union, so every block materialised from this
+    shard equals the block materialised from the full graph — the worker
+    indexes only its resident share, never ``G`` itself.  For ``disVal``
+    this is precisely the fragment's share of the assigned blocks plus
+    the prefetched remainder.
+    """
+    needed: Set = set()
+    for unit in units:
+        needed |= unit.block_nodes
+    return graph.induced_subgraph(needed)
+
+
+def _run_worker_units(
+    payload: Tuple[Sequence[GFD], PropertyGraph, List[WorkUnit]]
+) -> List["UnitResult"]:
+    """Worker-process entry point: execute primary units over the shard.
+
+    Module-level (picklable) by construction.  Builds one shard-local
+    :class:`~repro.parallel.engine.BlockMaterialiser` so blocks shared by
+    the worker's own units are indexed once, exactly as on the
+    coordinator path.
+    """
+    from .engine import BlockMaterialiser, execute_unit
+
+    sigma, shard, units = payload
+    materialiser = BlockMaterialiser(shard)
+    return [execute_unit(sigma, shard, unit, materialiser) for unit in units]
+
+
+class SimulatedExecutor:
+    """Serial in-process execution (the original, cost-simulated path).
+
+    One :class:`~repro.parallel.engine.BlockMaterialiser` is shared across
+    all simulated workers, so pivot blocks named by units of *different*
+    workers are still built once per run.
+    """
+
+    name = "simulated"
+
+    def __init__(self, materialiser: Optional["BlockMaterialiser"] = None):
+        self.materialiser = materialiser
+
+    def run(
+        self,
+        sigma: Sequence[GFD],
+        graph: PropertyGraph,
+        plan: Sequence[Sequence[WorkUnit]],
+    ) -> List[List[Optional["UnitResult"]]]:
+        """Execute every primary unit; replicas map to ``None``."""
+        from .engine import BlockMaterialiser, execute_unit
+
+        materialiser = self.materialiser
+        if materialiser is None:
+            materialiser = BlockMaterialiser(graph)
+        results: List[List[Optional["UnitResult"]]] = []
+        for worker_units in plan:
+            results.append(
+                [
+                    execute_unit(sigma, graph, unit, materialiser)
+                    if unit.primary
+                    else None
+                    for unit in worker_units
+                ]
+            )
+        return results
+
+
+class MultiprocessExecutor:
+    """Real parallel execution over a :class:`ProcessPoolExecutor`.
+
+    Each non-empty worker of the plan becomes one task: its primary units
+    plus the shard-local graph they need (see :func:`worker_graph`) are
+    pickled to a worker process, which indexes the shard and detects
+    violations for real.  Snapshots travel compactly
+    (:meth:`~repro.graph.snapshot.GraphSnapshot.__getstate__` ships
+    primary CSR state only) and graphs drop their cached whole-graph
+    snapshot on the wire.
+
+    ``processes`` caps the pool size (default: one process per non-empty
+    worker, capped by usable CPUs).  ``start_method`` defaults to
+    ``"fork"`` where available — workers then share the parent's hash
+    seed, though result equality does not depend on it: violation sets
+    compare by value and step counts are enumeration-order independent.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("need at least one process")
+        self.processes = processes
+        if start_method is None:
+            # Prefer fork only on Linux: macOS lists it but its system
+            # libraries are not fork-safe (intermittent aborts once the
+            # parent has started threads), so elsewhere we take the
+            # platform's default start method.
+            if sys.platform == "linux":
+                start_method = "fork"
+            else:  # pragma: no cover - non-Linux
+                start_method = multiprocessing.get_start_method()
+        self.start_method = start_method
+
+    def run(
+        self,
+        sigma: Sequence[GFD],
+        graph: PropertyGraph,
+        plan: Sequence[Sequence[WorkUnit]],
+    ) -> List[List[Optional["UnitResult"]]]:
+        """Execute every primary unit in worker processes.
+
+        Returns per-worker result lists aligned with ``plan``: one
+        :class:`~repro.parallel.engine.UnitResult` per primary unit,
+        ``None`` per replica — the same shape :class:`SimulatedExecutor`
+        produces.
+        """
+        primaries: List[List[WorkUnit]] = [
+            [unit for unit in worker_units if unit.primary]
+            for worker_units in plan
+        ]
+        busy = [w for w, units in enumerate(primaries) if units]
+        results: Dict[int, List["UnitResult"]] = {}
+        if busy:
+            pool_size = min(
+                self.processes or len(busy), len(busy), max(1, usable_cpus())
+            )
+            context = multiprocessing.get_context(self.start_method)
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=context
+            ) as pool:
+                futures = {
+                    worker: pool.submit(
+                        _run_worker_units,
+                        (sigma, worker_graph(graph, primaries[worker]),
+                         primaries[worker]),
+                    )
+                    for worker in busy
+                }
+                for worker, future in futures.items():
+                    results[worker] = future.result()
+        aligned: List[List[Optional["UnitResult"]]] = []
+        for worker, worker_units in enumerate(plan):
+            worker_results = iter(results.get(worker, ()))
+            aligned.append(
+                [
+                    next(worker_results) if unit.primary else None
+                    for unit in worker_units
+                ]
+            )
+        return aligned
+
+
+def execute_plan(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    plan: Sequence[Sequence[WorkUnit]],
+    executor: str = "simulated",
+    processes: Optional[int] = None,
+    materialiser: Optional["BlockMaterialiser"] = None,
+) -> List[List[Optional["UnitResult"]]]:
+    """Execute a plan's primary units with the chosen backend.
+
+    The entry point :func:`~repro.parallel.engine.run_assignment` builds
+    on: resolves ``executor`` (see :func:`resolve_executor`), runs every
+    primary unit, and returns per-worker result lists aligned with
+    ``plan`` (``None`` for replicas).  ``materialiser`` only applies to
+    the simulated backend — worker processes always build their own
+    shard-local materialiser.
+    """
+    resolved = resolve_executor(executor, plan, processes)
+    if resolved == "simulated":
+        backend = SimulatedExecutor(materialiser=materialiser)
+    else:
+        backend = MultiprocessExecutor(processes=processes)
+    return backend.run(sigma, graph, plan)

@@ -27,6 +27,7 @@ from ..core.gfd import GFD
 from .balancing import lpt_partition, random_partition
 from .cluster import CostModel, SimulatedCluster
 from .engine import BlockMaterialiser, ValidationRun, run_assignment
+from .executors import resolve_executor
 from .multiquery import build_shared_groups, singleton_groups
 from .skew import split_oversized
 from .workload import estimate_workload
@@ -45,13 +46,17 @@ def rep_val(
     optimize: bool = True,
     split_threshold: Optional[int] = None,
     seed: int = 0,
+    executor: str = "simulated",
+    processes: Optional[int] = None,
 ) -> ValidationRun:
     """Compute ``Vio(Σ, G)`` with ``n`` processors and a replicated ``G``.
 
     ``assignment`` is ``"balanced"`` (the paper's bPar) or ``"random"``
     (the ``repran`` baseline).  ``optimize=False`` gives ``repnop``.
     ``split_threshold`` overrides the automatic skew threshold; pass ``0``
-    to disable splitting entirely.
+    to disable splitting entirely.  ``executor`` selects the execution
+    backend (``"simulated"``/``"process"``/``"auto"``, see
+    :mod:`repro.parallel.executors`); ``processes`` caps the real pool.
     """
     cluster = SimulatedCluster(n, cost_model)
     groups = build_shared_groups(sigma) if optimize else singleton_groups(sigma)
@@ -77,15 +82,24 @@ def rep_val(
 
     # One materialiser per run: symmetric candidates and split replicas
     # share their block's snapshot and matcher instead of re-deriving them.
-    materialiser = BlockMaterialiser(graph)
+    # (Simulated backend only — worker processes build shard-local ones.)
+    resolved = resolve_executor(executor, plan, processes)
+    materialiser = BlockMaterialiser(graph) if resolved == "simulated" else None
     violations = run_assignment(
-        sigma, graph, plan, cluster, materialiser=materialiser
+        sigma,
+        graph,
+        plan,
+        cluster,
+        materialiser=materialiser,
+        executor=resolved,
+        processes=processes,
     )
     return ValidationRun(
         violations=violations,
         report=cluster.report(),
         num_units=len(units),
         algorithm=_name(assignment, optimize),
+        executor=resolved,
     )
 
 

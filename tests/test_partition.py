@@ -90,3 +90,62 @@ class TestPartitioners:
     def test_greedy_respects_capacity_roughly(self, graph):
         fr = greedy_edge_cut_partition(graph, 4, seed=3)
         assert fr.balance() <= 1.5
+
+
+class TestShardSnapshots:
+    """Shard-local snapshots index exactly the fragment's resident share
+    (the partition contract disVal's worker processes rely on)."""
+
+    def test_every_local_node_and_edge_in_shard_snapshot(self, graph):
+        fr = hash_partition(graph, 4)
+        for frag in fr.fragments:
+            snap = frag.snapshot()
+            for node in frag.graph.nodes():
+                assert node in snap
+                assert snap.label(node) == frag.graph.label(node)
+            assert set(snap.edges()) == set(frag.graph.edges())
+
+    def test_owned_nodes_all_indexed(self, graph):
+        fr = greedy_edge_cut_partition(graph, 3)
+        for frag in fr.fragments:
+            for node in frag.owned:
+                assert node in frag.snapshot()
+
+    def test_cross_shard_edges_follow_partition_contract(self, graph):
+        """A cross-fragment edge is indexed at the source's owner, with a
+        stub for the foreign endpoint; the destination's owner indexes the
+        node but not the edge (unless it owns another source of one)."""
+        fr = hash_partition(graph, 3)
+        cross = [
+            (src, dst, label)
+            for src, dst, label in graph.edges()
+            if fr.owner[src] != fr.owner[dst]
+        ]
+        assert cross  # hash partitioning of this graph always cuts edges
+        for src, dst, label in cross:
+            src_snap = fr.fragments[fr.owner[src]].snapshot()
+            assert src_snap.has_edge(src, dst, label)
+            assert src_snap.label(dst) == graph.label(dst)  # stub labelled
+            dst_snap = fr.fragments[fr.owner[dst]].snapshot()
+            assert dst in dst_snap
+            assert not dst_snap.has_edge(src, dst, label)
+
+    def test_shard_snapshot_union_covers_graph_edges(self, graph):
+        fr = hash_partition(graph, 4)
+        union = set()
+        for frag in fr.fragments:
+            union |= set(frag.snapshot().edges())
+        assert union == set(graph.edges())
+
+    def test_shard_snapshot_is_cached_per_version(self, graph):
+        fr = hash_partition(graph, 2)
+        frag = fr.fragments[0]
+        assert frag.snapshot() is frag.snapshot()
+
+    def test_shard_snapshot_pickles(self, graph):
+        import pickle
+
+        fr = hash_partition(graph, 3)
+        for frag in fr.fragments:
+            restored = pickle.loads(pickle.dumps(frag.snapshot()))
+            assert set(restored.edges()) == set(frag.graph.edges())

@@ -258,3 +258,89 @@ class TestCachingContract:
         assert graph.snapshot() is snap
         graph.add_node("a", "person")  # same label: structure unchanged
         assert graph.snapshot() is snap
+
+
+class TestPickling:
+    """Snapshots ship to worker processes: round-trip + payload guards."""
+
+    DERIVED = (
+        "index",
+        "node_label_ids",
+        "edge_label_ids",
+        "nodes_by_label",
+        "out_slices",
+        "out_uniq",
+        "out_hist",
+        "in_slices",
+        "in_uniq",
+        "in_hist",
+        "edge_set",
+        "adj_set",
+        "pair_src",
+        "pair_dst",
+        "num_edges",
+    )
+    ARRAYS = ("label_codes", "out_offsets", "out_nbrs", "out_labs",
+              "out_deg", "in_offsets", "in_nbrs", "in_labs", "in_deg")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_getstate_setstate_round_trip(self, seed):
+        import pickle
+
+        graph = generated(seed)
+        snap = GraphSnapshot(graph)
+        restored = pickle.loads(pickle.dumps(snap))
+        # Primary state survives verbatim.
+        assert restored.node_ids == snap.node_ids
+        assert restored.node_label_names == snap.node_label_names
+        assert restored.edge_label_names == snap.edge_label_names
+        for name in self.ARRAYS:
+            assert getattr(restored, name) == getattr(snap, name), name
+        # Every derived index is rebuilt identically from the CSR.
+        for name in self.DERIVED:
+            assert getattr(restored, name) == getattr(snap, name), name
+
+    def test_round_trip_preserves_matching(self):
+        from repro.core import generate_gfds
+        from repro.matching import SubgraphMatcher
+        import pickle
+
+        graph = generated(2)
+        sigma = generate_gfds(graph, count=3, pattern_edges=2, seed=2)
+        snap = GraphSnapshot(graph)
+        restored = pickle.loads(pickle.dumps(snap))
+        for gfd in sigma:
+            original = SubgraphMatcher(gfd.pattern, snap)
+            recovered = SubgraphMatcher(gfd.pattern, restored)
+            key = lambda m: sorted(m.items(), key=repr)
+            assert sorted(map(key, original.matches())) == (
+                sorted(map(key, recovered.matches()))
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pickled_size_within_3x_of_memory_estimate(self, seed):
+        """Guard: shipping a snapshot never costs wildly more than holding
+        it — the wire format (primary CSR state only) must stay within 3x
+        of the byte estimate backing the LRU budget's size accounting."""
+        import pickle
+
+        snap = GraphSnapshot(generated(seed))
+        pickled = len(pickle.dumps(snap))
+        assert snap.memory_estimate() > 0
+        assert pickled <= 3 * snap.memory_estimate(), (
+            f"pickled {pickled}B vs estimate {snap.memory_estimate()}B"
+        )
+
+    def test_graph_pickle_drops_snapshot_cache(self):
+        import pickle
+
+        graph = generated(1)
+        cold = len(pickle.dumps(graph))
+        snap = graph.snapshot()  # warm the cache
+        warm = len(pickle.dumps(graph))
+        assert warm == cold  # the cached index never rides along
+        restored = pickle.loads(pickle.dumps(graph))
+        assert restored == graph
+        assert restored._snapshot_cache is None
+        # A restored graph rebuilds an equivalent snapshot on demand.
+        assert restored.snapshot().edge_set == snap.edge_set
