@@ -1,0 +1,94 @@
+"""Session layer headline: warm repeated validation vs. cold per-call runs.
+
+The paper's workload is *repeated* validation of a fixed Σ.  The
+stateless ``rep_val`` pays every fixed cost per call — process-pool
+start-up, full shard shipping, workload estimation, block
+materialisation — while a warm :class:`~repro.session.ValidationSession`
+pays them once: the second ``validate()`` reuses the pool (same worker
+PIDs), every resident shard (zero block-shares shipped), the workload
+estimate, and the materialised blocks.
+
+Measured here as wall-clock medians at 4 (simulated) workers over a real
+process pool; violations are asserted identical everywhere, zero-ship +
+PID reuse are asserted on every warm run, and the warm-beats-cold bar is
+asserted whenever ≥ 2 CPUs are usable (single-core runners only report).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro import ValidationSession, det_vio, generate_gfds, power_law_graph, rep_val
+from repro.parallel.executors import usable_cpus
+
+from _bench_utils import emit_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: warm must beat cold at least this much before the bar is enforced
+WARM_SPEEDUP_BAR = 1.2
+
+
+def test_session_warm_beats_cold_repval(benchmark):
+    nodes, edges = (900, 1800) if QUICK else (2000, 4000)
+    rounds = 3
+    graph = power_law_graph(nodes, edges, seed=10, domain_size=25)
+    sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=10)
+    expected = det_vio(sigma, graph)
+
+    # Cold: a fresh pool + full shards + fresh estimation, every call.
+    cold_times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run = rep_val(sigma, graph, n=4, executor="process", processes=4)
+        cold_times.append(time.perf_counter() - started)
+        assert run.violations == expected
+
+    # Warm: one session; the first call pays the fixed costs, the rest reuse.
+    warm_times = []
+    with ValidationSession(
+        graph, sigma, executor="process", processes=4
+    ) as session:
+        first = session.validate(n=4)
+        assert first.violations == expected
+        assert first.shipping.full > 0  # the cold half of the session
+        pids = first.shipping.worker_pids
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run = session.validate(n=4)
+            warm_times.append(time.perf_counter() - started)
+            assert run.violations == expected
+            assert run.report == first.report  # warmth: wall-clock only
+            # The acceptance pins: zero block-shares, same worker PIDs.
+            assert run.shipping.full == 0
+            assert run.shipping.delta == 0
+            assert run.shipping.shipped_nodes == 0
+            assert run.shipping.worker_pids == pids
+
+        cold = statistics.median(cold_times)
+        warm = statistics.median(warm_times)
+        speedup = cold / warm if warm else float("inf")
+        cpus = usable_cpus()
+        emit_table(
+            "session_warm_vs_cold",
+            ["mode", "median wall s", "speedup", "workers", "cpus"],
+            [
+                ("cold rep_val (pool+ship+estimate per call)",
+                 f"{cold:.3f}", "1.00x", 4, cpus),
+                ("warm session.validate()",
+                 f"{warm:.3f}", f"{speedup:.2f}x", 4, cpus),
+            ],
+        )
+        if cpus >= 2:
+            assert speedup > WARM_SPEEDUP_BAR, (
+                f"warm session only {speedup:.2f}x faster than cold rep_val "
+                f"on {cpus} CPUs"
+            )
+        else:
+            print(f"(warm bar skipped: only {cpus} usable CPU(s))")
+
+        benchmark.pedantic(
+            lambda: session.validate(n=4), rounds=1, iterations=1
+        )

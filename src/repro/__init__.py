@@ -72,7 +72,11 @@ from .core import (
 )
 from .core.gfd import denial
 from .parallel import (
+    ClusterReport,
     CostModel,
+    MaterialiserStats,
+    ShippingStats,
+    UnitResult,
     ValidationRun,
     dis_nop,
     dis_ran,
@@ -82,6 +86,7 @@ from .parallel import (
     rep_val,
     sequential_run,
 )
+from .session import ValidationSession
 from .quality import accuracy, inject_noise, validate_bigdansing, validate_gcfd
 from .datasets import Dataset, dbpedia_like, pokec_like, yago_like
 
@@ -133,9 +138,14 @@ __all__ = [
     "satisfies",
     "violation_entities",
     "violations_of",
-    # parallel validation
+    # parallel validation + the session layer
+    "ClusterReport",
     "CostModel",
+    "MaterialiserStats",
+    "ShippingStats",
+    "UnitResult",
     "ValidationRun",
+    "ValidationSession",
     "dis_nop",
     "dis_ran",
     "dis_val",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
@@ -32,7 +33,7 @@ from .core.implication import minimal_cover
 from .core.discovery import discover_gfds
 from .graph import load_graph, power_law_graph, save_graph
 from .graph.partition import greedy_edge_cut_partition
-from .parallel import dis_val, rep_val
+from .session import ValidationSession
 
 
 # ----------------------------------------------------------------------
@@ -92,10 +93,32 @@ def format_rule_file(rules: Sequence[GFD]) -> str:
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
+def _detect(graph, rules, args):
+    """Violations with the chosen backend.
+
+    The default (``--executor simulated``, no ``--processes``) is direct
+    sequential ``detVio`` — one indexed pass, no per-pivot data-block
+    materialisation, same cost as before the session layer.  The flags
+    opt into a session-backed parallel run; without an explicit
+    ``--processes`` cap, a process/auto run is sized to the usable CPUs
+    (one worker slot per process).
+    """
+    if args.executor == "simulated" and not args.processes:
+        return det_vio(rules, graph)
+    from .parallel.executors import usable_cpus
+
+    n = args.processes or max(1, usable_cpus())
+    with ValidationSession(
+        graph, rules, executor=args.executor, processes=args.processes,
+        persistent=False,
+    ) as session:
+        return session.validate(n=n).violations
+
+
 def cmd_validate(args, out: TextIO) -> int:
     graph = load_graph(args.graph)
     rules = parse_rule_file(Path(args.rules).read_text())
-    violations = det_vio(rules, graph)
+    violations = _detect(graph, rules, args)
     if args.json:
         payload = [
             {"rule": v.gfd_name, "match": {k: str(n) for k, n in v.assignment}}
@@ -147,11 +170,30 @@ def cmd_generate(args, out: TextIO) -> int:
 def cmd_bench(args, out: TextIO) -> int:
     graph = load_graph(args.graph)
     rules = parse_rule_file(Path(args.rules).read_text())
-    rep = rep_val(rules, graph, n=args.workers, executor=args.executor,
-                  processes=args.processes)
     fragmentation = greedy_edge_cut_partition(graph, args.workers, seed=0)
-    dis = dis_val(rules, fragmentation, executor=args.executor,
-                  processes=args.processes)
+    with ValidationSession(
+        graph, rules, executor=args.executor, processes=args.processes
+    ) as session:
+        for iteration in range(max(1, args.repeat)):
+            started = time.perf_counter()
+            rep = session.validate(n=args.workers)
+            rep_wall = time.perf_counter() - started
+            started = time.perf_counter()
+            dis = session.validate(fragmentation=fragmentation)
+            dis_wall = time.perf_counter() - started
+            if args.repeat > 1:
+                stats = [s for s in (rep.shipping, dis.shipping) if s]
+                shipping = ""
+                if stats:
+                    shipping = (
+                        f"  [shards: {sum(s.full for s in stats)} full, "
+                        f"{sum(s.delta for s in stats)} delta, "
+                        f"{sum(s.reused for s in stats)} reused]"
+                    )
+                out.write(
+                    f"iteration {iteration + 1}: repVal {rep_wall:.3f}s  "
+                    f"disVal {dis_wall:.3f}s{shipping}\n"
+                )
     out.write(f"{'algorithm':8s} {'T(cost)':>12s} {'makespan':>10s} "
               f"{'comm%':>6s} {'|Vio|':>6s}  executor\n")
     for run in (rep, dis):
@@ -181,12 +223,32 @@ def cmd_discover(args, out: TextIO) -> int:
         out.write(f"wrote {args.output}: {len(rules)} rule(s)\n")
     else:
         out.write(text)
+    if rules:
+        # Confirmation pass: validate the mined rules over the source
+        # graph with the chosen execution backend (rules mined below
+        # confidence 1.0 legitimately carry violations).
+        violations = _detect(graph, rules, args)
+        out.write(
+            f"# verified ({args.executor}): {len(violations)} "
+            f"violation(s) across {len(rules)} rule(s)\n"
+        )
     return 0
 
 
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend switches every validating command accepts."""
+    parser.add_argument("--executor", choices=["simulated", "process", "auto"],
+                        default="simulated",
+                        help="execution backend: cost-simulated serial run, "
+                             "a real process pool, or auto-selection")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="cap the real process pool "
+                             "(executor=process/auto)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="machine-readable output")
     validate.add_argument("--limit", type=int, default=20,
                           help="max violations to print")
+    _add_executor_flags(validate)
     validate.set_defaults(func=cmd_validate)
 
     reason = sub.add_parser("reason", help="satisfiability / cover analysis")
@@ -222,16 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--rules-output", help="also write a rule file")
     generate.set_defaults(func=cmd_generate)
 
-    bench = sub.add_parser("bench", help="one-shot repVal/disVal comparison")
+    bench = sub.add_parser("bench", help="repVal/disVal comparison "
+                                         "(optionally repeated warm)")
     bench.add_argument("graph", help="graph file")
     bench.add_argument("rules", help="rule file")
     bench.add_argument("--workers", type=int, default=8)
-    bench.add_argument("--executor", choices=["simulated", "process", "auto"],
-                       default="simulated",
-                       help="execution backend: cost-simulated serial run, "
-                            "a real process pool, or auto-selection")
-    bench.add_argument("--processes", type=int, default=None,
-                       help="cap the real process pool (executor=process/auto)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="run the comparison N times inside one warm "
+                            "ValidationSession (pool + shards reused)")
+    _add_executor_flags(bench)
     bench.set_defaults(func=cmd_bench)
 
     discover = sub.add_parser("discover", help="mine GFDs from a graph")
@@ -239,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--support", type=int, default=5)
     discover.add_argument("--confidence", type=float, default=0.95)
     discover.add_argument("--output", help="rule file to write")
+    _add_executor_flags(discover)
     discover.set_defaults(func=cmd_discover)
     return parser
 

@@ -44,16 +44,44 @@ class IncrementalValidator:
 
     The graph object is shared — do not mutate it behind the validator's
     back, or call :meth:`rebuild` afterwards.
+
+    ``backend`` selects the matching backend for the update path.  The
+    default ``"auto"`` runs on the indexed :class:`GraphSnapshot`: since
+    snapshots became delta-maintained (``GraphSnapshot.apply_delta``),
+    re-indexing after an update costs ``O(|Δ| · deg)`` rather than
+    ``O(|G|)``, so the locality bound this class honours survives the
+    indexed backend.  ``"legacy"`` forces the original dict-of-dicts
+    walk (the differential suite pins both to identical violation sets).
+
+    ``violations`` seeds the maintained set when the caller has already
+    computed ``Vio(Σ, G)`` for the *current* graph (e.g. a
+    :class:`~repro.session.ValidationSession` run), skipping the
+    constructor's full ``detVio`` pass.
     """
 
-    def __init__(self, sigma: Sequence[GFD], graph: PropertyGraph) -> None:
+    def __init__(
+        self,
+        sigma: Sequence[GFD],
+        graph: PropertyGraph,
+        backend: str = "auto",
+        violations: Optional[Set[Violation]] = None,
+    ) -> None:
+        from ..matching.vf2 import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown matcher backend {backend!r}")
         self.sigma = list(sigma)
         names = [gfd.name or "gfd" for gfd in self.sigma]
         if len(set(names)) != len(names):
             # Stale-violation removal is keyed by GFD name.
             raise ValueError("incremental validation requires unique GFD names")
         self.graph = graph
-        self.violations: Set[Violation] = det_vio(self.sigma, graph)
+        self.backend = backend
+        self.violations: Set[Violation] = (
+            set(violations)
+            if violations is not None
+            else det_vio(self.sigma, graph, backend=backend)
+        )
         # Matchers are cached across updates: their candidate sets depend
         # only on labels and degrees, so attribute updates reuse them and
         # structural updates invalidate the cache.
@@ -89,7 +117,18 @@ class IncrementalValidator:
 
     def rebuild(self) -> None:
         """Recompute from scratch (after out-of-band mutations)."""
-        self.violations = det_vio(self.sigma, self.graph)
+        self._matchers.clear()
+        self.violations = det_vio(self.sigma, self.graph, backend=self.backend)
+
+    def invalidate_matchers(self) -> None:
+        """Drop cached matchers (their candidate sets went stale).
+
+        For callers that already know the correct violation set for the
+        current graph (e.g. a session reconciling after a full run) and
+        only need the matcher caches refreshed, without paying
+        :meth:`rebuild`'s full ``detVio``.
+        """
+        self._matchers.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -134,13 +173,13 @@ class IncrementalValidator:
         out: Set[Violation] = set()
         matcher = self._matchers.get(index)
         if matcher is None:
-            # Deliberately the legacy backend: an "auto" matcher would
-            # rebuild the whole-graph snapshot after every structural
-            # update (O(|G|) per update), defeating the locality bound
-            # this class exists to honour.  The snapshot backend pays off
-            # for repeated whole-graph sweeps, not single-touched-node
-            # re-matching; see graph/snapshot.py for the selection rules.
-            matcher = SubgraphMatcher(gfd.pattern, self.graph, backend="legacy")
+            # With backend="auto" this resolves to the graph's cached
+            # snapshot, which apply_delta keeps current in O(|Δ| · deg)
+            # per update — matcher construction (candidate seeding over
+            # the warm index) is the only per-update rebuild cost.
+            matcher = SubgraphMatcher(
+                gfd.pattern, self.graph, backend=self.backend
+            )
             self._matchers[index] = matcher
         graph = self.graph
         for node in touched:

@@ -53,6 +53,7 @@ class PropertyGraph:
         "_version",
         "_snapshot_cache",
         "_snapshot_version",
+        "_snapshot_delta",
     )
 
     def __init__(self) -> None:
@@ -72,6 +73,10 @@ class PropertyGraph:
         self._version = 0
         self._snapshot_cache: Optional["GraphSnapshot"] = None
         self._snapshot_version = -1
+        # structural ops since the cached snapshot was current; replayed
+        # through GraphSnapshot.apply_delta on the next snapshot() call.
+        # None = tracking abandoned (delta outgrew the graph): rebuild.
+        self._snapshot_delta: Optional[List[Tuple]] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -89,9 +94,11 @@ class PropertyGraph:
         old_label = self._labels.get(node)
         if old_label is not None and old_label != label:
             self._label_index[old_label].discard(node)
+            self._record_delta(("relabel", node, label))
         if old_label is None or old_label != label:
             self._version += 1
         if old_label is None:
+            self._record_delta(("node+", node, label))
             self._out[node] = {}
             self._in[node] = {}
             self._attrs[node] = {}
@@ -118,6 +125,7 @@ class PropertyGraph:
         self._in[dst].setdefault(src, set()).add(label)
         self._num_edges += 1
         self._version += 1
+        self._record_delta(("edge+", src, dst, label))
 
     def remove_edge(self, src: NodeId, dst: NodeId, label: str) -> None:
         """Remove the edge ``src -[label]-> dst``; raise if absent."""
@@ -134,6 +142,7 @@ class PropertyGraph:
             del self._in[dst][src]
         self._num_edges -= 1
         self._version += 1
+        self._record_delta(("edge-", src, dst, label))
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges."""
@@ -151,6 +160,30 @@ class PropertyGraph:
         del self._out[node]
         del self._in[node]
         self._version += 1
+        self._record_delta(("node-", node))
+
+    def _record_delta(self, op: Tuple) -> None:
+        """Track a structural op for snapshot delta maintenance.
+
+        Recording only happens while a cached snapshot exists.  Node
+        *removals* drop the cache outright: compacting the snapshot's
+        interned index space costs a full re-derive per op, so a rebuild
+        is never worse than replaying them.  And once the pending delta
+        outgrows the budget — capped at a constant because each edge op
+        also pays an ``O(|V|)`` offset shift — replaying would cost more
+        than rebuilding, so tracking is abandoned (the next
+        ``snapshot()`` call rebuilds from scratch).
+        """
+        if self._snapshot_cache is None or self._snapshot_delta is None:
+            return
+        if op[0] == "node-":
+            self._snapshot_delta = None
+            self._snapshot_cache = None
+            return
+        self._snapshot_delta.append(op)
+        if len(self._snapshot_delta) > max(16, min(256, self.size // 8)):
+            self._snapshot_delta = None
+            self._snapshot_cache = None
 
     # ------------------------------------------------------------------
     # attributes
@@ -263,17 +296,35 @@ class PropertyGraph:
     def snapshot(self) -> "GraphSnapshot":
         """The compact indexed view of this graph (the matching backend).
 
-        Built lazily and cached per structural version: repeated calls on
-        an unmutated graph return the same object; any node/edge/label
-        mutation invalidates the cache so the next call rebuilds.
-        Attribute updates do not invalidate — snapshots index structure
-        only (see :mod:`repro.graph.snapshot` for the selection rules).
+        Built lazily and cached: repeated calls on an unmutated graph
+        return the same object.  Structural mutations are *delta-applied*
+        to the cached snapshot (``GraphSnapshot.apply_delta``) — the call
+        after a handful of updates patches the touched index entries
+        instead of rebuilding the whole index (see ``apply_delta`` for
+        the honest per-op costs), which is what keeps
+        :class:`~repro.core.incremental.IncrementalValidator`
+        on the indexed backend.  The returned object may therefore be the
+        *same* (patched-in-place) snapshot as before the mutation: treat
+        a held snapshot as a live view of the graph, and pickle-roundtrip
+        it if a frozen copy is needed.  A full rebuild still happens when
+        no snapshot was ever built, or when the pending delta outgrew the
+        graph.  Attribute updates never invalidate — snapshots index
+        structure only (see :mod:`repro.graph.snapshot`).
         """
         from .snapshot import GraphSnapshot
 
-        if self._snapshot_cache is None or self._snapshot_version != self._version:
-            self._snapshot_cache = GraphSnapshot(self)
+        cache = self._snapshot_cache
+        if cache is not None and self._snapshot_version == self._version:
+            return cache
+        delta = self._snapshot_delta
+        if cache is not None and delta:
+            cache.apply_delta(delta)
+            delta.clear()
             self._snapshot_version = self._version
+            return cache
+        self._snapshot_cache = GraphSnapshot(self)
+        self._snapshot_version = self._version
+        self._snapshot_delta = []
         return self._snapshot_cache
 
     # ------------------------------------------------------------------
@@ -308,6 +359,7 @@ class PropertyGraph:
         ) = state
         self._snapshot_cache = None
         self._snapshot_version = -1
+        self._snapshot_delta = []
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -83,6 +83,10 @@ class Fragmentation:
             raise ValueError(f"{len(missing)} nodes lack an owner")
         self.graph = graph
         self.owner = owner
+        #: the graph's structural version when this fragmentation was cut
+        #: (lets sessions detect that a fragmentation predates updates)
+        self.built_version = graph._version
+        self._fingerprint: Optional[Tuple] = None
         self.fragments: List[Fragment] = []
         for i in range(n):
             owned = {node for node, frag in owner.items() if frag == i}
@@ -112,6 +116,19 @@ class Fragmentation:
     def n(self) -> int:
         """Number of fragments."""
         return len(self.fragments)
+
+    def fingerprint(self) -> Tuple:
+        """A stable identity for warm-session caching.
+
+        Two fragmentations of the same graph with identical owner maps
+        fingerprint equal (within one process), so a session recognises
+        "consecutive runs reuse a fragmentation" even when the caller
+        re-cut an identical partition rather than holding one object.
+        """
+        if self._fingerprint is None:
+            owners = hash(tuple(sorted(self.owner.items(), key=repr)))
+            self._fingerprint = (id(self.graph), self.n, owners)
+        return self._fingerprint
 
     def fragment_of(self, node: NodeId) -> Fragment:
         """The fragment owning ``node``."""

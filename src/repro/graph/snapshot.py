@@ -33,17 +33,29 @@ Backend-selection rule
   ``O(|G|)`` and defeat the locality argument, and by the differential
   test harness that locks the two paths together.
 
-When snapshots are rebuilt
---------------------------
+When snapshots are rebuilt (and when they are patched)
+------------------------------------------------------
 
 ``PropertyGraph.snapshot()`` caches the snapshot on the graph and tags it
-with the graph's structural version; any structural mutation (node/edge
-add or remove, label change) bumps the version so the *next*
-``snapshot()`` call rebuilds.  Attribute-only updates (``set_attr``) do
-not invalidate: snapshots index structure and labels only — attribute
-literals are always evaluated against the backing ``PropertyGraph``.
-Snapshots themselves are immutable by convention: every exposed structure
-is a build-time artefact and must not be mutated.
+with the graph's structural version.  Since the session layer (PR 3) the
+graph also records the structural delta since the cached snapshot was
+current; the *next* ``snapshot()`` call replays that delta through
+:meth:`GraphSnapshot.apply_delta` — patching the CSR rows, label tables,
+histograms, and the pair index of the touched nodes in place — instead of
+rebuilding the whole index.  Only when the delta grows past a fraction of
+``|G|`` (or a caller mutated out-of-band) does a full rebuild happen.
+Attribute-only updates (``set_attr``) never invalidate: snapshots index
+structure and labels only — attribute literals are always evaluated
+against the backing ``PropertyGraph``.
+
+Consequently a cached snapshot is a *live view* of its graph, not a
+frozen copy: holding it across structural mutations is the same contract
+as holding the ``PropertyGraph`` itself, and matchers constructed before
+a mutation must be rebuilt after it (their candidate caches are stale —
+:class:`~repro.core.incremental.IncrementalValidator` does exactly this).
+Code that needs a frozen copy should pickle-roundtrip the snapshot.
+Exposed structures remain frozen *by convention* for every consumer
+except :meth:`apply_delta` itself.
 
 Pickling
 --------
@@ -62,7 +74,7 @@ than paying for the set-heavy derived structures twice.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .graph import Edge, NodeId, PropertyGraph, WILDCARD
 
@@ -223,9 +235,9 @@ class GraphSnapshot:
         by_label: Dict[int, Set[int]] = {}
         for idx, code in enumerate(self.label_codes):
             by_label.setdefault(code, set()).add(idx)
-        self.nodes_by_label = {
-            code: frozenset(members) for code, members in by_label.items()
-        }
+        # Plain (mutable) sets so apply_delta can patch memberships in
+        # O(1); frozen by convention for every other consumer.
+        self.nodes_by_label = by_label
         self.edge_set = set()
         self.adj_set = set()
         pair_src: Dict[Tuple[int, int, int], Set[int]] = {}
@@ -244,12 +256,8 @@ class GraphSnapshot:
             self.in_hist,
             self.in_deg,
         ) = self._derive_direction(self.in_offsets, self.in_nbrs, self.in_labs)
-        self.pair_src = {
-            key: frozenset(members) for key, members in pair_src.items()
-        }
-        self.pair_dst = {
-            key: frozenset(members) for key, members in pair_dst.items()
-        }
+        self.pair_src = pair_src
+        self.pair_dst = pair_dst
         self.num_edges = len(self.edge_set)
 
     def _derive_direction(
@@ -260,7 +268,12 @@ class GraphSnapshot:
         pair_src: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
         pair_dst: Optional[Dict[Tuple[int, int, int], Set[int]]] = None,
     ):
-        """Per-node slices/uniq/hist/deg from one direction's CSR rows."""
+        """Per-node slices/uniq/hist/deg from one direction's CSR rows.
+
+        Slice positions are *row-relative* (offsets from the node's CSR
+        row base) so that :meth:`apply_delta` edits to one node's row
+        never touch any other node's slice table.
+        """
         label_codes = self.label_codes
         fill_pairs = pair_src is not None
         edge_set = self.edge_set
@@ -271,36 +284,307 @@ class GraphSnapshot:
         deg: List[int] = []
         for src_idx in range(len(self.node_ids)):
             base, end = offsets[src_idx], offsets[src_idx + 1]
-            row_slices: Dict[int, Tuple[int, int]] = {}
-            row_hist: Dict[int, int] = {}
-            uniq_row: Set[int] = set()
-            run_code: Optional[int] = None
-            run_start = base
-            for pos in range(base, end):
-                code = labs[pos]
-                nbr_idx = nbrs[pos]
-                uniq_row.add(nbr_idx)
-                if fill_pairs:
+            row_slices, uniq_row, row_hist = self._derive_row(
+                nbrs, labs, base, end
+            )
+            if fill_pairs:
+                for pos in range(base, end):
+                    code = labs[pos]
+                    nbr_idx = nbrs[pos]
                     edge_set.add((src_idx, nbr_idx, code))
                     key = (label_codes[src_idx], code, label_codes[nbr_idx])
                     pair_src.setdefault(key, set()).add(src_idx)
                     pair_dst.setdefault(key, set()).add(nbr_idx)
-                if code != run_code:
-                    if run_code is not None:
-                        row_slices[run_code] = (run_start, pos)
-                        row_hist[run_code] = pos - run_start
-                    run_code = code
-                    run_start = pos
-            if run_code is not None:
-                row_slices[run_code] = (run_start, end)
-                row_hist[run_code] = end - run_start
-            if fill_pairs:
                 adj_set.update((src_idx, nbr_idx) for nbr_idx in uniq_row)
             slices.append(row_slices)
-            uniq.append(tuple(sorted(uniq_row)))
+            uniq.append(uniq_row)
             hist.append(row_hist)
             deg.append(end - base)
         return slices, uniq, hist, array("l", deg)
+
+    @staticmethod
+    def _derive_row(nbrs, labs, base: int, end: int):
+        """``(row-relative slices, uniq tuple, histogram)`` of one CSR row."""
+        row_slices: Dict[int, Tuple[int, int]] = {}
+        row_hist: Dict[int, int] = {}
+        uniq_row: Set[int] = set()
+        run_code: Optional[int] = None
+        run_start = base
+        for pos in range(base, end):
+            code = labs[pos]
+            uniq_row.add(nbrs[pos])
+            if code != run_code:
+                if run_code is not None:
+                    row_slices[run_code] = (run_start - base, pos - base)
+                    row_hist[run_code] = pos - run_start
+                run_code = code
+                run_start = pos
+        if run_code is not None:
+            row_slices[run_code] = (run_start - base, end - base)
+            row_hist[run_code] = end - run_start
+        return row_slices, tuple(sorted(uniq_row)), row_hist
+
+    # ------------------------------------------------------------------
+    # delta maintenance (incremental index patching)
+    # ------------------------------------------------------------------
+    def apply_delta(self, ops: Sequence[Tuple]) -> None:
+        """Patch this snapshot in place with a structural delta.
+
+        ``ops`` is a sequence of update tuples, in application order:
+
+        * ``("node+", node, label)`` — insert a fresh node;
+        * ``("node-", node)`` — remove a node (its incident edges must
+          already be gone, i.e. preceded by their ``edge-`` ops — exactly
+          the order ``PropertyGraph.remove_node`` records);
+        * ``("relabel", node, label)`` — change a node's label;
+        * ``("edge+", src, dst, label)`` / ``("edge-", src, dst, label)``;
+        * ``("attr", ...)`` — ignored (snapshots index structure only).
+
+        Edge and node-insert ops are surgical: only the touched CSR rows
+        and their derived entries (slices, uniq, histograms, degrees, the
+        affected edge/adjacency-set and pair-index memberships) are
+        recomputed — ``O(deg)`` dict/set work per op, plus two
+        array-level shifts per edge op (a ``memmove`` of the flat
+        neighbour arrays and an ``O(|V|)`` bulk rewrite of the offset
+        array).  That is far below the ``O(|V| + |E|)`` dict/set churn of
+        a full rebuild — every *derived* index stays warm — which is what
+        lets :class:`~repro.core.incremental.IncrementalValidator` keep
+        the indexed backend across updates.  Node removal is the honest
+        exception: it compacts the interned index space and then
+        re-derives (one ``O(|V| + |E|)`` pass).
+
+        The result is semantically identical to ``GraphSnapshot(graph)``
+        over the mutated graph (pinned by the differential suite in
+        ``tests/test_snapshot_delta.py``); interned *codes* may differ —
+        a delta never renumbers surviving labels, a rebuild re-interns in
+        first-seen order.
+        """
+        for op in ops:
+            kind = op[0]
+            if kind == "edge+":
+                self._delta_edge(op[1], op[2], op[3], insert=True)
+            elif kind == "edge-":
+                self._delta_edge(op[1], op[2], op[3], insert=False)
+            elif kind == "node+":
+                self._delta_add_node(op[1], op[2])
+            elif kind == "node-":
+                self._delta_remove_node(op[1])
+            elif kind == "relabel":
+                self._delta_relabel(op[1], op[2])
+            elif kind != "attr":
+                raise ValueError(f"unknown snapshot delta op {kind!r}")
+
+    def _intern_node_label(self, name: str) -> int:
+        code = self.node_label_ids.get(name)
+        if code is None:
+            code = len(self.node_label_names)
+            self.node_label_ids[name] = code
+            self.node_label_names.append(name)
+        return code
+
+    def _intern_edge_label(self, name: str) -> int:
+        code = self.edge_label_ids.get(name)
+        if code is None:
+            code = len(self.edge_label_names)
+            self.edge_label_ids[name] = code
+            self.edge_label_names.append(name)
+        return code
+
+    def _delta_add_node(self, node: NodeId, label: str) -> None:
+        if node in self.index:
+            raise ValueError(f"node {node!r} already indexed")
+        idx = len(self.node_ids)
+        self.node_ids.append(node)
+        self.index[node] = idx
+        code = self._intern_node_label(label)
+        self.label_codes.append(code)
+        self.nodes_by_label.setdefault(code, set()).add(idx)
+        for offsets, slices, uniq, hist, deg in (
+            (self.out_offsets, self.out_slices, self.out_uniq, self.out_hist,
+             self.out_deg),
+            (self.in_offsets, self.in_slices, self.in_uniq, self.in_hist,
+             self.in_deg),
+        ):
+            offsets.append(offsets[-1])
+            slices.append({})
+            uniq.append(())
+            hist.append({})
+            deg.append(0)
+
+    def _delta_remove_node(self, node: NodeId) -> None:
+        idx = self.index.get(node)
+        if idx is None:
+            raise ValueError(f"unknown node {node!r}")
+        if (
+            self.out_offsets[idx] != self.out_offsets[idx + 1]
+            or self.in_offsets[idx] != self.in_offsets[idx + 1]
+        ):
+            raise ValueError(
+                f"node {node!r} still has incident edges; apply their "
+                "edge- ops first"
+            )
+        self.node_ids.pop(idx)
+        self.label_codes.pop(idx)
+        self.out_offsets.pop(idx)
+        self.in_offsets.pop(idx)
+        # Interned indices above ``idx`` shift down by one: remap the CSR
+        # neighbour arrays in one pass, then re-derive (the index space
+        # itself changed, so every index-keyed structure must follow).
+        for nbrs in (self.out_nbrs, self.in_nbrs):
+            for pos, nbr in enumerate(nbrs):
+                if nbr > idx:
+                    nbrs[pos] = nbr - 1
+        self._derive_indices()
+
+    def _delta_relabel(self, node: NodeId, label: str) -> None:
+        idx = self.index.get(node)
+        if idx is None:
+            raise ValueError(f"unknown node {node!r}")
+        old = self.label_codes[idx]
+        new = self._intern_node_label(label)
+        if new == old:
+            return
+        members = self.nodes_by_label[old]
+        members.discard(idx)
+        if not members:
+            del self.nodes_by_label[old]
+        self.nodes_by_label.setdefault(new, set()).add(idx)
+        self.label_codes[idx] = new
+        # Every incident edge migrates between pair-index keys: the node
+        # itself moves wholesale (it can no longer contribute under the
+        # old label), each counterpart's membership under the old key is
+        # recomputed from its own CSR row.
+        label_codes = self.label_codes
+        base, end = self.out_offsets[idx], self.out_offsets[idx + 1]
+        for pos in range(base, end):
+            code, nbr = self.out_labs[pos], self.out_nbrs[pos]
+            # A self-loop's old key had the old label in *both* slots.
+            old_key = (old, code, old if nbr == idx else label_codes[nbr])
+            new_key = (new, code, label_codes[nbr])
+            self._pair_discard(self.pair_src, old_key, idx)
+            self.pair_src.setdefault(new_key, set()).add(idx)
+            self.pair_dst.setdefault(new_key, set()).add(nbr)
+            if not self._has_in_edge(nbr, code, old):
+                self._pair_discard(self.pair_dst, old_key, nbr)
+        base, end = self.in_offsets[idx], self.in_offsets[idx + 1]
+        for pos in range(base, end):
+            code, nbr = self.in_labs[pos], self.in_nbrs[pos]
+            if nbr == idx:
+                continue  # self-loop: fully handled by the out pass
+            old_key = (label_codes[nbr], code, old)
+            new_key = (label_codes[nbr], code, new)
+            self._pair_discard(self.pair_dst, old_key, idx)
+            self.pair_dst.setdefault(new_key, set()).add(idx)
+            self.pair_src.setdefault(new_key, set()).add(nbr)
+            if not self._has_out_edge(nbr, code, old):
+                self._pair_discard(self.pair_src, old_key, nbr)
+
+    def _delta_edge(
+        self, src: NodeId, dst: NodeId, label: str, insert: bool
+    ) -> None:
+        src_idx = self.index.get(src)
+        dst_idx = self.index.get(dst)
+        if src_idx is None or dst_idx is None:
+            missing = src if src_idx is None else dst
+            raise ValueError(f"unknown node {missing!r}")
+        code = (
+            self._intern_edge_label(label)
+            if insert
+            else self.edge_label_ids.get(label)
+        )
+        if code is None or (
+            insert == ((src_idx, dst_idx, code) in self.edge_set)
+        ):
+            raise ValueError(
+                f"edge {src!r} -[{label}]-> {dst!r} "
+                f"{'already indexed' if insert else 'not indexed'}"
+            )
+        self._splice_row(
+            self.out_offsets, self.out_nbrs, self.out_labs, self.out_slices,
+            self.out_uniq, self.out_hist, self.out_deg,
+            src_idx, code, dst_idx, insert,
+        )
+        self._splice_row(
+            self.in_offsets, self.in_nbrs, self.in_labs, self.in_slices,
+            self.in_uniq, self.in_hist, self.in_deg,
+            dst_idx, code, src_idx, insert,
+        )
+        key = (self.label_codes[src_idx], code, self.label_codes[dst_idx])
+        if insert:
+            self.edge_set.add((src_idx, dst_idx, code))
+            self.adj_set.add((src_idx, dst_idx))
+            self.pair_src.setdefault(key, set()).add(src_idx)
+            self.pair_dst.setdefault(key, set()).add(dst_idx)
+            self.num_edges += 1
+        else:
+            self.edge_set.remove((src_idx, dst_idx, code))
+            if dst_idx not in self.out_uniq[src_idx]:
+                self.adj_set.discard((src_idx, dst_idx))
+            if not self._has_out_edge(src_idx, code, key[2]):
+                self._pair_discard(self.pair_src, key, src_idx)
+            if not self._has_in_edge(dst_idx, code, key[0]):
+                self._pair_discard(self.pair_dst, key, dst_idx)
+            self.num_edges -= 1
+
+    def _splice_row(
+        self, offsets, nbrs, labs, slices, uniq, hist, deg,
+        row: int, code: int, nbr_idx: int, insert: bool,
+    ) -> None:
+        """Insert/remove one ``(code, nbr_idx)`` entry in a sorted CSR row."""
+        base, end = offsets[row], offsets[row + 1]
+        pos = base
+        while pos < end and (labs[pos], nbrs[pos]) < (code, nbr_idx):
+            pos += 1
+        if insert:
+            nbrs.insert(pos, nbr_idx)
+            labs.insert(pos, code)
+            shift = 1
+        else:
+            nbrs.pop(pos)
+            labs.pop(pos)
+            shift = -1
+        # Bulk slice assignment beats an indexed += loop by a constant
+        # factor, but the shift is still O(|V|) work per edge op.
+        tail = offsets[row + 1 :]
+        offsets[row + 1 :] = array("l", [value + shift for value in tail])
+        new_base, new_end = offsets[row], offsets[row + 1]
+        slices[row], uniq[row], hist[row] = self._derive_row(
+            nbrs, labs, new_base, new_end
+        )
+        deg[row] = new_end - new_base
+
+    def _has_out_edge(self, idx: int, code: int, dst_label: int) -> bool:
+        """Whether ``idx`` has an out-edge ``code`` to a ``dst_label`` node."""
+        base = self.out_offsets[idx]
+        slc = self.out_slices[idx].get(code)
+        if slc is None:
+            return False
+        label_codes = self.label_codes
+        return any(
+            label_codes[self.out_nbrs[pos]] == dst_label
+            for pos in range(base + slc[0], base + slc[1])
+        )
+
+    def _has_in_edge(self, idx: int, code: int, src_label: int) -> bool:
+        """Whether ``idx`` has an in-edge ``code`` from a ``src_label`` node."""
+        base = self.in_offsets[idx]
+        slc = self.in_slices[idx].get(code)
+        if slc is None:
+            return False
+        label_codes = self.label_codes
+        return any(
+            label_codes[self.in_nbrs[pos]] == src_label
+            for pos in range(base + slc[0], base + slc[1])
+        )
+
+    @staticmethod
+    def _pair_discard(table, key, idx) -> None:
+        members = table.get(key)
+        if members is None:
+            return
+        members.discard(idx)
+        if not members:
+            del table[key]
 
     def memory_estimate(self) -> int:
         """Estimated resident bytes of this snapshot (primary + derived).
@@ -374,7 +658,8 @@ class GraphSnapshot:
             slc = self.out_slices[idx].get(code)
             if slc is None:
                 return ()
-            return self.out_nbrs[slc[0] : slc[1]]
+            base = self.out_offsets[idx]
+            return self.out_nbrs[base + slc[0] : base + slc[1]]
         if code == WILD_CODE:
             return self.out_uniq[idx]
         return ()
@@ -385,7 +670,8 @@ class GraphSnapshot:
             slc = self.in_slices[idx].get(code)
             if slc is None:
                 return ()
-            return self.in_nbrs[slc[0] : slc[1]]
+            base = self.in_offsets[idx]
+            return self.in_nbrs[base + slc[0] : base + slc[1]]
         if code == WILD_CODE:
             return self.in_uniq[idx]
         return ()
@@ -416,12 +702,19 @@ class GraphSnapshot:
         return self.node_label_names[self.label_codes[self.index[node]]]
 
     def labels(self) -> Set[str]:
-        """The set of node labels present."""
-        return set(self.node_label_ids)
+        """The set of node labels present.
+
+        Computed from live memberships, not the intern table — a delta
+        that removed a label's last node leaves its interned code behind
+        but must not report the label as present.
+        """
+        names = self.node_label_names
+        return {names[code] for code in self.nodes_by_label}
 
     def edge_labels(self) -> Set[str]:
-        """The set of edge labels present."""
-        return set(self.edge_label_ids)
+        """The set of edge labels present (live, like :meth:`labels`)."""
+        names = self.edge_label_names
+        return {names[code] for _, code, _ in self.pair_src}
 
     def nodes_with_label(self, label: str) -> Set[NodeId]:
         """All original node ids carrying ``label``."""
@@ -429,7 +722,7 @@ class GraphSnapshot:
         if code is None:
             return set()
         ids = self.node_ids
-        return {ids[idx] for idx in self.nodes_by_label[code]}
+        return {ids[idx] for idx in self.nodes_by_label.get(code, ())}
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over ``(src, dst, label)`` triples in original ids."""

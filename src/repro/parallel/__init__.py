@@ -20,6 +20,7 @@ from .multiquery import (
 )
 from .skew import split_oversized, split_statistics
 from .engine import (
+    MaterialiserStats,
     UnitResult,
     ValidationRun,
     execute_unit,
@@ -29,6 +30,8 @@ from .engine import (
 from .executors import (
     EXECUTORS,
     MultiprocessExecutor,
+    ShardCache,
+    ShippingStats,
     SimulatedExecutor,
     execute_plan,
     resolve_executor,
@@ -62,6 +65,7 @@ __all__ = [
     "singleton_groups",
     "split_oversized",
     "split_statistics",
+    "MaterialiserStats",
     "UnitResult",
     "ValidationRun",
     "execute_unit",
@@ -69,6 +73,8 @@ __all__ = [
     "sequential_run",
     "EXECUTORS",
     "MultiprocessExecutor",
+    "ShardCache",
+    "ShippingStats",
     "SimulatedExecutor",
     "execute_plan",
     "resolve_executor",

@@ -21,20 +21,14 @@ sharing / no splitting).  Parallel time follows Theorem 11.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set
 
 from ..graph.partition import Fragmentation
 from ..graph.simulation import graph_simulation
 from ..core.gfd import GFD
-from .assignment import balance_only_assign, bicriteria_assign, random_assign
 from .cluster import CostModel, SimulatedCluster
-from .engine import BlockMaterialiser, ValidationRun, run_assignment
-from .executors import resolve_executor
-from .multiquery import build_shared_groups, singleton_groups
-from .skew import split_oversized
-from .repval import SPLIT_FACTOR
-from .workload import WorkUnit, estimate_workload
+from .engine import BlockMaterialiser, ValidationRun
+from .workload import WorkUnit
 
 #: cap on the per-fragment partial-match volume considered shippable
 PARTIAL_MATCH_CAP = 10_000
@@ -61,69 +55,31 @@ def dis_val(
     indexes only its shard — the resident share of its assigned blocks —
     mirroring ``dlovalVio``'s locally-available data after prefetching
     (see :mod:`repro.parallel.executors`).
+
+    This is a thin facade over the session layer: each call constructs a
+    throwaway (non-persistent) :class:`~repro.session.ValidationSession`
+    and runs one fragmented validation — identical results, no state
+    kept.  Repeated validation over the *same* fragmentation should hold
+    a session instead: its workers then keep their resident shares and
+    only block-share deltas are shipped.
     """
-    graph = fragmentation.graph
-    n = fragmentation.n
-    cluster = SimulatedCluster(n, cost_model)
-    groups = build_shared_groups(sigma) if optimize else singleton_groups(sigma)
-    units = estimate_workload(
-        sigma, graph, cluster=cluster, groups=groups, fragmentation=fragmentation
-    )
-    # Partial units travel fragment → coordinator: one message per
-    # fragment per GFD group, payload ∝ number of local candidates.
-    cluster.charge_planning(len(units) * cluster.cost.estimate_cost)
+    from ..session import ValidationSession
 
-    if optimize:
-        threshold = split_threshold
-        if threshold is None:
-            mean = (
-                sum(u.block_size for u in units) / len(units) if units else 0.0
-            )
-            threshold = int(mean * SPLIT_FACTOR) or 0
-        if threshold:
-            units = split_oversized(units, threshold)
-
-    if assignment == "bicriteria":
-        plan, _, _ = bicriteria_assign(units, n)
-    elif assignment == "random":
-        plan, _, _ = random_assign(units, n, seed=seed)
-    elif assignment == "balance_only":
-        plan, _, _ = balance_only_assign(units, n)
-    else:
-        raise ValueError(f"unknown assignment strategy {assignment!r}")
-    # Bi-criteria assignment is the heavier coordinator phase:
-    # O(n·|W|² log |W|) per Proposition 13.  We charge a softened version
-    # so planning does not swamp detection at benchmark scale.
-    w = max(1, len(units))
-    cluster.charge_planning(
-        cluster.cost.partition_unit_cost * n * w * math.log2(w + 1)
-    )
-
-    # One materialiser for both the shipment estimate and detection: the
-    # blocks graph-simulated for partial-match sizing are exactly the
-    # blocks detection matches over, so each is built (with its snapshot)
-    # once per run.  (Simulated backend only — worker processes build
-    # shard-local materialisers over their resident share.)
-    resolved = resolve_executor(executor, plan, processes)
-    materialiser = BlockMaterialiser(graph)
-    _charge_data_shipment(sigma, fragmentation, plan, cluster, materialiser)
-    violations = run_assignment(
+    with ValidationSession(
+        fragmentation.graph,
         sigma,
-        graph,
-        plan,
-        cluster,
-        ship_partial_matches=True,
-        materialiser=materialiser,
-        executor=resolved,
+        executor=executor,
         processes=processes,
-    )
-    return ValidationRun(
-        violations=violations,
-        report=cluster.report(),
-        num_units=len(units),
-        algorithm=_name(assignment, optimize),
-        executor=resolved,
-    )
+        cost_model=cost_model,
+        persistent=False,
+    ) as session:
+        return session.validate(
+            fragmentation=fragmentation,
+            assignment=assignment,
+            optimize=optimize,
+            split_threshold=split_threshold,
+            seed=seed,
+        )
 
 
 def _charge_data_shipment(
@@ -214,11 +170,3 @@ def dis_nop(
 ) -> ValidationRun:
     """The ``disnop`` baseline: bi-criteria assignment, optimisations off."""
     return dis_val(sigma, fragmentation, optimize=False, **kwargs)
-
-
-def _name(assignment: str, optimize: bool) -> str:
-    if assignment == "random":
-        return "disran"
-    if assignment == "balance_only":
-        return "disbal"
-    return "disVal" if optimize else "disnop"

@@ -18,7 +18,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executors import MultiprocessExecutor, ShardCache, ShippingStats
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.locality import candidate_permutations
@@ -44,16 +47,33 @@ class UnitResult:
 
 
 @dataclass
+class MaterialiserStats:
+    """One run's share of a :class:`BlockMaterialiser`'s activity.
+
+    A session shares one materialiser across ``validate()`` calls, so the
+    cumulative counters on the materialiser itself span runs; this is the
+    per-run slice (taken via :meth:`BlockMaterialiser.take_stats`) that
+    keeps cluster reports comparable between warm and cold runs.
+    """
+
+    builds: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+
+@dataclass
 class ValidationRun:
     """The result of a parallel validation: ``Vio(Σ, G)`` plus the costs.
 
     ``report.parallel_time`` is the quantity the paper's figures plot;
     ``violations`` is exact (every unit is executed for real).
     ``executor`` records which execution backend actually ran the units —
-    ``"simulated"`` (serial, cost-accounted) or ``"process"`` (a real
-    :class:`~concurrent.futures.ProcessPoolExecutor`); both produce
-    identical violations and reports (see
-    :mod:`repro.parallel.executors`).
+    ``"simulated"`` (serial, cost-accounted) or ``"process"`` (real
+    worker processes); both produce identical violations and reports
+    (see :mod:`repro.parallel.executors`).  Session-produced runs carry
+    two extras: ``shipping`` (what the process pool shipped — zero on a
+    fully warm run) and ``cache`` (this run's block-materialiser
+    activity).
     """
 
     violations: Set[Violation]
@@ -61,6 +81,8 @@ class ValidationRun:
     num_units: int
     algorithm: str
     executor: str = "simulated"
+    shipping: Optional["ShippingStats"] = None
+    cache: Optional[MaterialiserStats] = None
 
     @property
     def parallel_time(self) -> float:
@@ -112,13 +134,38 @@ class BlockMaterialiser:
     ) -> None:
         self.graph = graph
         self.budget = budget
-        #: number of block materialisations performed (cache misses)
+        #: number of block materialisations performed (cache misses),
+        #: cumulative over the materialiser's lifetime
         self.builds = 0
+        #: cumulative cache hits / LRU evictions
+        self.hits = 0
+        self.evictions = 0
         self._retained = 0
         self._lock = threading.RLock()
+        self._run_stats = MaterialiserStats()
         self._cache: "OrderedDict[FrozenSet[NodeId], Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]]" = (
             OrderedDict()
         )
+
+    def take_stats(self) -> MaterialiserStats:
+        """Return and reset the *per-run* counters.
+
+        A materialiser shared across session runs keeps its cumulative
+        ``builds``/``hits``/``evictions``, but each ``validate()`` call
+        must report only its own slice — otherwise a shared cache makes
+        later runs' cluster reports look progressively worse.  Call once
+        at the end of each run.
+        """
+        with self._lock:
+            stats = self._run_stats
+            self._run_stats = MaterialiserStats()
+            return stats
+
+    def clear(self) -> None:
+        """Drop every cached block/matcher (after graph mutations)."""
+        with self._lock:
+            self._cache.clear()
+            self._retained = 0
 
     def _entry(
         self, block_nodes: Set[NodeId]
@@ -128,16 +175,21 @@ class BlockMaterialiser:
             entry = self._cache.get(key)
             if entry is not None:
                 self._cache.move_to_end(key)
+                self.hits += 1
+                self._run_stats.hits += 1
                 return entry
             block = self.graph.induced_subgraph(block_nodes)
             block.snapshot()  # one snapshot per materialised block
             entry = (block, {})
             self._cache[key] = entry
             self.builds += 1
+            self._run_stats.builds += 1
             self._retained += block.size
             while self._retained > self.budget and len(self._cache) > 1:
                 _, (evicted, _) = self._cache.popitem(last=False)
                 self._retained -= evicted.size
+                self.evictions += 1
+                self._run_stats.evictions += 1
             return entry
 
     def block(self, block_nodes: Set[NodeId]) -> PropertyGraph:
@@ -200,6 +252,9 @@ def run_assignment(
     materialiser: Optional[BlockMaterialiser] = None,
     executor: str = "simulated",
     processes: Optional[int] = None,
+    pool: Optional["MultiprocessExecutor"] = None,
+    shard_cache: Optional["ShardCache"] = None,
+    epoch: Optional[str] = None,
 ) -> Set[Violation]:
     """Execute a per-worker unit assignment, charging costs as measured.
 
@@ -215,13 +270,15 @@ def run_assignment(
     when not supplied; simulated backend only).
 
     ``executor`` selects how the primary units actually run —
-    ``"simulated"`` (serial, in-process), ``"process"`` (a real
-    :class:`~concurrent.futures.ProcessPoolExecutor`, ``processes``
-    capping the pool), or ``"auto"`` (see
-    :func:`~repro.parallel.executors.resolve_executor`).  Cost charging
-    happens on the coordinator from the per-unit measurements either way,
-    so both backends yield identical violations *and* identical cluster
-    reports.
+    ``"simulated"`` (serial, in-process), ``"process"`` (real worker
+    processes, ``processes`` capping the pool), or ``"auto"`` (see
+    :func:`~repro.parallel.executors.resolve_executor`).  ``pool`` lends
+    a caller-owned :class:`~repro.parallel.executors.MultiprocessExecutor`
+    (a session's persistent pool) to the process backend, with
+    ``shard_cache``/``epoch`` enabling warm shard shipping.  Cost
+    charging happens on the coordinator from the per-unit measurements
+    either way, so all backends yield identical violations *and*
+    identical cluster reports.
     """
     from .executors import execute_plan
 
@@ -237,6 +294,9 @@ def run_assignment(
         executor=executor,
         processes=processes,
         materialiser=materialiser,
+        pool=pool,
+        shard_cache=shard_cache,
+        epoch=epoch,
     )
     for worker, worker_units in enumerate(assignment):
         for unit, result in zip(worker_units, results[worker]):

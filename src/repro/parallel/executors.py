@@ -27,19 +27,38 @@ differential suite ``tests/test_parallel_executors.py`` locks this in.
 Selection rule
 --------------
 
-``executor="simulated"`` (the default everywhere) keeps the original
-behaviour; ``"process"`` forces the pool; ``"auto"`` picks the pool only
-when it can plausibly pay off — more than one non-empty worker, at least
-:data:`AUTO_MIN_PRIMARY_UNITS` primary units, and more than one usable
-CPU — and falls back to ``"simulated"`` otherwise.
+``executor="simulated"`` (the default on the stateless entry points)
+keeps the original behaviour; ``"process"`` forces the pool; ``"auto"``
+picks the pool only when it can plausibly pay off — more than one
+non-empty worker, at least :data:`AUTO_MIN_PRIMARY_UNITS` primary units,
+and more than one usable CPU — and falls back to ``"simulated"``
+otherwise.
+
+Session mode (persistent pool + warm shards)
+--------------------------------------------
+
+:class:`MultiprocessExecutor` additionally supports a *persistent*
+lifecycle for the repeated-validation setting the session layer
+(:class:`~repro.session.ValidationSession`) serves: ``start()`` forks
+long-lived worker processes reused across ``run()`` calls, each plan
+slot pinned to the same process (slot ``w`` → pool worker ``w % size``),
+and each worker keeps a resident-shard cache keyed by ``(run_epoch,
+worker_id)``.  A :class:`ShardCache` on the coordinator mirrors what
+every slot holds so consecutive runs over a reused fragmentation ship
+only the block-share *delta* (or, when nothing changed, nothing at all);
+:class:`ShippingStats` reports full/delta/reuse counts and worker pids
+per run.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import sys
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..graph.graph import PropertyGraph
@@ -126,6 +145,272 @@ def _run_worker_units(
     return [execute_unit(sigma, shard, unit, materialiser) for unit in units]
 
 
+#: unique run-epoch tokens for worker-resident cache keys
+_EPOCHS = itertools.count()
+
+
+def next_epoch(prefix: str = "run") -> str:
+    """A fresh epoch token for the worker-resident shard caches."""
+    return f"{prefix}-{os.getpid()}-{next(_EPOCHS)}"
+
+
+@dataclass
+class ShippingStats:
+    """What one process-executor run shipped to its workers.
+
+    ``full``/``delta``/``reused`` count busy plan slots by how their
+    shard travelled: whole induced subgraph, block-share delta, or
+    nothing at all (the worker's resident share already covered the
+    run).  ``worker_pids`` maps each busy slot to the OS pid that
+    executed it — warm-session tests pin pid stability across runs.
+    """
+
+    full: int = 0
+    delta: int = 0
+    reused: int = 0
+    shipped_nodes: int = 0
+    shipped_ops: int = 0
+    worker_pids: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class _SlotState:
+    """Coordinator-side mirror of one worker slot's resident shard."""
+
+    epoch: str
+    resident: Set
+    seq: int  # position in the ShardCache op log already shipped
+
+
+class ShardCache:
+    """Coordinator-side bookkeeping for warm worker-resident shards.
+
+    A :class:`~repro.session.ValidationSession` owns one of these per
+    session.  For every busy plan slot it remembers which nodes the
+    pinned worker process currently holds (and at which op-log position),
+    so consecutive runs over an unchanged — or session-updated — graph
+    ship only the *delta*: graph updates routed through
+    ``session.update()`` land in the op log and are forwarded to resident
+    shards; newly needed block nodes travel as an induced add-payload;
+    an unchanged slot ships nothing.
+
+    Out-of-band structural mutations (not routed through the session) are
+    detected via the graph's structural version and drop every slot cold.
+    Attribute edits do not bump the version, so those *must* go through
+    ``session.update()`` — the same contract ``IncrementalValidator``
+    already imposes.
+    """
+
+    #: forwarded-op budget per slot and run: past this, reship instead
+    MAX_FORWARD_OPS = 4096
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, _SlotState] = {}
+        self._log: List[Tuple] = []
+        self._marked_version: Optional[int] = None
+
+    def record(self, op: Tuple) -> None:
+        """Append one session-routed update op to the forwarding log.
+
+        The log is compacted at every :meth:`sync` and hard-capped here:
+        a backlog several times :data:`MAX_FORWARD_OPS` means no slot is
+        keeping up (or none exists), so reshipping beats forwarding and
+        everything is dropped cold.
+        """
+        self._log.append(op)
+        if len(self._log) > 4 * self.MAX_FORWARD_OPS:
+            self.invalidate()
+
+    def _compact(self) -> None:
+        """Drop the log prefix every slot has already consumed."""
+        if not self._slots:
+            self._log.clear()
+            return
+        low = min(state.seq for state in self._slots.values())
+        if low:
+            del self._log[:low]
+            for state in self._slots.values():
+                state.seq -= low
+
+    def mark_version(self, version: int) -> None:
+        """Declare the graph's structural version after session updates."""
+        self._marked_version = version
+
+    def invalidate(self) -> None:
+        """Drop every slot cold (next run reships full shards)."""
+        self._slots.clear()
+        self._log.clear()
+
+    def sync(self, graph: PropertyGraph) -> None:
+        """Reconcile with the graph before a run.
+
+        A structural version the session did not announce means someone
+        mutated the graph out-of-band: every resident shard is stale.
+        """
+        if self._marked_version != graph._version:
+            self.invalidate()
+            self._marked_version = graph._version
+        else:
+            self._compact()
+
+    def plan(
+        self, slot: int, epoch: str, needed: Set, graph: PropertyGraph
+    ) -> Tuple[str, object]:
+        """Decide how ``slot``'s shard travels this run.
+
+        Returns ``("full", shard_graph)``, ``("delta", (ops, add_nodes,
+        add_edges))`` or ``("reuse", None)``, updating the slot's mirror
+        state to match what the worker will hold afterwards.
+        """
+        state = self._slots.get(slot)
+        if state is not None and state.epoch == epoch:
+            ops = self._forward_ops(state.resident, state.seq)
+            if ops is not None:
+                missing = needed - state.resident
+                state.seq = len(self._log)
+                if not ops and not missing:
+                    return "reuse", None
+                add_nodes, add_edges = self._add_payload(
+                    graph, state.resident, missing
+                )
+                state.resident |= missing
+                return "delta", (ops, add_nodes, add_edges)
+        shard = graph.induced_subgraph(needed)
+        self._slots[slot] = _SlotState(
+            epoch=epoch, resident=set(needed), seq=len(self._log)
+        )
+        return "full", shard
+
+    def _forward_ops(self, resident: Set, seq: int) -> Optional[List[Tuple]]:
+        """Log ops since ``seq`` restricted to the resident share.
+
+        ``None`` means the backlog is too large — reshipping is cheaper.
+        """
+        pending = self._log[seq:]
+        if len(pending) > self.MAX_FORWARD_OPS:
+            return None
+        out: List[Tuple] = []
+        for op in pending:
+            kind = op[0]
+            if kind in ("attr", "node"):
+                if op[1] in resident:
+                    out.append(op)
+            elif kind in ("edge+", "edge-"):
+                if op[1] in resident and op[2] in resident:
+                    out.append(op)
+            else:  # pragma: no cover - session.update validates op kinds
+                return None
+        return out
+
+    @staticmethod
+    def _add_payload(
+        graph: PropertyGraph, resident: Set, missing: Set
+    ) -> Tuple[List[Tuple], List[Tuple]]:
+        """Nodes + induced edges that extend a resident shard by ``missing``."""
+        new_resident = resident | missing
+        add_nodes = [
+            (node, graph.label(node), dict(graph.attrs(node)))
+            for node in missing
+        ]
+        add_edges: List[Tuple] = []
+        for node in missing:
+            for dst, labels in graph.out_neighbors(node).items():
+                if dst in new_resident:
+                    add_edges.extend((node, dst, label) for label in labels)
+            for src, labels in graph.in_neighbors(node).items():
+                if src in new_resident and src not in missing:
+                    add_edges.extend((src, node, label) for label in labels)
+        return add_nodes, add_edges
+
+
+class _ResidentShard:
+    """A worker process's cached state for one (epoch, slot)."""
+
+    __slots__ = ("sigma", "shard", "materialiser")
+
+    def __init__(self, sigma, shard, materialiser) -> None:
+        self.sigma = sigma
+        self.shard = shard
+        self.materialiser = materialiser
+
+
+def _apply_shard_op(shard: PropertyGraph, op: Tuple) -> None:
+    kind = op[0]
+    if kind == "attr":
+        shard.set_attr(op[1], op[2], op[3])
+    elif kind == "edge+":
+        shard.add_edge(op[1], op[2], op[3])
+    elif kind == "edge-":
+        shard.remove_edge(op[1], op[2], op[3])
+    elif kind == "node":
+        shard.add_node(op[1], op[2], dict(op[3]) if op[3] else None)
+    else:
+        raise ValueError(f"unknown shard op {kind!r}")
+
+
+def _run_slot(
+    cache: Dict[Tuple[str, int], _ResidentShard],
+    slot: int,
+    mode: str,
+    payload,
+    units: Sequence[WorkUnit],
+) -> List["UnitResult"]:
+    """Worker-side execution of one plan slot with shard-cache handling."""
+    from .engine import BlockMaterialiser, execute_unit
+
+    if mode == "full":
+        epoch, sigma, shard = payload
+        for key in [k for k in cache if k[1] == slot and k[0] != epoch]:
+            del cache[key]  # one resident shard per slot
+        entry = _ResidentShard(sigma, shard, BlockMaterialiser(shard))
+        cache[(epoch, slot)] = entry
+    elif mode == "delta":
+        epoch, ops, add_nodes, add_edges = payload
+        entry = cache[(epoch, slot)]
+        shard = entry.shard
+        for op in ops:
+            _apply_shard_op(shard, op)
+        for node, label, attrs in add_nodes:
+            shard.add_node(node, label, attrs)
+        for src, dst, label in add_edges:
+            shard.add_edge(src, dst, label)
+        # Cached blocks may straddle the patched region: start fresh.
+        entry.materialiser = BlockMaterialiser(shard)
+    else:  # reuse: shard, snapshot *and* block cache stay warm
+        (epoch,) = payload
+        entry = cache[(epoch, slot)]
+    return [
+        execute_unit(entry.sigma, entry.shard, unit, entry.materialiser)
+        for unit in units
+    ]
+
+
+def _persistent_worker_main(conn) -> None:
+    """Command loop of one persistent (pinned) worker process."""
+    cache: Dict[Tuple[str, int], _ResidentShard] = {}
+    pid = os.getpid()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - coordinator died
+            break
+        if message[0] == "stop":
+            break
+        try:
+            replies = [
+                (slot, _run_slot(cache, slot, mode, payload, units))
+                for slot, mode, payload, units in message[1]
+            ]
+            reply = ("ok", pid, replies)
+        except BaseException:
+            reply = ("err", pid, traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            break  # coordinator went away mid-run
+    conn.close()
+
+
 class SimulatedExecutor:
     """Serial in-process execution (the original, cost-simulated path).
 
@@ -165,7 +450,7 @@ class SimulatedExecutor:
 
 
 class MultiprocessExecutor:
-    """Real parallel execution over a :class:`ProcessPoolExecutor`.
+    """Real parallel execution in worker processes, one-shot or persistent.
 
     Each non-empty worker of the plan becomes one task: its primary units
     plus the shard-local graph they need (see :func:`worker_graph`) are
@@ -175,11 +460,28 @@ class MultiprocessExecutor:
     primary CSR state only) and graphs drop their cached whole-graph
     snapshot on the wire.
 
-    ``processes`` caps the pool size (default: one process per non-empty
-    worker, capped by usable CPUs).  ``start_method`` defaults to
-    ``"fork"`` where available — workers then share the parent's hash
-    seed, though result equality does not depend on it: violation sets
-    compare by value and step counts are enumeration-order independent.
+    Two lifecycles:
+
+    * **one-shot** (the default, what ``executor="process"`` on the
+      stateless entry points uses): every :meth:`run` spins a
+      :class:`ProcessPoolExecutor`, ships full shards, and tears the pool
+      down — stateless and self-contained.
+    * **persistent** (what :class:`~repro.session.ValidationSession`
+      uses): :meth:`start` forks long-lived pinned worker processes that
+      survive across :meth:`run` calls.  Plan slot ``w`` is always served
+      by pool worker ``w % size``, and each worker process keeps a
+      resident-shard cache keyed by ``(run_epoch, worker_id)`` — so a
+      warm run ships only the block-share delta a :class:`ShardCache`
+      computes (or nothing at all), and reuses the worker's shard,
+      snapshot and block cache.  :meth:`shutdown` (or the context
+      manager) ends the pool.
+
+    Both lifecycles execute the same per-unit detection code and produce
+    identical results.  ``processes`` caps the pool size.
+    ``start_method`` defaults to ``"fork"`` where available — workers
+    then share the parent's hash seed, though result equality does not
+    depend on it: violation sets compare by value and step counts are
+    enumeration-order independent.
     """
 
     name = "process"
@@ -202,44 +504,104 @@ class MultiprocessExecutor:
             else:  # pragma: no cover - non-Linux
                 start_method = multiprocessing.get_start_method()
         self.start_method = start_method
+        self._procs: List = []
+        self._conns: List = []
+        #: shipping record of the most recent persistent run
+        self.last_shipping: Optional[ShippingStats] = None
 
+    # ------------------------------------------------------------------
+    # persistent-pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether a persistent pool is up."""
+        return bool(self._procs)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the persistent pool (empty when not started)."""
+        return [proc.pid for proc in self._procs]
+
+    def start(self, size: Optional[int] = None) -> "MultiprocessExecutor":
+        """Fork the persistent pool (idempotent).
+
+        ``size`` defaults to ``processes`` capped by usable CPUs.
+        """
+        if self._procs:
+            return self
+        if size is None:
+            size = min(self.processes or usable_cpus(), usable_cpus())
+        size = max(1, size)
+        context = multiprocessing.get_context(self.start_method)
+        for _ in range(size):
+            parent, child = context.Pipe()
+            proc = context.Process(
+                target=_persistent_worker_main, args=(child,), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the persistent pool (idempotent; one-shot runs unaffected)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for conn in self._conns:
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs.clear()
+        self._conns.clear()
+
+    def __enter__(self) -> "MultiprocessExecutor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
     def run(
         self,
         sigma: Sequence[GFD],
         graph: PropertyGraph,
         plan: Sequence[Sequence[WorkUnit]],
+        shard_cache: Optional[ShardCache] = None,
+        epoch: Optional[str] = None,
     ) -> List[List[Optional["UnitResult"]]]:
         """Execute every primary unit in worker processes.
 
         Returns per-worker result lists aligned with ``plan``: one
         :class:`~repro.parallel.engine.UnitResult` per primary unit,
         ``None`` per replica — the same shape :class:`SimulatedExecutor`
-        produces.
+        produces.  On a started (persistent) pool, ``shard_cache`` turns
+        on warm shard shipping; without one, every run ships full shards.
         """
         primaries: List[List[WorkUnit]] = [
             [unit for unit in worker_units if unit.primary]
             for worker_units in plan
         ]
         busy = [w for w, units in enumerate(primaries) if units]
-        results: Dict[int, List["UnitResult"]] = {}
-        if busy:
-            pool_size = min(
-                self.processes or len(busy), len(busy), max(1, usable_cpus())
+        if self._procs:
+            results = self._run_persistent(
+                sigma, graph, primaries, busy, shard_cache, epoch
             )
-            context = multiprocessing.get_context(self.start_method)
-            with ProcessPoolExecutor(
-                max_workers=pool_size, mp_context=context
-            ) as pool:
-                futures = {
-                    worker: pool.submit(
-                        _run_worker_units,
-                        (sigma, worker_graph(graph, primaries[worker]),
-                         primaries[worker]),
-                    )
-                    for worker in busy
-                }
-                for worker, future in futures.items():
-                    results[worker] = future.result()
+        else:
+            results = self._run_oneshot(sigma, graph, primaries, busy)
         aligned: List[List[Optional["UnitResult"]]] = []
         for worker, worker_units in enumerate(plan):
             worker_results = iter(results.get(worker, ()))
@@ -251,6 +613,108 @@ class MultiprocessExecutor:
             )
         return aligned
 
+    def _run_oneshot(
+        self,
+        sigma: Sequence[GFD],
+        graph: PropertyGraph,
+        primaries: List[List[WorkUnit]],
+        busy: List[int],
+    ) -> Dict[int, List["UnitResult"]]:
+        results: Dict[int, List["UnitResult"]] = {}
+        if not busy:
+            return results
+        pool_size = min(
+            self.processes or len(busy), len(busy), max(1, usable_cpus())
+        )
+        context = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=context
+        ) as pool:
+            futures = {
+                worker: pool.submit(
+                    _run_worker_units,
+                    (sigma, worker_graph(graph, primaries[worker]),
+                     primaries[worker]),
+                )
+                for worker in busy
+            }
+            for worker, future in futures.items():
+                results[worker] = future.result()
+        return results
+
+    def _run_persistent(
+        self,
+        sigma: Sequence[GFD],
+        graph: PropertyGraph,
+        primaries: List[List[WorkUnit]],
+        busy: List[int],
+        shard_cache: Optional[ShardCache],
+        epoch: Optional[str],
+    ) -> Dict[int, List["UnitResult"]]:
+        if epoch is None:
+            epoch = next_epoch()
+        if shard_cache is not None:
+            shard_cache.sync(graph)
+        stats = ShippingStats()
+        size = len(self._procs)
+        batches: Dict[int, List[Tuple]] = {}
+        for worker in busy:
+            needed: Set = set()
+            for unit in primaries[worker]:
+                needed |= unit.block_nodes
+            if shard_cache is None:
+                mode, data = "full", graph.induced_subgraph(needed)
+            else:
+                mode, data = shard_cache.plan(worker, epoch, needed, graph)
+            if mode == "full":
+                payload = (epoch, sigma, data)
+                stats.full += 1
+                stats.shipped_nodes += data.num_nodes
+            elif mode == "delta":
+                ops, add_nodes, add_edges = data
+                payload = (epoch, ops, add_nodes, add_edges)
+                stats.delta += 1
+                stats.shipped_nodes += len(add_nodes)
+                stats.shipped_ops += len(ops)
+            else:
+                payload = (epoch,)
+                stats.reused += 1
+            batches.setdefault(worker % size, []).append(
+                (worker, mode, payload, primaries[worker])
+            )
+        try:
+            for proc_index, tasks in batches.items():
+                self._conns[proc_index].send(("batch", tasks))
+            # Drain every pending reply before raising so a failed run
+            # never leaves stale replies in a pipe for the next run.
+            replies = [
+                (proc_index, self._conns[proc_index].recv())
+                for proc_index in batches
+            ]
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            # A worker died hard (OOM kill, segfault): resident shards
+            # and pipe contents are unknowable — tear the pool down so
+            # the next run restarts cold instead of misreading state.
+            if shard_cache is not None:
+                shard_cache.invalidate()
+            self.shutdown()
+            raise RuntimeError(
+                f"persistent worker pool lost a process ({exc!r}); pool "
+                "shut down — the next run restarts it cold"
+            ) from exc
+        failures = [reply for _, reply in replies if reply[0] == "err"]
+        if failures:
+            if shard_cache is not None:
+                shard_cache.invalidate()  # worker state now unknown
+            raise RuntimeError(f"worker process failed:\n{failures[0][2]}")
+        results: Dict[int, List["UnitResult"]] = {}
+        for _, (_, pid, pairs) in replies:
+            for slot, slot_results in pairs:
+                results[slot] = slot_results
+                stats.worker_pids[slot] = pid
+        self.last_shipping = stats
+        return results
+
 
 def execute_plan(
     sigma: Sequence[GFD],
@@ -259,6 +723,9 @@ def execute_plan(
     executor: str = "simulated",
     processes: Optional[int] = None,
     materialiser: Optional["BlockMaterialiser"] = None,
+    pool: Optional[MultiprocessExecutor] = None,
+    shard_cache: Optional[ShardCache] = None,
+    epoch: Optional[str] = None,
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan's primary units with the chosen backend.
 
@@ -267,11 +734,16 @@ def execute_plan(
     primary unit, and returns per-worker result lists aligned with
     ``plan`` (``None`` for replicas).  ``materialiser`` only applies to
     the simulated backend — worker processes always build their own
-    shard-local materialiser.
+    shard-local materialiser.  ``pool`` supplies a caller-owned
+    :class:`MultiprocessExecutor` (a session's persistent pool) for the
+    process backend; ``shard_cache``/``epoch`` enable warm shard shipping
+    on a started pool.
     """
     resolved = resolve_executor(executor, plan, processes)
     if resolved == "simulated":
         backend = SimulatedExecutor(materialiser=materialiser)
-    else:
-        backend = MultiprocessExecutor(processes=processes)
-    return backend.run(sigma, graph, plan)
+        return backend.run(sigma, graph, plan)
+    backend = pool if pool is not None else MultiprocessExecutor(
+        processes=processes
+    )
+    return backend.run(sigma, graph, plan, shard_cache=shard_cache, epoch=epoch)

@@ -20,17 +20,12 @@ Parallel time follows Theorem 10:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..graph.graph import PropertyGraph
 from ..core.gfd import GFD
-from .balancing import lpt_partition, random_partition
-from .cluster import CostModel, SimulatedCluster
-from .engine import BlockMaterialiser, ValidationRun, run_assignment
-from .executors import resolve_executor
-from .multiquery import build_shared_groups, singleton_groups
-from .skew import split_oversized
-from .workload import estimate_workload
+from .cluster import CostModel
+from .engine import ValidationRun
 
 #: default replicate-and-split threshold, as a multiple of the mean block
 #: size (only blocks dramatically above the mean are split).
@@ -57,50 +52,31 @@ def rep_val(
     to disable splitting entirely.  ``executor`` selects the execution
     backend (``"simulated"``/``"process"``/``"auto"``, see
     :mod:`repro.parallel.executors`); ``processes`` caps the real pool.
+
+    This is a thin facade over the session layer: each call constructs a
+    throwaway (non-persistent) :class:`~repro.session.ValidationSession`
+    and runs one replicated validation — identical results, no state kept.
+    Repeated-validation workloads should hold a session instead and call
+    :meth:`~repro.session.ValidationSession.validate` to reuse the worker
+    pool, shards, and workload estimates.
     """
-    cluster = SimulatedCluster(n, cost_model)
-    groups = build_shared_groups(sigma) if optimize else singleton_groups(sigma)
-    units = estimate_workload(sigma, graph, cluster=cluster, groups=groups)
+    from ..session import ValidationSession
 
-    if optimize:
-        threshold = split_threshold
-        if threshold is None:
-            mean = (
-                sum(u.block_size for u in units) / len(units) if units else 0.0
-            )
-            threshold = int(mean * SPLIT_FACTOR) or 0
-        if threshold:
-            units = split_oversized(units, threshold)
-
-    if assignment == "balanced":
-        plan, _ = lpt_partition(units, n)
-    elif assignment == "random":
-        plan, _ = random_partition(units, n, seed=seed)
-    else:
-        raise ValueError(f"unknown assignment strategy {assignment!r}")
-    cluster.charge_partitioning(len(units))
-
-    # One materialiser per run: symmetric candidates and split replicas
-    # share their block's snapshot and matcher instead of re-deriving them.
-    # (Simulated backend only — worker processes build shard-local ones.)
-    resolved = resolve_executor(executor, plan, processes)
-    materialiser = BlockMaterialiser(graph) if resolved == "simulated" else None
-    violations = run_assignment(
-        sigma,
+    with ValidationSession(
         graph,
-        plan,
-        cluster,
-        materialiser=materialiser,
-        executor=resolved,
+        sigma,
+        executor=executor,
         processes=processes,
-    )
-    return ValidationRun(
-        violations=violations,
-        report=cluster.report(),
-        num_units=len(units),
-        algorithm=_name(assignment, optimize),
-        executor=resolved,
-    )
+        cost_model=cost_model,
+        persistent=False,
+    ) as session:
+        return session.validate(
+            n=n,
+            assignment=assignment,
+            optimize=optimize,
+            split_threshold=split_threshold,
+            seed=seed,
+        )
 
 
 def rep_ran(sigma: Sequence[GFD], graph: PropertyGraph, n: int, **kwargs) -> ValidationRun:
@@ -111,9 +87,3 @@ def rep_ran(sigma: Sequence[GFD], graph: PropertyGraph, n: int, **kwargs) -> Val
 def rep_nop(sigma: Sequence[GFD], graph: PropertyGraph, n: int, **kwargs) -> ValidationRun:
     """The ``repnop`` baseline: balanced assignment, optimisations off."""
     return rep_val(sigma, graph, n, optimize=False, **kwargs)
-
-
-def _name(assignment: str, optimize: bool) -> str:
-    if assignment == "random":
-        return "repran"
-    return "repVal" if optimize else "repnop"

@@ -92,12 +92,13 @@ class TestDisconnectedPatterns:
 
 
 class TestRandomisedEquivalence:
+    @pytest.mark.parametrize("backend", ["auto", "legacy", "snapshot"])
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_update_stream_matches_scratch(self, seed):
+    def test_update_stream_matches_scratch(self, seed, backend):
         rng = random.Random(seed)
         graph = power_law_graph(120, 300, seed=seed, domain_size=5)
         sigma = generate_gfds(graph, count=3, pattern_edges=2, seed=seed)
-        validator = IncrementalValidator(sigma, graph)
+        validator = IncrementalValidator(sigma, graph, backend=backend)
         nodes = list(graph.nodes())
         edge_labels = sorted(graph.edge_labels())
         for step in range(15):
