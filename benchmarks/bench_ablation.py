@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro import (
     dis_val,

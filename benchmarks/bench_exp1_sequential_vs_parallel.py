@@ -20,7 +20,6 @@ from __future__ import annotations
 import os
 import time
 
-import pytest
 
 from repro import (
     dis_val,

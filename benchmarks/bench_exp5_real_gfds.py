@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import pytest
 
 from repro import accuracy, det_vio, violation_entities
 from repro.datasets import dbpedia_like, yago_like

@@ -10,7 +10,6 @@ algorithms still handle.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import (
     dis_nop,

@@ -9,7 +9,6 @@ a 5× skew increase.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import (
     dis_nop,
@@ -19,7 +18,6 @@ from repro import (
     greedy_edge_cut_partition,
     skewed_power_law_graph,
 )
-from repro.graph import skewness_ratio
 
 from _bench_utils import emit_table
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro import accuracy, det_vio, violation_entities
 from repro.datasets import yago_like

@@ -26,7 +26,7 @@ import time
 from repro import generate_gfds, power_law_graph
 from repro.core.validation import det_vio
 from repro.graph.snapshot import GraphSnapshot
-from repro.matching import MatchStats, SubgraphMatcher
+from repro.matching import MatchStats
 
 from _bench_utils import emit_table
 
@@ -91,7 +91,7 @@ def test_matching_backends(benchmark):
     )
     print(
         f"cold first sweep (build incl.): {cold_time * 1e3:.1f} ms; "
-        f"break-even after "
+        "break-even after "
         f"~{build_time / max(legacy_time - snapshot_time, 1e-9):.1f} sweeps"
     )
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro import implies, is_satisfiable, minimal_cover, parse_gfd
 from repro.core.satisfiability import trivially_satisfiable

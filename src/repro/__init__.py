@@ -50,6 +50,7 @@ from .matching import SubgraphMatcher, count_matches, find_matches, has_match
 from .core import (
     CFD,
     ConstantLiteral,
+    DiscoveredGFD,
     FD,
     GFD,
     GFDError,
@@ -86,7 +87,7 @@ from .parallel import (
     rep_val,
     sequential_run,
 )
-from .session import ValidationSession
+from .session import DiscoveryPhase, DiscoveryRun, ValidationSession
 from .quality import accuracy, inject_noise, validate_bigdansing, validate_gcfd
 from .datasets import Dataset, dbpedia_like, pokec_like, yago_like
 
@@ -118,6 +119,7 @@ __all__ = [
     # GFDs
     "CFD",
     "ConstantLiteral",
+    "DiscoveredGFD",
     "FD",
     "GFD",
     "GFDError",
@@ -141,6 +143,8 @@ __all__ = [
     # parallel validation + the session layer
     "ClusterReport",
     "CostModel",
+    "DiscoveryPhase",
+    "DiscoveryRun",
     "MaterialiserStats",
     "ShippingStats",
     "UnitResult",

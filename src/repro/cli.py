@@ -28,9 +28,8 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
-from .core import GFD, det_vio, generate_gfds, implies, is_satisfiable, parse_gfd
+from .core import GFD, det_vio, generate_gfds, is_satisfiable, parse_gfd
 from .core.implication import minimal_cover
-from .core.discovery import discover_gfds
 from .graph import load_graph, power_law_graph, save_graph
 from .graph.partition import greedy_edge_cut_partition
 from .session import ValidationSession
@@ -174,7 +173,7 @@ def cmd_bench(args, out: TextIO) -> int:
     with ValidationSession(
         graph, rules, executor=args.executor, processes=args.processes
     ) as session:
-        for iteration in range(max(1, args.repeat)):
+        for iteration in range(args.repeat):
             started = time.perf_counter()
             rep = session.validate(n=args.workers)
             rep_wall = time.perf_counter() - started
@@ -182,17 +181,9 @@ def cmd_bench(args, out: TextIO) -> int:
             dis = session.validate(fragmentation=fragmentation)
             dis_wall = time.perf_counter() - started
             if args.repeat > 1:
-                stats = [s for s in (rep.shipping, dis.shipping) if s]
-                shipping = ""
-                if stats:
-                    shipping = (
-                        f"  [shards: {sum(s.full for s in stats)} full, "
-                        f"{sum(s.delta for s in stats)} delta, "
-                        f"{sum(s.reused for s in stats)} reused]"
-                    )
                 out.write(
                     f"iteration {iteration + 1}: repVal {rep_wall:.3f}s  "
-                    f"disVal {dis_wall:.3f}s{shipping}\n"
+                    f"disVal {dis_wall:.3f}s\n"
                 )
     out.write(f"{'algorithm':8s} {'T(cost)':>12s} {'makespan':>10s} "
               f"{'comm%':>6s} {'|Vio|':>6s}  executor\n")
@@ -203,6 +194,19 @@ def cmd_bench(args, out: TextIO) -> int:
             f"{run.report.communication_share * 100:5.1f}% "
             f"{len(run.violations):6d}  {run.executor}\n"
         )
+    # The final iteration's shipping is always reported (not only on
+    # --repeat > 1): it is how a user verifies the warm path engaged.
+    stats = [s for s in (rep.shipping, dis.shipping) if s]
+    if stats:
+        out.write(
+            f"shipping (final iteration): {sum(s.full for s in stats)} "
+            f"full, {sum(s.delta for s in stats)} delta, "
+            f"{sum(s.reused for s in stats)} reused shard(s), "
+            f"{sum(s.shipped_nodes for s in stats)} node(s) shipped\n"
+        )
+    else:
+        out.write("shipping (final iteration): none "
+                  "(simulated executor ships nothing)\n")
     if rep.violations != dis.violations:
         out.write("WARNING: algorithms disagree on Vio — this is a bug\n")
         return 2
@@ -211,12 +215,23 @@ def cmd_bench(args, out: TextIO) -> int:
 
 def cmd_discover(args, out: TextIO) -> int:
     graph = load_graph(args.graph)
-    mined = discover_gfds(
-        graph,
-        min_support=args.support,
-        min_confidence=args.confidence,
-    )
-    rules = [m.gfd for m in mined]
+    from .parallel.executors import usable_cpus
+
+    workers = args.workers or args.processes or max(1, usable_cpus())
+    # Mining itself runs session-backed: enumeration and counting are
+    # work units over the chosen execution backend, and the mined-Σ
+    # confirmation pass reuses the same warm worker shards.
+    with ValidationSession(
+        graph, [], executor=args.executor, processes=args.processes
+    ) as session:
+        run = session.discover(
+            min_support=args.support,
+            min_confidence=args.confidence,
+            max_edges=args.max_edges,
+            max_matches=args.max_matches,
+            n=workers,
+        )
+    rules = run.sigma
     text = format_rule_file(rules) if rules else "# nothing discovered\n"
     if args.output:
         Path(args.output).write_text(text)
@@ -224,27 +239,61 @@ def cmd_discover(args, out: TextIO) -> int:
     else:
         out.write(text)
     if rules:
-        # Confirmation pass: validate the mined rules over the source
-        # graph with the chosen execution backend (rules mined below
-        # confidence 1.0 legitimately carry violations).
-        violations = _detect(graph, rules, args)
+        # Confirmation pass (rules mined below confidence 1.0
+        # legitimately carry violations).
+        violations = run.violations if run.violations is not None else set()
         out.write(
-            f"# verified ({args.executor}): {len(violations)} "
+            f"# verified ({run.executor}): {len(violations)} "
             f"violation(s) across {len(rules)} rule(s)\n"
         )
+        # A confidence-1.0 rule from an *uncapped* pattern holds on every
+        # match, so a confirmation violation means mining and validation
+        # disagree — the same internal-inconsistency contract cmd_bench
+        # enforces.  Capped rules are excluded: their confidence covers
+        # only the canonical counted subset, so confirmation violations
+        # from uncounted matches are legitimate.
+        exact = {
+            m.gfd.name
+            for m in run.rules
+            if m.confidence == 1.0 and m.gfd.name not in run.capped_rules
+        }
+        broken = sorted(exact & {v.gfd_name for v in violations})
+        if broken:
+            out.write(
+                "ERROR: rule(s) mined at confidence 1.0 still report "
+                f"violations: {', '.join(broken)}\n"
+            )
+            return 2
     return 0
 
 
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be ≥ 1 (workers, repeats, …).
+
+    Rejecting at parse time beats silent clamping: ``--repeat 0`` used to
+    be quietly promoted to one iteration.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     """The execution-backend switches every validating command accepts."""
     parser.add_argument("--executor", choices=["simulated", "process", "auto"],
                         default="simulated",
                         help="execution backend: cost-simulated serial run, "
                              "a real process pool, or auto-selection")
-    parser.add_argument("--processes", type=int, default=None,
+    parser.add_argument("--processes", type=_positive_int, default=None,
                         help="cap the real process pool "
                              "(executor=process/auto)")
 
@@ -289,18 +338,27 @@ def build_parser() -> argparse.ArgumentParser:
                                          "(optionally repeated warm)")
     bench.add_argument("graph", help="graph file")
     bench.add_argument("rules", help="rule file")
-    bench.add_argument("--workers", type=int, default=8)
-    bench.add_argument("--repeat", type=int, default=1,
+    bench.add_argument("--workers", type=_positive_int, default=8)
+    bench.add_argument("--repeat", type=_positive_int, default=1,
                        help="run the comparison N times inside one warm "
                             "ValidationSession (pool + shards reused)")
     _add_executor_flags(bench)
     bench.set_defaults(func=cmd_bench)
 
-    discover = sub.add_parser("discover", help="mine GFDs from a graph")
+    discover = sub.add_parser("discover", help="mine GFDs from a graph "
+                                               "(session-backed, parallel)")
     discover.add_argument("graph", help="graph file")
-    discover.add_argument("--support", type=int, default=5)
+    discover.add_argument("--support", type=_positive_int, default=5)
     discover.add_argument("--confidence", type=float, default=0.95)
     discover.add_argument("--output", help="rule file to write")
+    discover.add_argument("--workers", type=_positive_int, default=None,
+                          help="worker slots for the mining plan "
+                               "(default: --processes or the usable CPUs)")
+    discover.add_argument("--max-edges", type=_positive_int, default=2,
+                          help="largest candidate pattern, in edges")
+    discover.add_argument("--max-matches", type=_positive_int, default=5000,
+                          help="matches counted per candidate pattern "
+                               "(canonical selection)")
     _add_executor_flags(discover)
     discover.set_defaults(func=cmd_discover)
     return parser

@@ -41,7 +41,16 @@ from .validation import (
 )
 from .cfd import CFD, FD, UNCONSTRAINED, relation_to_graph, type_requirement
 from .generator import GFDGenerator, generate_gfds, mine_frequent_edges
-from .discovery import DiscoveredGFD, discover_gfds
+from .discovery import (
+    DiscoveredGFD,
+    candidate_dependencies,
+    candidate_patterns,
+    canonical_matches,
+    count_dependency,
+    discover_gfds,
+    probe_gfds,
+    select_rules,
+)
 from .incremental import IncrementalValidator, apply_updates
 from .typed import TypeSchema, is_satisfiable_typed, type_conflicts
 
@@ -93,7 +102,13 @@ __all__ = [
     "generate_gfds",
     "mine_frequent_edges",
     "DiscoveredGFD",
+    "candidate_dependencies",
+    "candidate_patterns",
+    "canonical_matches",
+    "count_dependency",
     "discover_gfds",
+    "probe_gfds",
+    "select_rules",
     "IncrementalValidator",
     "apply_updates",
     "TypeSchema",

@@ -12,7 +12,7 @@ graph representation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Sequence, Tuple
 
 from ..graph.graph import PropertyGraph
 from ..pattern.pattern import GraphPattern

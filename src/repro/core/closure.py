@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .literals import ConstantLiteral, Literal, VariableLiteral
+from .literals import ConstantLiteral, Literal
 
 # A term is either an attribute occurrence ("v", var, attr) or a constant
 # ("c", value).  Constants of equal value share a term, which is what makes

@@ -7,22 +7,50 @@ satisfy ``X``) and *confidence* (the fraction of ``X``-satisfying matches
 that also satisfy ``Y``) thresholds.  Confidence 1.0 yields GFDs that hold
 exactly on the input graph; slightly lower thresholds surface "almost"
 dependencies whose violators are candidate errors.
+
+This module holds the *primitives* — pattern proposal, match
+canonicalisation, dependency proposal, support/confidence counting — plus
+the serial reference orchestration :func:`discover_gfds`.  The
+session-backed parallel orchestration
+(:meth:`repro.session.ValidationSession.discover`) composes the same
+primitives into work units over the parallel engine and is pinned to
+produce the *identical* mined rule set.
+
+Determinism contract
+--------------------
+
+The mined rule set (rules, names, supports, confidences) depends only on
+the graph and the discovery parameters — never on match enumeration
+order, matcher backend, or execution backend:
+
+* evidence for dependency proposal is either *every* match (the default)
+  or an explicit seeded sample drawn from the canonically-ordered match
+  list (:func:`canonical_matches`);
+* attribute rankings break frequency ties lexicographically instead of
+  leaning on ``Counter`` insertion order;
+* the ``max_matches`` cap selects a canonical prefix, not an
+  enumeration-order prefix.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graph.graph import PropertyGraph
 from ..matching.vf2 import SubgraphMatcher
 from ..pattern.pattern import GraphPattern
 from .gfd import GFD
-from .generator import EdgeType, mine_frequent_edges
+from .generator import mine_frequent_edges
 from .literals import ConstantLiteral, Literal, VariableLiteral
 from .satisfaction import match_satisfies_all
+
+#: default evidence cap for dependency proposal — ``None`` aggregates over
+#: every (capped) match, which is the strongest order-independent choice.
+DEFAULT_SAMPLE_SIZE: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -80,15 +108,85 @@ def candidate_patterns(
     return list(unique.values())
 
 
+def probe_gfds(patterns: Sequence[GraphPattern]) -> List[GFD]:
+    """Wrap candidate patterns as dependency-free *probe* GFDs.
+
+    A probe carries only the topological constraint (``∅ → ∅``), so the
+    parallel engine's workload/grouping machinery — pivot vectors, shared
+    isomorphism groups, data blocks — applies to mining verbatim: one
+    probe's match enumeration serves every dependency candidate of every
+    pattern isomorphic to it.
+    """
+    return [
+        GFD(pattern=pattern, lhs=(), rhs=(), name=f"cand{index}")
+        for index, pattern in enumerate(patterns)
+    ]
+
+
+def match_items_key(items) -> Tuple:
+    """Total, type-safe order on var-sorted ``((var, node), ...)`` tuples.
+
+    The single source of the canonical match order: serial mining, the
+    coordinator's capped selection and the workers' per-unit capped
+    selection (:mod:`repro.parallel.engine`) must all sort by the *same*
+    key, or capped session mining would silently diverge from serial.
+    """
+    return tuple((var, repr(node)) for var, node in items)
+
+
+def match_sort_key(match: Mapping) -> Tuple:
+    """A total, type-safe order on matches (var → node mappings)."""
+    return match_items_key(sorted(match.items()))
+
+
+def canonical_matches(
+    matches, cap: Optional[int] = None
+) -> List[dict]:
+    """Matches in canonical order, optionally truncated to ``cap``.
+
+    The order (and hence the capped selection) depends only on the match
+    *set*, never on how the matches were enumerated — the property every
+    downstream discovery decision relies on.  ``matches`` may be any
+    iterable (a lazy matcher enumeration included); with a ``cap`` the
+    selection runs as a bounded heap, so memory stays ``O(cap)`` however
+    many matches the pattern has.
+    """
+    if cap is not None:
+        ordered = heapq.nsmallest(cap, matches, key=match_sort_key)
+    else:
+        ordered = sorted(matches, key=match_sort_key)
+    return [dict(match) for match in ordered]
+
+
+def _ranked_attrs(counter: Counter, limit: int) -> List[str]:
+    """Top ``limit`` attrs by count, frequency ties broken by name."""
+    ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [attr for attr, _ in ranked[:limit]]
+
+
 def candidate_dependencies(
     pattern: GraphPattern,
     graph: PropertyGraph,
-    matches: Sequence[dict],
+    matches: Sequence[Mapping],
     max_attrs: int = 4,
+    sample_size: Optional[int] = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
 ) -> List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]]:
-    """Propose ``X → Y`` candidates from attributes seen on the matches."""
+    """Propose ``X → Y`` candidates from attributes seen on the matches.
+
+    Evidence is every match by default; ``sample_size`` makes the sample
+    explicit and ``seed`` makes it reproducible — the sample is drawn
+    from the canonically-ordered match list, so the proposed (and hence
+    mined) rule set never depends on enumeration order or backend.  (The
+    old implicit ``matches[:200]`` prefix did, and could differ between
+    backends.)
+    """
+    evidence: Sequence[Mapping] = matches
+    if sample_size is not None and len(matches) > sample_size:
+        rng = random.Random(seed)
+        evidence = rng.sample(canonical_matches(matches), sample_size)
     attrs_by_var: Dict[str, Counter] = defaultdict(Counter)
-    for match in matches[:200]:
+    for match in evidence:
         for var, node in match.items():
             attrs_by_var[var].update(graph.attrs(node).keys())
     out: List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]] = []
@@ -97,12 +195,9 @@ def candidate_dependencies(
         for var2 in variables:
             if var1 >= var2:
                 continue
-            common = [
-                attr
-                for attr, _ in (attrs_by_var[var1] & attrs_by_var[var2]).most_common(
-                    max_attrs
-                )
-            ]
+            common = _ranked_attrs(
+                attrs_by_var[var1] & attrs_by_var[var2], max_attrs
+            )
             for lhs_attr in common:
                 for rhs_attr in common:
                     if lhs_attr == rhs_attr:
@@ -115,16 +210,75 @@ def candidate_dependencies(
                     )
     # Single-variable constant rules: X = ∅ → x.A = c (capital-style).
     for var in variables:
-        for attr, _ in attrs_by_var[var].most_common(max_attrs):
-            values = Counter(
+        for attr in _ranked_attrs(attrs_by_var[var], max_attrs):
+            values = {
                 graph.get_attr(match[var], attr)
-                for match in matches[:200]
+                for match in evidence
                 if graph.has_attr(match[var], attr)
-            )
+            }
             if len(values) == 1:
                 value = next(iter(values))
                 out.append(((), (ConstantLiteral(var, attr, value),)))
     return out
+
+
+def count_dependency(
+    graph: PropertyGraph,
+    matches: Sequence[Mapping],
+    lhs: Tuple[Literal, ...],
+    rhs: Tuple[Literal, ...],
+) -> Tuple[int, int]:
+    """``(supported, satisfied)`` for one candidate over ``matches``.
+
+    ``supported`` counts matches whose premise ``X`` holds; ``satisfied``
+    those that additionally satisfy the conclusion ``Y``.  ``graph`` may
+    be the full graph or any subgraph containing the matched nodes (a
+    data block) — attribute lookups agree either way.
+    """
+    supported = 0
+    satisfied = 0
+    for match in matches:
+        if match_satisfies_all(graph, match, lhs):
+            supported += 1
+            if match_satisfies_all(graph, match, rhs):
+                satisfied += 1
+    return supported, satisfied
+
+
+def select_rules(
+    selected: Sequence[
+        Tuple[GraphPattern, Tuple[Tuple[Literal, ...], Tuple[Literal, ...]], int, int]
+    ],
+    min_support: int,
+    min_confidence: float,
+) -> List[DiscoveredGFD]:
+    """Apply the support/confidence thresholds and name the survivors.
+
+    ``selected`` lists ``(pattern, (lhs, rhs), supported, satisfied)``
+    in proposal order; names are assigned in that order (``mined0``,
+    ``mined1``, …), exactly as the serial loop always did — shared so
+    serial and session-backed discovery agree byte-for-byte.
+    """
+    results: List[DiscoveredGFD] = []
+    for pattern, (lhs, rhs), supported, satisfied in selected:
+        if supported < min_support:
+            continue
+        confidence = satisfied / supported
+        if confidence < min_confidence:
+            continue
+        results.append(
+            DiscoveredGFD(
+                gfd=GFD(
+                    pattern=pattern,
+                    lhs=lhs,
+                    rhs=rhs,
+                    name=f"mined{len(results)}",
+                ),
+                support=supported,
+                confidence=confidence,
+            )
+        )
+    return results
 
 
 def discover_gfds(
@@ -133,39 +287,44 @@ def discover_gfds(
     min_confidence: float = 0.95,
     max_edges: int = 2,
     max_matches: int = 5000,
+    top_edges: int = 5,
+    max_attrs: int = 4,
+    sample_size: Optional[int] = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+    backend: str = "auto",
 ) -> List[DiscoveredGFD]:
-    """Mine GFDs from ``graph``.
+    """Mine GFDs from ``graph`` — the serial reference implementation.
 
     ``min_support`` counts matches whose premise holds; ``min_confidence``
-    is the fraction of those that also satisfy the conclusion.  Matching is
-    capped at ``max_matches`` per candidate pattern to bound the cost.
+    is the fraction of those that also satisfy the conclusion.
+    ``max_matches`` caps the matches *counted* per candidate pattern; the
+    cap selects a canonical prefix (see :func:`canonical_matches`), so
+    the mined set is independent of enumeration order.  When the cap
+    bites, support and confidence describe the canonical subset only —
+    a confidence-1.0 rule may still be violated by uncounted matches
+    (:attr:`repro.session.DiscoveryRun.capped_rules` flags these on the
+    session path).  ``backend`` selects the matcher backend
+    (``auto``/``legacy``/``snapshot``) — pinned by tests to be
+    result-invisible.
+
+    For parallel, warm-engine mining over the same primitives use
+    :meth:`repro.session.ValidationSession.discover`, which produces the
+    identical mined rule set.
     """
-    results: List[DiscoveredGFD] = []
-    for pattern in candidate_patterns(graph, max_edges=max_edges):
-        matcher = SubgraphMatcher(pattern, graph)
-        matches = []
-        for match in matcher.matches(limit=max_matches):
-            matches.append(match)
+    tallies = []
+    for pattern in candidate_patterns(
+        graph, max_edges=max_edges, top_edges=top_edges
+    ):
+        matcher = SubgraphMatcher(pattern, graph, backend=backend)
+        # The lazy enumeration feeds a bounded heap: O(max_matches)
+        # memory however many matches the pattern has.
+        matches = canonical_matches(matcher.matches(), cap=max_matches)
         if len(matches) < min_support:
             continue
-        for lhs, rhs in candidate_dependencies(pattern, graph, matches):
-            supported = 0
-            satisfied = 0
-            for match in matches:
-                if match_satisfies_all(graph, match, lhs):
-                    supported += 1
-                    if match_satisfies_all(graph, match, rhs):
-                        satisfied += 1
-            if supported < min_support:
-                continue
-            confidence = satisfied / supported
-            if confidence >= min_confidence:
-                name = f"mined{len(results)}"
-                results.append(
-                    DiscoveredGFD(
-                        gfd=GFD(pattern=pattern, lhs=lhs, rhs=rhs, name=name),
-                        support=supported,
-                        confidence=confidence,
-                    )
-                )
-    return results
+        for lhs, rhs in candidate_dependencies(
+            pattern, graph, matches,
+            max_attrs=max_attrs, sample_size=sample_size, seed=seed,
+        ):
+            supported, satisfied = count_dependency(graph, matches, lhs, rhs)
+            tallies.append((pattern, (lhs, rhs), supported, satisfied))
+    return select_rules(tallies, min_support, min_confidence)

@@ -10,7 +10,7 @@ pattern; we materialise them as :class:`repro.core.closure.Rule` objects
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List
 
 from ..pattern.embedding import embeddings
 from ..pattern.pattern import GraphPattern

@@ -16,9 +16,9 @@ two syntactic fragments the paper singles out:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..pattern.components import PivotVector, pivot_vector
 from ..pattern.parser import parse_pattern
@@ -26,7 +26,6 @@ from ..pattern.pattern import GraphPattern
 from .literals import (
     ConstantLiteral,
     Literal,
-    VariableLiteral,
     is_constant_literal,
     is_variable_literal,
     parse_literals,
@@ -57,7 +56,7 @@ class GFD:
                 if var not in self.pattern:
                     raise GFDError(
                         f"literal {literal} uses variable {var!r} "
-                        f"not bound by the pattern"
+                        "not bound by the pattern"
                     )
 
     # ------------------------------------------------------------------

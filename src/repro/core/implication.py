@@ -14,7 +14,7 @@ existential over embedded sets reduces to a single saturation.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..graph.graph import PropertyGraph
 from .closure import literals_conflict, saturate
@@ -89,12 +89,9 @@ def counterexample(
     conclusion's attributes absent (or distinct) — used by the property
     tests to cross-validate :func:`implies`.
     """
-    import itertools
 
-    from ..graph.graph import WILDCARD
     from ..matching.vf2 import SubgraphMatcher
     from .closure import ConstantLiteral, Rule
-    from .literals import VariableLiteral
     from .satisfiability import canonical_graph
 
     if implies(sigma, gfd):

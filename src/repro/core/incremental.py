@@ -22,7 +22,7 @@ asserts equality with from-scratch detection after every update, and
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, Optional, Sequence, Set
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.vf2 import SubgraphMatcher

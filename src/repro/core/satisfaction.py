@@ -15,7 +15,7 @@ exist.  ``G ⊨ φ`` iff every match of ``Q`` in ``G`` satisfies ``X → Y``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..graph.graph import PropertyGraph
 from ..matching.vf2 import Match

@@ -43,10 +43,10 @@ from ..graph.graph import PropertyGraph, WILDCARD
 from ..matching.vf2 import SubgraphMatcher
 from ..pattern.embedding import embeddings
 from ..pattern.pattern import GraphPattern
-from .closure import EqualityClosure, Rule, saturate
+from .closure import Rule, saturate
 from .embedded import embedded_rule_set
 from .gfd import GFD
-from .literals import ConstantLiteral, Literal, VariableLiteral
+from .literals import ConstantLiteral, Literal
 
 
 # ----------------------------------------------------------------------

@@ -25,8 +25,6 @@ attributes (satisfiability is already coNP-hard), but bounded by
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import PropertyGraph

@@ -12,7 +12,16 @@ parallel algorithms of Section 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.vf2 import Match, MatchStats, SubgraphMatcher

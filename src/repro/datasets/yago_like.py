@@ -21,7 +21,7 @@ ground truth.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set, Tuple
+from typing import List, Set
 
 from ..graph.graph import PropertyGraph
 from ..pattern.parser import parse_pattern

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 from itertools import accumulate
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from .graph import PropertyGraph
 

@@ -18,7 +18,7 @@ cut, which is what makes communication cost estimation (``B_z̄`` in
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .graph import NodeId, PropertyGraph
 

@@ -74,7 +74,7 @@ than paying for the set-heavy derived structures twice.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .graph import Edge, NodeId, PropertyGraph, WILDCARD
 

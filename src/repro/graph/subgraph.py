@@ -9,7 +9,7 @@ distance, since a pattern edge may point either way from the pivot).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from .graph import NodeId, PropertyGraph
 

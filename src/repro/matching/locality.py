@@ -9,7 +9,7 @@ graph.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..graph.subgraph import k_hop_nodes

@@ -25,6 +25,7 @@ from .engine import (
     ValidationRun,
     execute_unit,
     run_assignment,
+    run_units,
     sequential_run,
 )
 from .executors import (
@@ -70,6 +71,7 @@ __all__ = [
     "ValidationRun",
     "execute_unit",
     "run_assignment",
+    "run_units",
     "sequential_run",
     "EXECUTORS",
     "MultiprocessExecutor",

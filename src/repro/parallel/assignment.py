@@ -18,7 +18,7 @@ observed 12–24% share.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from .workload import WorkUnit
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from .workload import WorkUnit
 

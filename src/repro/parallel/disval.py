@@ -97,8 +97,6 @@ def _charge_data_shipment(
     via graph simulation of the leader pattern over the locally-resident
     part of the block.  ``dlovalVio`` picks the cheaper per unit.
     """
-    graph = fragmentation.graph
-    owner = fragmentation.owner
     for worker, worker_units in enumerate(plan):
         resident: Set = set()
         for unit in worker_units:

@@ -15,9 +15,10 @@ simulated cluster.  Detection inside a unit:
 
 from __future__ import annotations
 
+import heapq
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -26,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.locality import candidate_permutations
 from ..matching.vf2 import MatchStats, SubgraphMatcher
+from ..core.discovery import match_items_key
 from ..core.gfd import GFD
 from ..core.satisfaction import match_satisfies_all
 from ..core.validation import Violation, det_vio, make_violation
@@ -39,11 +41,19 @@ PARTIAL_MATCH_SHIP_FACTOR = 0.25
 
 @dataclass
 class UnitResult:
-    """Outcome of executing one work unit."""
+    """Outcome of executing one work unit.
+
+    ``violations`` is populated by ``detect`` units; mining units leave
+    it empty and return their data — matches or dependency tallies — in
+    ``payload`` (a value-comparable tuple, so results stay identical
+    across execution backends).  ``steps`` counts full-enumeration
+    extensions for every kind.
+    """
 
     violations: Set[Violation]
     steps: int
     block_size: int
+    payload: Optional[tuple] = None
 
 
 @dataclass
@@ -143,7 +153,7 @@ class BlockMaterialiser:
         self._retained = 0
         self._lock = threading.RLock()
         self._run_stats = MaterialiserStats()
-        self._cache: "OrderedDict[FrozenSet[NodeId], Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]]" = (
+        self._cache: "OrderedDict[FrozenSet[NodeId], Tuple[PropertyGraph, Dict[object, SubgraphMatcher]]]" = (
             OrderedDict()
         )
 
@@ -167,9 +177,24 @@ class BlockMaterialiser:
             self._cache.clear()
             self._retained = 0
 
+    def drop_matchers(self) -> None:
+        """Drop cached matchers but keep blocks and their snapshots warm.
+
+        Used when the rule set driving a warm shard changes (a session's
+        discovery phases swap probe/mined Σ in and out): block structure
+        is untouched, so the expensive part of the cache survives, while
+        matchers — compiled per pattern — are rebuilt on demand.  Matcher
+        entries are keyed by pattern (not by Σ-index), so this is purely
+        a memory-hygiene measure: a stale Σ's matchers can never be
+        *mis*used, only linger.
+        """
+        with self._lock:
+            for _, matchers in self._cache.values():
+                matchers.clear()
+
     def _entry(
         self, block_nodes: Set[NodeId]
-    ) -> Tuple[PropertyGraph, Dict[int, SubgraphMatcher]]:
+    ) -> Tuple[PropertyGraph, Dict[object, SubgraphMatcher]]:
         key = frozenset(block_nodes)
         with self._lock:
             entry = self._cache.get(key)
@@ -199,13 +224,22 @@ class BlockMaterialiser:
     def matcher(
         self, sigma: Sequence[GFD], leader_index: int, block_nodes: Set[NodeId]
     ) -> Tuple[PropertyGraph, SubgraphMatcher]:
-        """The block plus the leader pattern's matcher over it (cached)."""
+        """The block plus the leader pattern's matcher over it (cached).
+
+        Matchers are keyed by the leader *pattern* (content-hashed via
+        its signature), not by its index into ``sigma`` — a materialiser
+        shared across rule sets (a session's base Σ, discovery probes,
+        mined Σ) therefore never serves a matcher compiled for a
+        different pattern, and identical patterns across rule sets share
+        one compiled matcher per block.
+        """
         block, matchers = self._entry(block_nodes)
+        pattern = sigma[leader_index].pattern
         with self._lock:
-            matcher = matchers.get(leader_index)
+            matcher = matchers.get(pattern)
             if matcher is None:
-                matcher = SubgraphMatcher(sigma[leader_index].pattern, block)
-                matchers[leader_index] = matcher
+                matcher = SubgraphMatcher(pattern, block)
+                matchers[pattern] = matcher
         return block, matcher
 
 
@@ -215,31 +249,175 @@ def execute_unit(
     unit: WorkUnit,
     materialiser: Optional[BlockMaterialiser] = None,
 ) -> UnitResult:
-    """Run local error detection for one (primary) work unit."""
+    """Execute one (primary) work unit per its :attr:`WorkUnit.kind`.
+
+    All kinds share the same locality machinery — materialise the block,
+    re-expand the pivot candidate's symmetry permutations, enumerate the
+    leader pattern's pinned matches — and differ only in what they do
+    per match: ``detect`` evaluates member dependencies into violations,
+    ``mine`` returns the matches, ``count`` tallies proposed
+    dependencies (see :mod:`repro.core.discovery`).
+    """
     if materialiser is None:
         materialiser = BlockMaterialiser(graph)
-    stats = MatchStats()
-    violations: Set[Violation] = set()
+    if unit.kind == "detect":
+        return _execute_detect(sigma, unit, materialiser)
+    if unit.kind == "mine":
+        return _execute_mine(sigma, unit, materialiser)
+    if unit.kind == "count":
+        return _execute_count(sigma, unit, materialiser)
+    raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def _pinned_matches(sigma, unit, materialiser, stats):
+    """Pivoted leader-pattern matches of a unit (symmetry re-expanded)."""
     block, matcher = materialiser.matcher(
         sigma, unit.group.leader_index, unit.block_nodes
     )
     leader = sigma[unit.group.leader_index]
-    for pinned in candidate_permutations(
-        leader.pattern, leader.pivot, unit.pivot_assignment
-    ):
-        for match in matcher.matches(fixed=pinned, stats=stats):
-            for member in unit.group.members:
-                if not match_satisfies_all(block, match, member.lhs):
-                    continue
-                if match_satisfies_all(block, match, member.rhs):
-                    continue
-                member_gfd = sigma[member.index]
-                member_match = {
-                    member.iso[var]: node for var, node in match.items()
-                }
-                violations.add(make_violation(member_gfd, member_match))
+
+    def generate():
+        for pinned in candidate_permutations(
+            leader.pattern, leader.pivot, unit.pivot_assignment
+        ):
+            yield from matcher.matches(fixed=pinned, stats=stats)
+
+    return block, generate()
+
+
+def _execute_detect(
+    sigma: Sequence[GFD], unit: WorkUnit, materialiser: BlockMaterialiser
+) -> UnitResult:
+    """Local error detection (the original unit semantics)."""
+    stats = MatchStats()
+    violations: Set[Violation] = set()
+    block, matches = _pinned_matches(sigma, unit, materialiser, stats)
+    for match in matches:
+        for member in unit.group.members:
+            if not match_satisfies_all(block, match, member.lhs):
+                continue
+            if match_satisfies_all(block, match, member.rhs):
+                continue
+            member_gfd = sigma[member.index]
+            member_match = {
+                member.iso[var]: node for var, node in match.items()
+            }
+            violations.add(make_violation(member_gfd, member_match))
     return UnitResult(
         violations=violations, steps=stats.steps, block_size=unit.block_size
+    )
+
+
+def _execute_mine(
+    sigma: Sequence[GFD], unit: WorkUnit, materialiser: BlockMaterialiser
+) -> UnitResult:
+    """Discovery's enumeration phase: return the unit's pivoted matches.
+
+    The result payload is a pure value — equal across execution backends
+    and enumeration orders.  Pivot candidates partition the match space
+    (each match pins the pivot variables at exactly one deduplicated
+    candidate), so unioning unit payloads over a plan yields every match
+    of the leader pattern exactly once.
+
+    ``unit.payload`` carries the coordinator's ``max_matches`` cap.  The
+    common case — a block with at most ~2×cap matches — ships
+    ``("shared", matches)`` in *leader* variable space, translated per
+    member on the coordinator.  A pathological block with more matches
+    switches to ``("members", total_count, per_member)``: matches are
+    translated into each member's variable space *on the worker* and
+    kept as the member-space canonical ``cap``-smallest (the cap must be
+    taken per member — variable renaming permutes the canonical order,
+    so a leader-space cut could drop a member's smallest matches).
+    Either way worker memory and the shipped payload stay
+    ``O(members × cap)``, and the per-unit selection commutes with the
+    coordinator's global canonical cap.
+    """
+    stats = MatchStats()
+    cap = unit.payload[0] if unit.payload else None
+    threshold = max(2 * cap, 4096) if cap is not None else None
+    members = unit.group.members
+    _, matches = _pinned_matches(sigma, unit, materialiser, stats)
+    found: Optional[List[Tuple]] = []
+    per_member: Optional[List[List[Tuple]]] = None
+    count = 0
+
+    def translate(items, member):
+        return tuple(sorted((member.iso[var], node) for var, node in items))
+
+    for match in matches:
+        count += 1
+        items = tuple(sorted(match.items()))
+        if per_member is None:
+            found.append(items)
+            if threshold is not None and len(found) > threshold:
+                per_member = [
+                    [translate(m, member) for m in found]
+                    for member in members
+                ]
+                found = None
+        else:
+            for bucket, member in zip(per_member, members):
+                bucket.append(translate(items, member))
+        if per_member is not None:
+            for pos, bucket in enumerate(per_member):
+                if len(bucket) > threshold:
+                    per_member[pos] = heapq.nsmallest(
+                        cap, bucket, key=match_items_key
+                    )
+    if per_member is None:
+        found.sort(key=match_items_key)
+        payload = ("shared", tuple(found))
+    else:
+        payload = (
+            "members",
+            count,
+            tuple(
+                tuple(heapq.nsmallest(cap, bucket, key=match_items_key))
+                for bucket in per_member
+            ),
+        )
+    return UnitResult(
+        violations=set(),
+        steps=stats.steps,
+        block_size=unit.block_size,
+        payload=payload,
+    )
+
+
+def _execute_count(
+    sigma: Sequence[GFD], unit: WorkUnit, materialiser: BlockMaterialiser
+) -> UnitResult:
+    """Discovery's counting phase: tally proposed dependencies.
+
+    ``unit.payload`` carries, per group member, the member's proposed
+    ``(lhs, rhs)`` candidates *rewritten into leader variable space* (the
+    same alignment detection uses), so one pinned enumeration of the
+    leader pattern serves every member's tallies.  The result payload
+    mirrors that shape with ``(supported, satisfied)`` pairs.
+    """
+    stats = MatchStats()
+    member_deps = unit.payload or ()
+    counts = [
+        [[0, 0] for _ in deps] for deps in member_deps
+    ]
+    block, matches = _pinned_matches(sigma, unit, materialiser, stats)
+    for match in matches:
+        for member_pos, deps in enumerate(member_deps):
+            for dep_pos, (lhs, rhs) in enumerate(deps):
+                if not match_satisfies_all(block, match, lhs):
+                    continue
+                tally = counts[member_pos][dep_pos]
+                tally[0] += 1
+                if match_satisfies_all(block, match, rhs):
+                    tally[1] += 1
+    return UnitResult(
+        violations=set(),
+        steps=stats.steps,
+        block_size=unit.block_size,
+        payload=tuple(
+            tuple((supported, satisfied) for supported, satisfied in deps)
+            for deps in counts
+        ),
     )
 
 
@@ -255,6 +433,7 @@ def run_assignment(
     pool: Optional["MultiprocessExecutor"] = None,
     shard_cache: Optional["ShardCache"] = None,
     epoch: Optional[str] = None,
+    sigma_key: Optional[object] = None,
 ) -> Set[Violation]:
     """Execute a per-worker unit assignment, charging costs as measured.
 
@@ -297,6 +476,7 @@ def run_assignment(
         pool=pool,
         shard_cache=shard_cache,
         epoch=epoch,
+        sigma_key=sigma_key,
     )
     for worker, worker_units in enumerate(assignment):
         for unit, result in zip(worker_units, results[worker]):
@@ -330,6 +510,53 @@ def run_assignment(
                     messages=1,
                 )
     return violations
+
+
+def run_units(
+    sigma: Sequence[GFD],
+    graph: PropertyGraph,
+    plan: Sequence[Sequence[WorkUnit]],
+    cluster: SimulatedCluster,
+    materialiser: Optional[BlockMaterialiser] = None,
+    executor: str = "simulated",
+    processes: Optional[int] = None,
+    pool: Optional["MultiprocessExecutor"] = None,
+    shard_cache: Optional["ShardCache"] = None,
+    epoch: Optional[str] = None,
+    sigma_key: Optional[object] = None,
+) -> List[List[Optional["UnitResult"]]]:
+    """Execute a plan and return the per-unit results, charging costs.
+
+    The result-bearing sibling of :func:`run_assignment`, used by phases
+    that consume unit *payloads* (discovery's mine/count phases) rather
+    than unioned violations.  Cost charging is the primary-unit part of
+    :func:`run_assignment` (mining plans carry no split replicas); the
+    backend switches are identical.
+    """
+    from .executors import execute_plan
+
+    results = execute_plan(
+        sigma,
+        graph,
+        plan,
+        executor=executor,
+        processes=processes,
+        materialiser=materialiser,
+        pool=pool,
+        shard_cache=shard_cache,
+        epoch=epoch,
+        sigma_key=sigma_key,
+    )
+    for worker, worker_units in enumerate(plan):
+        for unit, result in zip(worker_units, results[worker]):
+            if not unit.primary or result is None:
+                continue
+            cluster.charge_unit(
+                worker,
+                steps=int(result.steps * unit.cost_share),
+                block_size=unit.block_size * unit.cost_share,
+            )
+    return results
 
 
 def sequential_run(

@@ -163,6 +163,10 @@ class ShippingStats:
     nothing at all (the worker's resident share already covered the
     run).  ``worker_pids`` maps each busy slot to the OS pid that
     executed it — warm-session tests pin pid stability across runs.
+    ``shipped_sigma`` counts warm slots that received a *rule-set*
+    update alongside their resident shard (a session running discovery
+    phases or a mined-Σ confirmation pass swaps Σ without touching the
+    shard — block shares stay at zero).
     """
 
     full: int = 0
@@ -170,6 +174,7 @@ class ShippingStats:
     reused: int = 0
     shipped_nodes: int = 0
     shipped_ops: int = 0
+    shipped_sigma: int = 0
     worker_pids: Dict[int, int] = field(default_factory=dict)
 
 
@@ -180,6 +185,8 @@ class _SlotState:
     epoch: str
     resident: Set
     seq: int  # position in the ShardCache op log already shipped
+    #: identity of the rule set the worker currently holds for this slot
+    sigma_key: Optional[object] = None
 
 
 class ShardCache:
@@ -254,32 +261,44 @@ class ShardCache:
             self._compact()
 
     def plan(
-        self, slot: int, epoch: str, needed: Set, graph: PropertyGraph
-    ) -> Tuple[str, object]:
+        self,
+        slot: int,
+        epoch: str,
+        needed: Set,
+        graph: PropertyGraph,
+        sigma_key: Optional[object] = None,
+    ) -> Tuple[str, object, bool]:
         """Decide how ``slot``'s shard travels this run.
 
-        Returns ``("full", shard_graph)``, ``("delta", (ops, add_nodes,
-        add_edges))`` or ``("reuse", None)``, updating the slot's mirror
-        state to match what the worker will hold afterwards.
+        Returns ``("full", shard_graph, False)``, ``("delta", (ops,
+        add_nodes, add_edges), ship_sigma)`` or ``("reuse", None,
+        ship_sigma)``, updating the slot's mirror state to match what
+        the worker will hold afterwards.  ``ship_sigma`` is ``True``
+        when the rule set identified by ``sigma_key`` differs from what
+        the worker holds for the slot — the caller then sends Σ along
+        (a full shipment always carries Σ, so there it is ``False``).
         """
         state = self._slots.get(slot)
         if state is not None and state.epoch == epoch:
             ops = self._forward_ops(state.resident, state.seq)
             if ops is not None:
+                ship_sigma = state.sigma_key != sigma_key
+                state.sigma_key = sigma_key
                 missing = needed - state.resident
                 state.seq = len(self._log)
                 if not ops and not missing:
-                    return "reuse", None
+                    return "reuse", None, ship_sigma
                 add_nodes, add_edges = self._add_payload(
                     graph, state.resident, missing
                 )
                 state.resident |= missing
-                return "delta", (ops, add_nodes, add_edges)
+                return "delta", (ops, add_nodes, add_edges), ship_sigma
         shard = graph.induced_subgraph(needed)
         self._slots[slot] = _SlotState(
-            epoch=epoch, resident=set(needed), seq=len(self._log)
+            epoch=epoch, resident=set(needed), seq=len(self._log),
+            sigma_key=sigma_key,
         )
-        return "full", shard
+        return "full", shard, False
 
     def _forward_ops(self, resident: Set, seq: int) -> Optional[List[Tuple]]:
         """Log ops since ``seq`` restricted to the resident share.
@@ -365,7 +384,7 @@ def _run_slot(
         entry = _ResidentShard(sigma, shard, BlockMaterialiser(shard))
         cache[(epoch, slot)] = entry
     elif mode == "delta":
-        epoch, ops, add_nodes, add_edges = payload
+        epoch, ops, add_nodes, add_edges, sigma = payload
         entry = cache[(epoch, slot)]
         shard = entry.shard
         for op in ops:
@@ -376,9 +395,18 @@ def _run_slot(
             shard.add_edge(src, dst, label)
         # Cached blocks may straddle the patched region: start fresh.
         entry.materialiser = BlockMaterialiser(shard)
+        if sigma is not None:
+            entry.sigma = sigma
     else:  # reuse: shard, snapshot *and* block cache stay warm
-        (epoch,) = payload
+        epoch, sigma = payload
         entry = cache[(epoch, slot)]
+        if sigma is not None:
+            # New rule set over the same resident shard (discovery's
+            # phases, a mined-Σ confirmation pass): blocks and snapshots
+            # stay warm; per-pattern matchers are dropped so stale
+            # patterns don't accumulate.
+            entry.sigma = sigma
+            entry.materialiser.drop_matchers()
     return [
         execute_unit(entry.sigma, entry.shard, unit, entry.materialiser)
         for unit in units
@@ -582,6 +610,7 @@ class MultiprocessExecutor:
         plan: Sequence[Sequence[WorkUnit]],
         shard_cache: Optional[ShardCache] = None,
         epoch: Optional[str] = None,
+        sigma_key: Optional[object] = None,
     ) -> List[List[Optional["UnitResult"]]]:
         """Execute every primary unit in worker processes.
 
@@ -590,6 +619,8 @@ class MultiprocessExecutor:
         ``None`` per replica — the same shape :class:`SimulatedExecutor`
         produces.  On a started (persistent) pool, ``shard_cache`` turns
         on warm shard shipping; without one, every run ships full shards.
+        ``sigma_key`` identifies the rule set so a warm slot reships Σ —
+        and only Σ — when it changed since the slot's last run.
         """
         primaries: List[List[WorkUnit]] = [
             [unit for unit in worker_units if unit.primary]
@@ -598,7 +629,7 @@ class MultiprocessExecutor:
         busy = [w for w, units in enumerate(primaries) if units]
         if self._procs:
             results = self._run_persistent(
-                sigma, graph, primaries, busy, shard_cache, epoch
+                sigma, graph, primaries, busy, shard_cache, epoch, sigma_key
             )
         else:
             results = self._run_oneshot(sigma, graph, primaries, busy)
@@ -650,6 +681,7 @@ class MultiprocessExecutor:
         busy: List[int],
         shard_cache: Optional[ShardCache],
         epoch: Optional[str],
+        sigma_key: Optional[object] = None,
     ) -> Dict[int, List["UnitResult"]]:
         if epoch is None:
             epoch = next_epoch()
@@ -663,21 +695,28 @@ class MultiprocessExecutor:
             for unit in primaries[worker]:
                 needed |= unit.block_nodes
             if shard_cache is None:
-                mode, data = "full", graph.induced_subgraph(needed)
+                mode, data, ship_sigma = (
+                    "full", graph.induced_subgraph(needed), False
+                )
             else:
-                mode, data = shard_cache.plan(worker, epoch, needed, graph)
+                mode, data, ship_sigma = shard_cache.plan(
+                    worker, epoch, needed, graph, sigma_key=sigma_key
+                )
+            sigma_update = sigma if ship_sigma else None
+            if ship_sigma:
+                stats.shipped_sigma += 1
             if mode == "full":
                 payload = (epoch, sigma, data)
                 stats.full += 1
                 stats.shipped_nodes += data.num_nodes
             elif mode == "delta":
                 ops, add_nodes, add_edges = data
-                payload = (epoch, ops, add_nodes, add_edges)
+                payload = (epoch, ops, add_nodes, add_edges, sigma_update)
                 stats.delta += 1
                 stats.shipped_nodes += len(add_nodes)
                 stats.shipped_ops += len(ops)
             else:
-                payload = (epoch,)
+                payload = (epoch, sigma_update)
                 stats.reused += 1
             batches.setdefault(worker % size, []).append(
                 (worker, mode, payload, primaries[worker])
@@ -726,6 +765,7 @@ def execute_plan(
     pool: Optional[MultiprocessExecutor] = None,
     shard_cache: Optional[ShardCache] = None,
     epoch: Optional[str] = None,
+    sigma_key: Optional[object] = None,
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan's primary units with the chosen backend.
 
@@ -746,4 +786,7 @@ def execute_plan(
     backend = pool if pool is not None else MultiprocessExecutor(
         processes=processes
     )
-    return backend.run(sigma, graph, plan, shard_cache=shard_cache, epoch=epoch)
+    return backend.run(
+        sigma, graph, plan,
+        shard_cache=shard_cache, epoch=epoch, sigma_key=sigma_key,
+    )

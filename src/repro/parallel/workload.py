@@ -46,6 +46,21 @@ class WorkUnit:
     owns (the basis of communication-cost estimation), and the
     ``split_*``/``primary`` fields implement the replicate-and-split skew
     strategy (one primary sub-unit executes; replicas share its cost).
+
+    ``kind`` selects what executing the unit *does* inside its block
+    (same pivot, same block, same locality argument either way):
+
+    * ``"detect"`` — local error detection (the original unit kind);
+    * ``"mine"`` — discovery's enumeration phase: return the pivoted
+      matches of the leader pattern instead of violations;
+    * ``"count"`` — discovery's counting phase: evaluate the proposed
+      dependencies carried in ``payload`` on every pivoted match and
+      return ``(supported, satisfied)`` tallies.
+
+    ``payload`` is the kind-specific input — ``"mine"`` carries the
+    coordinator's match cap, ``"count"`` the proposed dependencies;
+    results travel back in :attr:`~repro.parallel.engine.UnitResult.
+    payload`.
     """
 
     group: SharedGroup
@@ -57,6 +72,8 @@ class WorkUnit:
     split_id: Optional[int] = None
     split_k: int = 1
     primary: bool = True
+    kind: str = "detect"
+    payload: Optional[tuple] = None
 
     @property
     def cost_share(self) -> float:

@@ -12,7 +12,7 @@ plan touches is far larger, which is the 4.6× slowdown of Fig. 9.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import PropertyGraph, WILDCARD
 from ..core.gfd import GFD

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..core.gfd import GFD
-from ..core.literals import ConstantLiteral, Literal, VariableLiteral
+from ..core.literals import ConstantLiteral, Literal
 from ..core.validation import Violation, det_vio
 
 

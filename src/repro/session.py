@@ -59,8 +59,19 @@ Example::
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .core.discovery import (
+    DEFAULT_SAMPLE_SIZE,
+    DiscoveredGFD,
+    candidate_dependencies,
+    candidate_patterns,
+    canonical_matches,
+    count_dependency,
+    probe_gfds,
+    select_rules,
+)
 from .core.gfd import GFD
 from .core.incremental import IncrementalValidator, apply_updates
 from .core.validation import Violation, det_vio
@@ -72,20 +83,103 @@ from .parallel.assignment import (
     random_assign,
 )
 from .parallel.balancing import lpt_partition, random_partition
-from .parallel.cluster import CostModel, SimulatedCluster
+from .parallel.cluster import ClusterReport, CostModel, SimulatedCluster
 from .parallel.disval import _charge_data_shipment
-from .parallel.engine import BlockMaterialiser, ValidationRun, run_assignment
+from .parallel.engine import (
+    BlockMaterialiser,
+    MaterialiserStats,
+    ValidationRun,
+    run_assignment,
+    run_units,
+)
 from .parallel.executors import (
     EXECUTORS,
     MultiprocessExecutor,
     ShardCache,
+    ShippingStats,
     next_epoch,
     resolve_executor,
 )
-from .parallel.multiquery import build_shared_groups, singleton_groups
+from .parallel.multiquery import (
+    GroupMember,
+    SharedGroup,
+    build_shared_groups,
+    singleton_groups,
+)
 from .parallel.repval import SPLIT_FACTOR
 from .parallel.skew import split_oversized
 from .parallel.workload import WorkUnit, estimate_workload
+
+
+#: shard-cache identity of the session's own rule set — a warm worker slot
+#: that last ran a discovery phase (probe or mined Σ) reships Σ (and only
+#: Σ) on the next base validation, and vice versa.
+_BASE_SIGMA_KEY = "sigma:base"
+
+
+@dataclass
+class DiscoveryPhase:
+    """One phase of a session-backed discovery run.
+
+    Discovery executes as (up to) three plans over the parallel engine —
+    ``enumerate`` (pivoted match enumeration per isomorphism group),
+    ``count`` (support/confidence tallies for the proposed dependencies)
+    and ``confirm`` (validation of the mined Σ) — each reported exactly
+    like a :class:`~repro.parallel.engine.ValidationRun`: the simulated
+    cluster's cost figures plus what the warm machinery actually did
+    (``shipping`` on process runs, ``cache`` on simulated ones).
+    """
+
+    phase: str
+    report: ClusterReport
+    num_units: int
+    executor: str
+    shipping: Optional[ShippingStats] = None
+    cache: Optional[MaterialiserStats] = None
+
+    @property
+    def parallel_time(self) -> float:
+        """Convenience alias for ``report.parallel_time``."""
+        return self.report.parallel_time
+
+
+@dataclass
+class DiscoveryRun:
+    """The result of :meth:`ValidationSession.discover`.
+
+    ``rules`` is the mined set — identical (rules, names, supports,
+    confidences) to serial :func:`~repro.core.discovery.discover_gfds`
+    with the same parameters, whatever the executor or worker count.
+    ``violations`` is the mined-Σ confirmation pass's result (``None``
+    when confirmation was skipped or nothing was mined).  A rule mined
+    at confidence 1.0 can appear in it only when its pattern's match set
+    was capped at ``max_matches`` — its name is then in
+    ``capped_rules``, because support/confidence describe the canonical
+    counted subset while confirmation validates *every* match.  For
+    uncapped rules, confidence 1.0 guarantees absence from
+    ``violations``.
+    """
+
+    rules: List[DiscoveredGFD]
+    phases: List[DiscoveryPhase]
+    num_patterns: int
+    num_proposals: int
+    executor: str
+    violations: Optional[Set[Violation]] = None
+    #: names of mined rules whose pattern hit the ``max_matches`` cap
+    capped_rules: frozenset = frozenset()
+
+    @property
+    def sigma(self) -> List[GFD]:
+        """The mined rules as a plain rule set."""
+        return [mined.gfd for mined in self.rules]
+
+    def phase(self, name: str) -> Optional[DiscoveryPhase]:
+        """The named phase (``enumerate``/``count``/``confirm``), if run."""
+        for phase in self.phases:
+            if phase.phase == name:
+                return phase
+        return None
 
 
 class ValidationSession:
@@ -128,6 +222,10 @@ class ValidationSession:
         self._materialiser: Optional[BlockMaterialiser] = None
         self._materialiser_version = -1
         self._units_cache: Dict[Tuple, List[WorkUnit]] = {}
+        # (patterns, probes, groups, units) per mining parameterisation —
+        # warm repeated discover() calls reuse pattern objects and the
+        # estimated workload exactly like _units_cache does for Σ.
+        self._mining_cache: Dict[Tuple, Tuple] = {}
         self._incremental: Optional[IncrementalValidator] = None
         self._violations: Optional[Set[Violation]] = None
         # graph version the maintained violation set was computed against;
@@ -159,6 +257,7 @@ class ValidationSession:
         self._shard_cache.invalidate()
         self._materialiser = None
         self._units_cache.clear()
+        self._mining_cache.clear()
 
     def worker_pids(self) -> List[int]:
         """PIDs of the persistent pool (empty before the first process run)."""
@@ -294,6 +393,393 @@ class ValidationSession:
             self._incremental.violations = set(violations)
 
     # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        min_support: int = 5,
+        min_confidence: float = 0.95,
+        max_edges: int = 2,
+        top_edges: int = 5,
+        max_matches: int = 5000,
+        max_attrs: int = 4,
+        sample_size: Optional[int] = DEFAULT_SAMPLE_SIZE,
+        seed: int = 0,
+        n: Optional[int] = None,
+        fragmentation: Optional[Fragmentation] = None,
+        executor: Optional[str] = None,
+        processes: Optional[int] = None,
+        confirm: bool = True,
+    ) -> DiscoveryRun:
+        """Mine GFDs over the session's warm engine.
+
+        Produces the *identical* mined rule set as serial
+        :func:`~repro.core.discovery.discover_gfds` with the same
+        parameters, but runs mining itself as work units over the
+        parallel stack: candidate patterns are wrapped as probe GFDs and
+        grouped by isomorphism (one enumeration per group serves every
+        dependency candidate of every isomorphic pattern), units are
+        weighed and balanced exactly like detection units, and the plan
+        executes on the chosen backend.  On a persistent process pool
+        the three phases — ``enumerate``, ``count``, ``confirm`` — run
+        over the same plan, so the second and third hit warm
+        worker-resident shards and ship *zero* block-shares (the
+        confirmation pass ships only the mined Σ itself).
+
+        Without ``fragmentation`` this is replicated-style mining (``n``
+        worker slots, LPT-balanced); with one, fragmented-graph mining
+        (``disVal``-style bi-criteria assignment over the fragments'
+        block shares).  ``confirm=False`` skips the mined-Σ validation
+        pass; otherwise ``DiscoveryRun.violations`` holds its result
+        (an uncapped rule mined at confidence 1.0 can never appear in
+        it — see :attr:`DiscoveryRun.capped_rules` for the cap caveat).
+        """
+        executor = executor if executor is not None else self.executor
+        processes = processes if processes is not None else self.processes
+        graph = self.graph
+        if fragmentation is not None:
+            if n is not None and n != fragmentation.n:
+                raise ValueError(
+                    "n is implied by the fragmentation in the fragmented "
+                    f"setting (got n={n} vs {fragmentation.n} fragments)"
+                )
+            self._check_fragmentation(fragmentation)
+            workers = fragmentation.n
+        else:
+            workers = n if n is not None else (processes or 1)
+            if workers < 1:
+                raise ValueError("need at least one worker slot")
+
+        patterns, probes, groups, units = self._mining_workload(
+            max_edges, top_edges, fragmentation
+        )
+        probe_key = (
+            "sigma:probe", graph._version, max_edges, top_edges,
+            fragmentation.fingerprint() if fragmentation is not None else None,
+        )
+        phases: List[DiscoveryPhase] = []
+
+        # ---- phase 1: enumerate — pivoted matches per isomorphism group.
+        cluster = SimulatedCluster(workers, self.cost_model)
+        cluster.charge_estimation([unit.block_size for unit in units])
+        if fragmentation is None:
+            plan, _ = lpt_partition(units, workers)
+            cluster.charge_partitioning(len(units))
+            resolved = resolve_executor(executor, plan, processes)
+            materialiser = (
+                self._shared_materialiser() if resolved == "simulated"
+                else None
+            )
+        else:
+            cluster.charge_planning(len(units) * cluster.cost.estimate_cost)
+            plan, _, _ = bicriteria_assign(units, workers)
+            w = max(1, len(units))
+            cluster.charge_planning(
+                cluster.cost.partition_unit_cost * workers * w
+                * math.log2(w + 1)
+            )
+            resolved = resolve_executor(executor, plan, processes)
+            materialiser = self._shared_materialiser()
+            _charge_data_shipment(
+                probes, fragmentation, plan, cluster, materialiser
+            )
+        pool, shard_cache, epoch = self._process_backend(resolved, processes)
+        # The unit payload carries the cap so workers bound what they
+        # materialise and ship (see engine._execute_mine).
+        mine_plan = [
+            [replace(unit, kind="mine", payload=(max_matches,))
+             for unit in slot]
+            for slot in plan
+        ]
+        mine_results = run_units(
+            probes, graph, mine_plan, cluster,
+            materialiser=materialiser, executor=resolved,
+            processes=processes, pool=pool, shard_cache=shard_cache,
+            epoch=epoch, sigma_key=probe_key,
+        )
+        phases.append(DiscoveryPhase(
+            phase="enumerate",
+            report=cluster.report(),
+            num_units=len(units),
+            executor=resolved,
+            shipping=pool.last_shipping if pool is not None else None,
+            cache=materialiser.take_stats() if materialiser else None,
+        ))
+
+        # Gather matches per candidate pattern (pivot candidates partition
+        # the match space, so this is a disjoint union), translating the
+        # leader-space matches into each member pattern's variables.
+        # Accumulation is compacted to the canonical ``max_matches``
+        # smallest once a bucket overflows the floor, so coordinator
+        # memory stays O(patterns × max_matches) — compacting to the
+        # n-smallest commutes with unioning more matches, so the final
+        # canonical selection is unchanged.
+        compact_floor = max(2 * max_matches, 4096)
+        raw_matches: Dict[int, List[dict]] = {
+            index: [] for index in range(len(patterns))
+        }
+        raw_counts: Dict[int, int] = {
+            index: 0 for index in range(len(patterns))
+        }
+        for slot_units, slot_results in zip(mine_plan, mine_results):
+            for unit, result in zip(slot_units, slot_results):
+                if result is None:
+                    continue
+                for position, member in enumerate(unit.group.members):
+                    bucket = raw_matches[member.index]
+                    if result.payload[0] == "shared":
+                        # Leader-space matches: translate per member.
+                        iso = member.iso
+                        shared = result.payload[1]
+                        bucket.extend(
+                            {iso[var]: node for var, node in items}
+                            for items in shared
+                        )
+                        raw_counts[member.index] += len(shared)
+                    else:  # "members": worker already translated + capped
+                        _, total, per_member = result.payload
+                        bucket.extend(
+                            dict(items) for items in per_member[position]
+                        )
+                        raw_counts[member.index] += total
+                    if len(bucket) > compact_floor:
+                        raw_matches[member.index] = canonical_matches(
+                            bucket, cap=max_matches
+                        )
+
+        # Coordinator-side proposal over the canonical (capped) matches —
+        # byte-identical to what the serial reference proposes.
+        pattern_matches: Dict[int, List[dict]] = {}
+        proposals: Dict[int, List[Tuple]] = {}
+        capped: Dict[int, bool] = {}
+        for index, pattern in enumerate(patterns):
+            matches = canonical_matches(raw_matches[index], cap=max_matches)
+            if len(matches) < min_support:
+                continue
+            pattern_matches[index] = matches
+            capped[index] = raw_counts[index] > max_matches
+            proposals[index] = candidate_dependencies(
+                pattern, graph, matches,
+                max_attrs=max_attrs, sample_size=sample_size, seed=seed,
+            )
+        num_proposals = sum(len(deps) for deps in proposals.values())
+
+        # ---- phase 2: count — support/confidence tallies as work units
+        # over the same plan (warm shards: zero block-shares shipped).
+        # A pattern whose match set was capped is tallied on the
+        # coordinator instead (workers see every match, the cap selects a
+        # canonical subset only the coordinator holds).
+        group_payload: Dict[int, tuple] = {}
+        for group in groups:
+            member_payloads = []
+            for member in group.members:
+                deps = (
+                    proposals.get(member.index, [])
+                    if not capped.get(member.index, False)
+                    else []
+                )
+                inverse = {v: k for k, v in member.iso.items()}
+                member_payloads.append(tuple(
+                    (
+                        tuple(l.rename(inverse) for l in lhs),
+                        tuple(l.rename(inverse) for l in rhs),
+                    )
+                    for lhs, rhs in deps
+                ))
+            group_payload[id(group)] = tuple(member_payloads)
+        totals: Dict[int, List[List[int]]] = {
+            index: [[0, 0] for _ in deps]
+            for index, deps in proposals.items()
+            if not capped[index]
+        }
+        count_plan = [
+            [
+                replace(unit, kind="count",
+                        payload=group_payload[id(unit.group)])
+                for unit in slot
+                if any(group_payload[id(unit.group)])
+            ]
+            for slot in plan
+        ]
+        if any(count_plan):
+            count_cluster = SimulatedCluster(workers, self.cost_model)
+            count_results = run_units(
+                probes, graph, count_plan, count_cluster,
+                materialiser=materialiser, executor=resolved,
+                processes=processes, pool=pool, shard_cache=shard_cache,
+                epoch=epoch, sigma_key=probe_key,
+            )
+            phases.append(DiscoveryPhase(
+                phase="count",
+                report=count_cluster.report(),
+                num_units=sum(len(slot) for slot in count_plan),
+                executor=resolved,
+                shipping=pool.last_shipping if pool is not None else None,
+                cache=materialiser.take_stats() if materialiser else None,
+            ))
+            for slot_units, slot_results in zip(count_plan, count_results):
+                for unit, result in zip(slot_units, slot_results):
+                    if result is None:
+                        continue
+                    for member, member_counts in zip(
+                        unit.group.members, result.payload
+                    ):
+                        tallies = totals.get(member.index)
+                        if tallies is None:
+                            continue
+                        for pos, (sup, sat) in enumerate(member_counts):
+                            tallies[pos][0] += sup
+                            tallies[pos][1] += sat
+
+        # Threshold + naming in the serial reference's iteration order.
+        selected = []
+        for index, pattern in enumerate(patterns):
+            deps = proposals.get(index)
+            if not deps:
+                continue
+            if capped[index]:
+                counts = [
+                    count_dependency(graph, pattern_matches[index], lhs, rhs)
+                    for lhs, rhs in deps
+                ]
+            else:
+                counts = [tuple(tally) for tally in totals[index]]
+            for (lhs, rhs), (supported, satisfied) in zip(deps, counts):
+                selected.append((pattern, (lhs, rhs), supported, satisfied))
+        rules = select_rules(selected, min_support, min_confidence)
+        pattern_pos = {id(p): i for i, p in enumerate(patterns)}
+        capped_rules = frozenset(
+            mined.gfd.name
+            for mined in rules
+            if capped.get(pattern_pos[id(mined.gfd.pattern)], False)
+        )
+
+        # ---- phase 3: confirm — validate the mined Σ over the same plan
+        # slots, so warm worker shards are hit again (only Σ travels).
+        violations: Optional[Set[Violation]] = None
+        if confirm and rules:
+            violations, phase = self._confirm_mined(
+                rules, patterns, probes, groups, plan, workers, resolved,
+                processes, materialiser, pool, shard_cache, epoch, probe_key,
+            )
+            phases.append(phase)
+
+        return DiscoveryRun(
+            rules=rules,
+            phases=phases,
+            num_patterns=len(patterns),
+            num_proposals=num_proposals,
+            executor=resolved,
+            violations=violations,
+            capped_rules=capped_rules,
+        )
+
+    def _confirm_mined(
+        self, rules, patterns, probes, groups, plan, workers, resolved,
+        processes, materialiser, pool, shard_cache, epoch, probe_key,
+    ) -> Tuple[Set[Violation], DiscoveryPhase]:
+        """Validate the mined Σ by re-skinning the mining plan.
+
+        Mined rules inherit their probes' patterns, pivots and blocks, so
+        detection units are the mining units with a ``detect`` group of
+        mined members — same slots, same block node sets.  Per-slot
+        ``needed`` is therefore a subset of what mining left resident:
+        the pass ships zero block-shares, only the mined Σ itself.
+        Probes prefix the shipped Σ so leader indices keep naming the
+        enumerated pattern; dependency-free probes produce no violations.
+        """
+        mined = [mined_rule.gfd for mined_rule in rules]
+        confirm_sigma = probes + mined
+        pattern_pos = {id(pattern): i for i, pattern in enumerate(patterns)}
+        mined_by_pattern: Dict[int, List[int]] = {}
+        for offset, gfd in enumerate(mined):
+            mined_by_pattern.setdefault(
+                pattern_pos[id(gfd.pattern)], []
+            ).append(len(probes) + offset)
+        confirm_groups: Dict[int, SharedGroup] = {}
+        for group in groups:
+            members = []
+            for member in group.members:
+                inverse = {v: k for k, v in member.iso.items()}
+                for sigma_index in mined_by_pattern.get(member.index, ()):
+                    gfd = confirm_sigma[sigma_index]
+                    members.append(GroupMember(
+                        index=sigma_index,
+                        iso=member.iso,
+                        lhs=tuple(l.rename(inverse) for l in gfd.lhs),
+                        rhs=tuple(l.rename(inverse) for l in gfd.rhs),
+                    ))
+            if members:
+                confirm_groups[id(group)] = SharedGroup(
+                    leader_index=group.leader_index, members=tuple(members)
+                )
+        confirm_plan = [
+            [
+                replace(unit, kind="detect", payload=None,
+                        group=confirm_groups[id(unit.group)])
+                for unit in slot
+                if id(unit.group) in confirm_groups
+            ]
+            for slot in plan
+        ]
+        confirm_key = ("sigma:mined", probe_key, tuple(mined))
+        cluster = SimulatedCluster(workers, self.cost_model)
+        results = run_units(
+            confirm_sigma, self.graph, confirm_plan, cluster,
+            materialiser=materialiser, executor=resolved,
+            processes=processes, pool=pool, shard_cache=shard_cache,
+            epoch=epoch, sigma_key=confirm_key,
+        )
+        violations: Set[Violation] = set()
+        for slot_results in results:
+            for result in slot_results:
+                if result is not None:
+                    violations |= result.violations
+        phase = DiscoveryPhase(
+            phase="confirm",
+            report=cluster.report(),
+            num_units=sum(len(slot) for slot in confirm_plan),
+            executor=resolved,
+            shipping=pool.last_shipping if pool is not None else None,
+            cache=materialiser.take_stats() if materialiser else None,
+        )
+        return violations, phase
+
+    def _mining_workload(
+        self,
+        max_edges: int,
+        top_edges: int,
+        fragmentation: Optional[Fragmentation],
+    ) -> Tuple[List, List[GFD], List[SharedGroup], List[WorkUnit]]:
+        """Candidate patterns + probe workload, cached like ``_units``.
+
+        Cached per (graph version, mining parameters, fragmentation), so
+        warm repeated ``discover()`` calls reuse the pattern objects, the
+        isomorphism groups and the estimated units; the estimation cost
+        is still charged to each run's cluster by the caller.
+        """
+        key = (
+            self.graph._version, max_edges, top_edges,
+            fragmentation.fingerprint() if fragmentation is not None else None,
+        )
+        entry = self._mining_cache.get(key)
+        if entry is None:
+            patterns = candidate_patterns(
+                self.graph, max_edges=max_edges, top_edges=top_edges
+            )
+            probes = probe_gfds(patterns)
+            groups = build_shared_groups(probes)
+            units = estimate_workload(
+                probes, self.graph, groups=groups,
+                fragmentation=fragmentation,
+            )
+            entry = (patterns, probes, groups, units)
+            self._mining_cache[key] = entry
+            while len(self._mining_cache) > 2:
+                self._mining_cache.pop(next(iter(self._mining_cache)))
+        return entry
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _shared_materialiser(self) -> BlockMaterialiser:
@@ -419,6 +905,7 @@ class ValidationSession:
             pool=pool,
             shard_cache=shard_cache,
             epoch=epoch,
+            sigma_key=_BASE_SIGMA_KEY,
         )
         return ValidationRun(
             violations=violations,
@@ -430,10 +917,16 @@ class ValidationSession:
             cache=materialiser.take_stats() if materialiser else None,
         )
 
-    def _validate_fragmented(
-        self, fragmentation, assignment, optimize, split_threshold, seed,
-        executor, processes,
-    ) -> ValidationRun:
+    def _check_fragmentation(self, fragmentation: Fragmentation) -> None:
+        """Reject fragmentations a fragmented run cannot trust.
+
+        Edge-only staleness is tolerated exactly as the stateless API
+        always did (fragment block-share records go mildly stale); an
+        owner map that no longer covers the graph would crash deep
+        inside workload estimation, so fail it clearly.  The scan result
+        is cached per (fragmentation, version) so warm repeated runs pay
+        it once.
+        """
         graph = self.graph
         if fragmentation.graph is not graph:
             raise ValueError(
@@ -445,12 +938,6 @@ class ValidationSession:
             fragmentation.built_version != graph._version
             and self._frag_checked != check_key
         ):
-            # Edge-only staleness is tolerated exactly as the stateless
-            # API always did (fragment block-share records go mildly
-            # stale); an owner map that no longer covers the graph would
-            # crash deep inside workload estimation, so fail it clearly.
-            # The scan result is cached per (fragmentation, version) so
-            # warm repeated runs pay it once.
             orphans = sum(
                 1 for node in graph.nodes() if node not in fragmentation.owner
             )
@@ -462,6 +949,13 @@ class ValidationSession:
                     "validate()"
                 )
             self._frag_checked = check_key
+
+    def _validate_fragmented(
+        self, fragmentation, assignment, optimize, split_threshold, seed,
+        executor, processes,
+    ) -> ValidationRun:
+        graph = self.graph
+        self._check_fragmentation(fragmentation)
         n = fragmentation.n
         cluster = SimulatedCluster(n, self.cost_model)
         units = self._units(cluster, optimize, fragmentation=fragmentation)
@@ -505,6 +999,7 @@ class ValidationSession:
             pool=pool,
             shard_cache=shard_cache,
             epoch=epoch,
+            sigma_key=_BASE_SIGMA_KEY,
         )
         return ValidationRun(
             violations=violations,

@@ -8,7 +8,6 @@ import pytest
 from repro.graph import PropertyGraph, power_law_graph
 from repro.pattern import parse_pattern
 from repro.core import parse_gfd
-from repro.core.gfd import denial
 
 
 def add_flight(graph, uid, flight_id, from_name, to_name, dep="14:50", arr="22:35"):

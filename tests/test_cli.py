@@ -6,7 +6,6 @@ import json
 import pytest
 
 from repro.cli import format_rule_file, main, parse_rule_file
-from repro.core import parse_gfd
 from repro.graph import PropertyGraph, save_graph
 
 RULES_TEXT = """
@@ -40,6 +39,50 @@ def rules_file(tmp_path):
     path = tmp_path / "rules.gfd"
     path.write_text(RULES_TEXT)
     return path
+
+
+def rule_key(gfd):
+    """Value identity of a GFD for round-trip comparison."""
+    return (gfd.name, gfd.pattern.signature(), gfd.lhs, gfd.rhs)
+
+
+class TestRuleFileRoundTrip:
+    """Satellite: mined and generated rules survive the rule-file format.
+
+    ``format_rule_file`` → ``parse_rule_file`` must reproduce equivalent
+    GFDs — same name, pattern signature, and lhs/rhs literal tuples —
+    over property-style sweeps of generated and mined rule sets.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 5, 9, 14])
+    def test_generated_rules_round_trip(self, seed):
+        from repro import generate_gfds, power_law_graph
+
+        graph = power_law_graph(160, 360, seed=seed, domain_size=8)
+        sigma = generate_gfds(graph, count=8, pattern_edges=3, seed=seed)
+        again = parse_rule_file(format_rule_file(sigma))
+        assert [rule_key(r) for r in again] == [rule_key(r) for r in sigma]
+
+    @pytest.mark.parametrize("seed", [2, 6])
+    def test_mined_rules_round_trip(self, seed):
+        from repro import discover_gfds, power_law_graph
+
+        graph = power_law_graph(
+            150, 340, seed=seed, domain_size=6,
+            node_labels=["person", "city"], edge_labels=["knows", "in"],
+        )
+        mined = discover_gfds(graph, min_support=3, min_confidence=0.8)
+        assert mined  # the sweep must exercise a non-empty mined set
+        rules = [m.gfd for m in mined]
+        again = parse_rule_file(format_rule_file(rules))
+        assert [rule_key(r) for r in again] == [rule_key(r) for r in rules]
+
+    def test_empty_lhs_and_constants_round_trip(self):
+        rules = parse_rule_file(RULES_TEXT)
+        twice = parse_rule_file(format_rule_file(
+            parse_rule_file(format_rule_file(rules))
+        ))
+        assert [rule_key(r) for r in twice] == [rule_key(r) for r in rules]
 
 
 class TestRuleFileFormat:
@@ -147,10 +190,40 @@ class TestGenerateAndBench:
         assert code == 0
         assert "repVal" in out.getvalue()
         assert "disVal" in out.getvalue()
+        # Satellite: the shipping summary is no longer skipped when
+        # --repeat is 1 — the final iteration is always reported.
+        assert "shipping (final iteration)" in out.getvalue()
+
+    def test_bench_process_reports_final_shipping(self, tmp_path):
+        gpath = tmp_path / "synth.jsonl"
+        rpath = tmp_path / "synth.gfd"
+        main(["generate", str(gpath), "--nodes", "150", "--edges", "300",
+              "--rules", "3", "--rules-output", str(rpath), "--seed", "4",
+              "--domain", "10"], out=io.StringIO())
+        out = io.StringIO()
+        code = main(
+            ["bench", str(gpath), str(rpath), "--workers", "3",
+             "--executor", "process", "--processes", "2"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "shipping (final iteration):" in text
+        assert "reused shard(s)" in text
+
+    def test_bench_rejects_non_positive_counts(self, tmp_path):
+        # Satellite: --repeat 0 used to be silently clamped to one
+        # iteration; now argparse rejects it (and friends) outright.
+        for flag in ("--repeat", "--workers", "--processes"):
+            with pytest.raises(SystemExit):
+                main(["bench", "g", "r", flag, "0"], out=io.StringIO())
+            with pytest.raises(SystemExit):
+                main(["bench", "g", "r", flag, "-3"], out=io.StringIO())
 
 
 class TestDiscoverCommand:
-    def test_discover_emits_rules(self, tmp_path):
+    @pytest.fixture
+    def mining_graph_file(self, tmp_path):
         g = PropertyGraph()
         for i in range(25):
             g.add_node(f"p{i}", "person", {"zip": f"z{i % 3}", "city": f"C{i % 3}"})
@@ -158,9 +231,113 @@ class TestDiscoverCommand:
             g.add_edge(f"p{i}", f"c{i}", "lives_in")
         path = tmp_path / "g.jsonl"
         save_graph(g, path)
+        return path
+
+    def test_discover_emits_rules(self, mining_graph_file):
         out = io.StringIO()
-        code = main(["discover", str(path), "--support", "5"], out=out)
+        code = main(["discover", str(mining_graph_file), "--support", "5"],
+                    out=out)
         assert code == 0
         assert "pattern:" in out.getvalue()
         # Emitted rules must parse back.
         assert parse_rule_file(out.getvalue())
+
+    def test_discover_flags_govern_mining(self, mining_graph_file):
+        """--executor/--processes/--workers/--max-* drive mining itself
+        (not just the confirmation pass) and leave the output unchanged."""
+        baseline = io.StringIO()
+        assert main(["discover", str(mining_graph_file), "--support", "5"],
+                    out=baseline) == 0
+        out = io.StringIO()
+        code = main(
+            ["discover", str(mining_graph_file), "--support", "5",
+             "--executor", "process", "--processes", "2", "--workers", "3",
+             "--max-edges", "2", "--max-matches", "500"],
+            out=out,
+        )
+        assert code == 0
+        # Same mined rules; only the reported executor differs.
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("# verified")]
+
+        assert strip(out.getvalue()) == strip(baseline.getvalue())
+        assert "# verified (process):" in out.getvalue()
+
+    def test_discover_exit_2_on_confidence_one_inconsistency(
+        self, mining_graph_file, monkeypatch
+    ):
+        """Mined-at-1.0 rules reporting violations is an internal
+        inconsistency → exit 2 (mirrors cmd_bench's disagreement guard)."""
+        from repro.core import make_violation
+        from repro.session import DiscoveryRun, ValidationSession
+
+        real = ValidationSession.discover
+
+        def broken(self, **kwargs):
+            run = real(self, **kwargs)
+            assert run.rules and run.violations == set()
+            exact = next(m for m in run.rules if m.confidence == 1.0)
+            match = {v: "p0" for v in exact.gfd.pattern.variables}
+            return DiscoveryRun(
+                rules=run.rules,
+                phases=run.phases,
+                num_patterns=run.num_patterns,
+                num_proposals=run.num_proposals,
+                executor=run.executor,
+                violations={make_violation(exact.gfd, match)},
+            )
+
+        monkeypatch.setattr(ValidationSession, "discover", broken)
+        out = io.StringIO()
+        code = main(["discover", str(mining_graph_file), "--support", "5"],
+                    out=out)
+        assert code == 2
+        assert "ERROR" in out.getvalue()
+
+    def test_discover_low_confidence_violations_exit_zero(self, tmp_path):
+        """Rules mined below confidence 1.0 legitimately carry violations
+        — that is not an inconsistency and must not flip the exit code."""
+        g = PropertyGraph()
+        for i in range(30):
+            g.add_node(f"p{i}", "person", {"zip": "z1", "city": "C1"})
+            g.add_node(f"c{i}", "city", {"zip": "z1", "city": "C1"})
+            g.add_edge(f"p{i}", f"c{i}", "lives_in")
+        g.set_attr("c0", "city", "WRONG")  # poison one pair
+        path = tmp_path / "noisy.jsonl"
+        save_graph(g, path)
+        out = io.StringIO()
+        code = main(
+            ["discover", str(path), "--support", "5",
+             "--confidence", "0.9"],
+            out=out,
+        )
+        assert code == 0
+
+    def test_discover_capped_confidence_one_exits_zero(self, tmp_path):
+        """A rule mined at confidence 1.0 over a *capped* match set can
+        legitimately be violated by uncounted matches — that must not
+        trip the internal-inconsistency exit code."""
+        g = PropertyGraph()
+        for i in range(60):
+            value = "c" if i < 30 else "d"
+            g.add_node(f"p{i:02d}", "person", {"A": value})
+            g.add_node(f"c{i:02d}", "city", None)
+            g.add_edge(f"p{i:02d}", f"c{i:02d}", "lives_in")
+        path = tmp_path / "capped.jsonl"
+        save_graph(g, path)
+        out = io.StringIO()
+        code = main(
+            ["discover", str(path), "--support", "5",
+             "--confidence", "1.0", "--max-matches", "30"],
+            out=out,
+        )
+        assert code == 0
+        assert "ERROR" not in out.getvalue()
+        assert "violation(s)" in out.getvalue()
+
+    def test_discover_rejects_bad_counts(self, mining_graph_file):
+        for flag in ("--workers", "--max-edges", "--max-matches"):
+            with pytest.raises(SystemExit):
+                main(["discover", str(mining_graph_file), flag, "0"],
+                     out=io.StringIO())

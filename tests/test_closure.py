@@ -1,7 +1,7 @@
 """Tests for the equality-atom closure engine (Section 4)."""
 
 from repro.core import EqualityClosure, Rule, literals_conflict, saturate
-from repro.core.closure import attr_term, const_term
+from repro.core.closure import attr_term
 from repro.core.literals import ConstantLiteral, VariableLiteral
 
 

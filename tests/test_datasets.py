@@ -1,6 +1,5 @@
 """Tests for the dataset stand-ins (DESIGN.md §1.3 substitutions)."""
 
-import pytest
 
 from repro.core import det_vio, satisfies, violation_entities
 from repro.quality import accuracy

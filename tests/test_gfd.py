@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import GFD, GFDError, make_gfd, parse_gfd
+from repro.core import GFDError, make_gfd, parse_gfd
 from repro.core.gfd import denial
 from repro.core.literals import ConstantLiteral, VariableLiteral
 from repro.pattern import parse_pattern

@@ -1,10 +1,8 @@
 """Tests for GFD implication (Section 4.2, Theorem 5, Lemma 7)."""
 
-import pytest
 
 from repro.core import (
     counterexample,
-    det_vio,
     implies,
     minimal_cover,
     parse_gfd,

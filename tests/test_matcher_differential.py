@@ -16,7 +16,7 @@ import random
 import pytest
 
 from repro.core import det_vio, generate_gfds
-from repro.graph import PropertyGraph, WILDCARD, power_law_graph, uniform_random_graph
+from repro.graph import WILDCARD, power_law_graph, uniform_random_graph
 from repro.matching import MatchStats, SubgraphMatcher
 from repro.pattern import GraphPattern
 

@@ -1,7 +1,6 @@
 """End-to-end reproduction of the paper's worked examples (Examples 1–13,
 Figures 1–3 and 7) — the integration layer of the test suite."""
 
-import pytest
 
 from repro.core import (
     det_vio,
@@ -15,7 +14,7 @@ from repro.graph import PropertyGraph
 from repro.matching import count_matches, find_matches
 from repro.parallel import estimate_workload, lpt_partition, rep_val
 from repro.pattern import parse_pattern, pivot_vector
-from repro.datasets import dbpedia_like, pokec_like, yago_like
+from repro.datasets import dbpedia_like, yago_like
 
 
 class TestExample1KnowledgeBaseInconsistencies:

@@ -1,6 +1,5 @@
 """Tests for noise injection, metrics, and the two baselines (Appendix)."""
 
-import pytest
 
 from repro.core import det_vio, parse_gfd, violation_entities
 from repro.graph import power_law_graph

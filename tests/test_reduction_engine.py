@@ -1,6 +1,5 @@
 """Tests for workload reduction (Appendix) and the execution engine."""
 
-import pytest
 
 from repro.core import det_vio, parse_gfd, satisfies
 from repro.graph import power_law_graph

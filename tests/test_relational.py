@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph import PropertyGraph
 from repro.relational import (
     EngineStats,
     Table,

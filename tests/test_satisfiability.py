@@ -1,6 +1,5 @@
 """Tests for GFD satisfiability (Section 4.1, Theorem 1, Corollary 4)."""
 
-import pytest
 
 from repro.core import (
     build_model,

@@ -33,7 +33,7 @@ from repro import (
 )
 from repro.cli import main as cli_main
 from repro.graph import greedy_edge_cut_partition, hash_partition, save_graph
-from repro.parallel.engine import BLOCK_CACHE_BUDGET, BlockMaterialiser
+from repro.parallel.engine import BlockMaterialiser
 
 WORKLOAD_SEEDS = (3, 11)
 

@@ -1,7 +1,6 @@
 """Tests for graph simulation (Section 6.2, partial-match estimation)."""
 
 from repro.graph import (
-    PropertyGraph,
     graph_from_edges,
     graph_simulation,
     has_simulation_match,

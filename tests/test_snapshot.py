@@ -225,7 +225,7 @@ class TestCachingContract:
             [("a", "knows", "b"), ("b", "knows", "c")],
             node_labels={"a": "person", "b": "person", "c": "person"},
         )
-        snap = graph.snapshot()
+        graph.snapshot()  # warm the cache pre-mutation
         graph.add_edge("a", "c", "knows")
         fresh = graph.snapshot()
         assert fresh.has_edge("a", "c", "knows")
@@ -256,7 +256,6 @@ class TestCachingContract:
     def test_large_deltas_fall_back_to_rebuild(self):
         graph = generated(0)
         snap = graph.snapshot()
-        nodes = list(graph.nodes())
         for i in range(graph.size):  # far past the delta budget
             graph.add_node(f"fresh{i}", "L0")
         assert graph.snapshot() is not snap
@@ -331,7 +330,8 @@ class TestPickling:
         for gfd in sigma:
             original = SubgraphMatcher(gfd.pattern, snap)
             recovered = SubgraphMatcher(gfd.pattern, restored)
-            key = lambda m: sorted(m.items(), key=repr)
+            def key(m):
+                return sorted(m.items(), key=repr)
             assert sorted(map(key, original.matches())) == (
                 sorted(map(key, recovered.matches()))
             )

@@ -211,7 +211,8 @@ class TestRandomisedDifferential:
         for _ in range(12):
             random_op(rng, graph, labels, elabels)
         snap = graph.snapshot()
-        key = lambda m: sorted(m.items(), key=repr)
+        def key(m):
+            return sorted(m.items(), key=repr)
         for gfd in sigma:
             indexed = SubgraphMatcher(gfd.pattern, snap)
             legacy = SubgraphMatcher(gfd.pattern, graph, backend="legacy")

@@ -54,7 +54,7 @@ class TestTypedSatisfiability:
         Classically satisfiable (leave x.flag absent), but the Boolean
         domain plus a completeness rule forces one of the two branches.
         """
-        setter = parse_gfd("x:tau", " => x.flag = x.flag")  # flag must exist
+        parse_gfd("x:tau", " => x.flag = x.flag")  # flag must exist
         # Under satisfaction semantics the tautological RHS enforces
         # presence, but for reasoning it is vacuous — so drive the split
         # through premise rules instead:

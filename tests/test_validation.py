@@ -1,7 +1,6 @@
 """Tests for sequential validation / error detection (Section 5.1)."""
 
 from repro.core import (
-    Violation,
     det_vio,
     make_violation,
     parse_gfd,

@@ -1,9 +1,7 @@
 """Tests for the workload model (Section 5.2) and estimation (§6.1)."""
 
-import pytest
 
-from repro.core import generate_gfds, parse_gfd
-from repro.graph import power_law_graph
+from repro.core import generate_gfds
 from repro.parallel import (
     SimulatedCluster,
     build_shared_groups,
