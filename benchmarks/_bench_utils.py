@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import List, Sequence
 
@@ -32,3 +33,16 @@ def emit_table(name: str, headers: Sequence[str], rows: List[Sequence]) -> str:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}")
     return text
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result artifact.
+
+    ``benchmarks/results/<name>.json`` is uploaded by the CI job, so a
+    perf trajectory accumulates across PRs instead of living only in
+    run logs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

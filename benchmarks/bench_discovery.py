@@ -12,11 +12,22 @@ Measured as wall-clock medians at 4 (simulated) workers over a real
 4-process pool, on an attribute-heavy graph where counting dominates —
 the regime the paper's real-life workloads live in.  Asserted:
 
-* mined-set equality (serial ≡ cold process ≡ warm process);
+* mined-set equality (serial ≡ cold process ≡ warm process ≡ the
+  match-list baseline);
 * zero block-shares shipped on the warm phases (count + confirm reuse
   the shards mining shipped; a warm repeat ships nothing at all);
+* zero VF2 re-enumerations on the warm ``count``/``confirm`` phases —
+  every unit replays the resident matches ``mine`` deposited (the
+  engine's match-store counters: ``misses == 0``, ``hits > 0``);
+* the aggregate data path ships fewer payload bytes than the match-list
+  baseline (forced via an explicit never-truncating evidence sample),
+  per phase — the reduction is printed *and* asserted;
 * warm mining beats serial by the bar below whenever ≥ 4 CPUs are
   usable (single/dual-core runners only report).
+
+Per-phase wall-clock and shipped-byte figures land in
+``benchmarks/results/discovery_perf.json`` (uploaded by CI, so the
+perf trajectory accumulates across PRs).
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ import time
 from repro import ValidationSession, discover_gfds, power_law_graph
 from repro.parallel.executors import usable_cpus
 
-from _bench_utils import emit_table
+from _bench_utils import emit_json, emit_table
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -115,6 +126,40 @@ def test_session_discovery_speedup(benchmark):
             == confirmed.phase("enumerate").shipping.worker_pids
         )
 
+        # Resident-match replay: every warm phase runs zero VF2
+        # re-enumerations — the engine counter says every unit replayed
+        # what mine left resident (enumerate replays on a warm repeat).
+        for phase in confirmed.phases:
+            store = phase.match_store
+            assert store is not None, phase.phase
+            assert store.misses == 0, (
+                f"warm {phase.phase} re-enumerated {store.misses} unit(s) "
+                "instead of replaying resident matches"
+            )
+            assert store.hits > 0, phase.phase
+
+        # The match-list baseline: an explicit never-truncating sample
+        # forces the documented match-shipping fallback while mining
+        # the identical rule set — its payload bytes are what the
+        # aggregate data path replaced.
+        baseline = session.discover(n=4, sample_size=10**9, **DISCOVERY)
+        assert [mined_key(d) for d in baseline.rules] == [
+            mined_key(d) for d in serial
+        ]
+        reductions = {}
+        for name in ("enumerate", "count"):
+            aggregate_bytes = confirmed.phase(name).shipping.payload_bytes
+            match_bytes = baseline.phase(name).shipping.payload_bytes
+            assert aggregate_bytes < match_bytes, (
+                f"{name}: aggregate payloads shipped {aggregate_bytes} "
+                f"bytes, match lists {match_bytes}"
+            )
+            reductions[name] = match_bytes / aggregate_bytes
+        # Count + confirm ship zero block-shares (asserted above) and
+        # strictly sub-match-list payload bytes.
+        assert confirm.shipping.payload_bytes <= \
+            baseline.phase("confirm").shipping.payload_bytes
+
         serial_median = statistics.median(serial_times)
         warm_median = statistics.median(warm_times)
         cold_speedup = serial_median / cold_time if cold_time else float("inf")
@@ -136,6 +181,53 @@ def test_session_discovery_speedup(benchmark):
                  len(warm.rules), 4, cpus),
             ],
         )
+        phase_rows = []
+        phase_records = []
+        for run_name, run in (("warm", confirmed), ("match-list", baseline)):
+            for phase in run.phases:
+                shipping = phase.shipping
+                store = phase.match_store
+                phase_rows.append((
+                    run_name, phase.phase, f"{phase.wall_seconds:.3f}",
+                    shipping.payload_bytes,
+                    shipping.shard_bytes + shipping.sigma_bytes,
+                    f"{store.hits}/{store.hits + store.misses}"
+                    if store else "-",
+                ))
+                phase_records.append({
+                    "run": run_name,
+                    "phase": phase.phase,
+                    "wall_seconds": phase.wall_seconds,
+                    "payload_bytes": shipping.payload_bytes,
+                    "shard_bytes": shipping.shard_bytes,
+                    "sigma_bytes": shipping.sigma_bytes,
+                    "shipped_nodes": shipping.shipped_nodes,
+                    "store_hits": store.hits if store else None,
+                    "store_misses": store.misses if store else None,
+                })
+        emit_table(
+            "discovery_phases",
+            ["run", "phase", "wall s", "payload B", "shard+sigma B",
+             "replayed"],
+            phase_rows,
+        )
+        print(
+            "payload reduction vs match-list baseline: "
+            + ", ".join(f"{name} {ratio:.2f}x"
+                        for name, ratio in reductions.items())
+        )
+        emit_json("discovery_perf", {
+            "quick": QUICK,
+            "graph": {"nodes": nodes, "edges": edges},
+            "workers": 4,
+            "cpus": cpus,
+            "serial_median_seconds": serial_median,
+            "cold_seconds": cold_time,
+            "warm_median_seconds": warm_median,
+            "warm_speedup": warm_speedup,
+            "payload_reduction": reductions,
+            "phases": phase_records,
+        })
         if cpus >= 4:
             assert warm_speedup > PARALLEL_MINING_BAR, (
                 f"warm parallel mining only {warm_speedup:.2f}x faster than "

@@ -51,6 +51,7 @@ from .core import (
     CFD,
     ConstantLiteral,
     DiscoveredGFD,
+    EvidenceAggregate,
     FD,
     GFD,
     GFDError,
@@ -75,6 +76,7 @@ from .core.gfd import denial
 from .parallel import (
     ClusterReport,
     CostModel,
+    MatchStoreStats,
     MaterialiserStats,
     ShippingStats,
     UnitResult,
@@ -145,6 +147,8 @@ __all__ = [
     "CostModel",
     "DiscoveryPhase",
     "DiscoveryRun",
+    "EvidenceAggregate",
+    "MatchStoreStats",
     "MaterialiserStats",
     "ShippingStats",
     "UnitResult",

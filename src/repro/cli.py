@@ -204,6 +204,12 @@ def cmd_bench(args, out: TextIO) -> int:
             f"{sum(s.reused for s in stats)} reused shard(s), "
             f"{sum(s.shipped_nodes for s in stats)} node(s) shipped\n"
         )
+        out.write(
+            f"shipped bytes (final iteration): "
+            f"{sum(s.shard_bytes for s in stats)} shard, "
+            f"{sum(s.sigma_bytes for s in stats)} sigma, "
+            f"{sum(s.payload_bytes for s in stats)} unit payload\n"
+        )
     else:
         out.write("shipping (final iteration): none "
                   "(simulated executor ships nothing)\n")
@@ -221,8 +227,12 @@ def cmd_discover(args, out: TextIO) -> int:
     # Mining itself runs session-backed: enumeration and counting are
     # work units over the chosen execution backend, and the mined-Σ
     # confirmation pass reuses the same warm worker shards.
+    session_options = {}
+    if args.match_budget is not None:
+        session_options["match_store_budget"] = args.match_budget
     with ValidationSession(
-        graph, [], executor=args.executor, processes=args.processes
+        graph, [], executor=args.executor, processes=args.processes,
+        **session_options,
     ) as session:
         run = session.discover(
             min_support=args.support,
@@ -238,6 +248,26 @@ def cmd_discover(args, out: TextIO) -> int:
         out.write(f"wrote {args.output}: {len(rules)} rule(s)\n")
     else:
         out.write(text)
+    # Data-path accounting per mining phase: shipped byte volume (the
+    # aggregate-payload win as a number, not a claim) and how many units
+    # replayed worker-resident matches instead of re-running VF2.
+    for phase in run.phases:
+        shipping = phase.shipping
+        line = f"# {phase.phase}: {phase.wall_seconds:.3f}s wall"
+        if shipping is not None:
+            line += (
+                f", {shipping.full} full / {shipping.delta} delta / "
+                f"{shipping.reused} reused shard(s), "
+                f"{shipping.shard_bytes + shipping.sigma_bytes} shard+sigma "
+                f"byte(s), {shipping.payload_bytes} unit-payload byte(s)"
+            )
+        store = phase.match_store
+        if store is not None and (store.hits or store.misses):
+            line += (
+                f", {store.hits}/{store.hits + store.misses} unit(s) "
+                "replayed resident matches"
+            )
+        out.write(line + "\n")
     if rules:
         # Confirmation pass (rules mined below confidence 1.0
         # legitimately carry violations).
@@ -283,6 +313,19 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for budgets where 0 is meaningful (disables)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
         )
     return value
 
@@ -359,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--max-matches", type=_positive_int, default=5000,
                           help="matches counted per candidate pattern "
                                "(canonical selection)")
+    discover.add_argument("--match-budget", type=_nonnegative_int,
+                          default=None,
+                          help="matches kept resident per worker match "
+                               "store for count/confirm replay "
+                               "(0 disables; default: library budget)")
     _add_executor_flags(discover)
     discover.set_defaults(func=cmd_discover)
     return parser

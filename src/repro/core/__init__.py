@@ -43,6 +43,7 @@ from .cfd import CFD, FD, UNCONSTRAINED, relation_to_graph, type_requirement
 from .generator import GFDGenerator, generate_gfds, mine_frequent_edges
 from .discovery import (
     DiscoveredGFD,
+    EvidenceAggregate,
     candidate_dependencies,
     candidate_patterns,
     canonical_matches,
@@ -107,6 +108,7 @@ __all__ = [
     "canonical_matches",
     "count_dependency",
     "discover_gfds",
+    "EvidenceAggregate",
     "probe_gfds",
     "select_rules",
     "IncrementalValidator",

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -164,6 +164,188 @@ def _ranked_attrs(counter: Counter, limit: int) -> List[str]:
     return [attr for attr, _ in ranked[:limit]]
 
 
+class EvidenceAggregate:
+    """Mergeable proposal evidence — a compact aggregate over matches.
+
+    Dependency proposal (:func:`candidate_dependencies`) is an aggregate
+    query over the match set, in the FAQ sense: everything it reads from
+    the matches folds into per-variable tables that merge associatively.
+    Workers therefore fold their units' matches into one of these and
+    ship it instead of the ``O(matches)`` match list (see
+    ``repro.parallel.engine._execute_mine``); the coordinator merges the
+    units' aggregates and proposes from the result.
+
+    Two tables, both in the enumerated (leader) variable space:
+
+    * ``attrs`` — per variable, attribute → number of matches whose
+      matched node carries the attribute (the counter
+      :func:`candidate_dependencies` ranks and intersects);
+    * ``values`` — per ``(variable, attribute)``, the distinct-value
+      summary constant-rule proposal needs: ``(value,)`` while exactly
+      one distinct value has been seen, :data:`MANY` (``None``) as soon
+      as a second appears.  Proposal only asks "exactly one distinct
+      value, and which" — this two-state table answers that exactly,
+      stays ``O(1)`` per attribute however wild the value domain, and
+      is trivially order-independent to fold.
+
+    Equivalence contract: ``propose(pattern, max_attrs)`` over the fold
+    of a match list equals ``candidate_dependencies`` over that list —
+    *by construction*, because :func:`candidate_dependencies` itself now
+    folds its evidence through this class.  ``merge`` is associative and
+    commutative, so any unit partition of the match multiset (pivot
+    candidates partition it exactly) aggregates to the same proposals;
+    ``tests/test_discovery_aggregates.py`` locks both properties in.
+    """
+
+    #: the ``values`` state for "more than one distinct value seen" —
+    #: must merge as an absorbing element, hence a sentinel rather than
+    #: retained exemplars.
+    MANY = None
+
+    __slots__ = ("count", "attrs", "values")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.attrs: Dict[str, Counter] = {}
+        self.values: Dict[Tuple[str, str], Optional[Tuple]] = {}
+
+    # -- folding -------------------------------------------------------
+    def add(self, graph: PropertyGraph, match: Mapping) -> None:
+        """Fold one match (``graph`` may be any block containing it)."""
+        self.count += 1
+        for var, node in match.items():
+            node_attrs = graph.attrs(node)
+            if not node_attrs:
+                continue
+            counter = self.attrs.get(var)
+            if counter is None:
+                counter = self.attrs.setdefault(var, Counter())
+            counter.update(node_attrs.keys())
+            for attr, value in node_attrs.items():
+                key = (var, attr)
+                current = self.values.get(key, ())
+                if current == ():
+                    self.values[key] = (value,)
+                elif current is not self.MANY and current[0] != value:
+                    self.values[key] = self.MANY
+
+    @classmethod
+    def from_matches(
+        cls, graph: PropertyGraph, matches: Sequence[Mapping]
+    ) -> "EvidenceAggregate":
+        agg = cls()
+        for match in matches:
+            agg.add(graph, match)
+        return agg
+
+    # -- merging / renaming --------------------------------------------
+    def merge(self, other: "EvidenceAggregate") -> "EvidenceAggregate":
+        """Fold ``other`` in (associative, commutative); returns self."""
+        self.count += other.count
+        for var, counter in other.attrs.items():
+            mine = self.attrs.get(var)
+            if mine is None:
+                self.attrs[var] = Counter(counter)
+            else:
+                mine.update(counter)
+        for key, values in other.values.items():
+            current = self.values.get(key, ())
+            if current == ():
+                self.values[key] = values
+            elif current is not self.MANY and (
+                values is self.MANY or values[0] != current[0]
+            ):
+                self.values[key] = self.MANY
+        return self
+
+    def rename(self, iso: Mapping[str, str]) -> "EvidenceAggregate":
+        """The same evidence in another variable space (``var → iso[var]``).
+
+        Isomorphism-group members see the leader's matches through their
+        variable alignment; renaming the aggregate's keys is the
+        aggregate-side image of translating every match.
+        """
+        renamed = EvidenceAggregate()
+        renamed.count = self.count
+        renamed.attrs = {
+            iso[var]: Counter(counter) for var, counter in self.attrs.items()
+        }
+        renamed.values = {
+            (iso[var], attr): values
+            for (var, attr), values in self.values.items()
+        }
+        return renamed
+
+    # -- wire format ---------------------------------------------------
+    def to_payload(self) -> tuple:
+        """A deterministic, value-comparable (and compact) wire form."""
+        return (
+            self.count,
+            tuple(
+                (var, tuple(sorted(counter.items())))
+                for var, counter in sorted(self.attrs.items())
+            ),
+            tuple(sorted(self.values.items(), key=lambda kv: kv[0])),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "EvidenceAggregate":
+        agg = cls()
+        count, attrs, values = payload
+        agg.count = count
+        agg.attrs = {var: Counter(dict(items)) for var, items in attrs}
+        agg.values = dict(values)
+        return agg
+
+    # -- proposal ------------------------------------------------------
+    def propose(
+        self, pattern: GraphPattern, max_attrs: int = 4
+    ) -> List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]]:
+        """``X → Y`` candidates from this evidence (canonical order)."""
+        return self.propose_for_variables(pattern.variables, max_attrs)
+
+    def propose_for_variables(
+        self, variables: Sequence[str], max_attrs: int = 4
+    ) -> List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]]:
+        """Propose over an explicit variable order.
+
+        Exactly :func:`candidate_dependencies`' proposal loop, reading
+        the aggregate tables instead of re-scanning matches.  Fully
+        deterministic in ``(aggregate, variables, max_attrs)`` — which
+        is what lets discovery's counting phase ship the aggregate and
+        have workers *re-derive* the identical candidate list (same
+        positions, same literals) instead of shipping ``O(proposals)``
+        literal objects per work unit.
+        """
+        empty: Counter = Counter()
+        out: List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]] = []
+        for var1 in variables:
+            for var2 in variables:
+                if var1 >= var2:
+                    continue
+                common = _ranked_attrs(
+                    self.attrs.get(var1, empty) & self.attrs.get(var2, empty),
+                    max_attrs,
+                )
+                for lhs_attr in common:
+                    for rhs_attr in common:
+                        if lhs_attr == rhs_attr:
+                            continue
+                        out.append(
+                            (
+                                (VariableLiteral(var1, lhs_attr, var2, lhs_attr),),
+                                (VariableLiteral(var1, rhs_attr, var2, rhs_attr),),
+                            )
+                        )
+        # Single-variable constant rules: X = ∅ → x.A = c (capital-style).
+        for var in variables:
+            for attr in _ranked_attrs(self.attrs.get(var, empty), max_attrs):
+                values = self.values.get((var, attr), ())
+                if values is not self.MANY and len(values) == 1:
+                    out.append(((), (ConstantLiteral(var, attr, values[0]),)))
+        return out
+
+
 def candidate_dependencies(
     pattern: GraphPattern,
     graph: PropertyGraph,
@@ -180,46 +362,17 @@ def candidate_dependencies(
     mined) rule set never depends on enumeration order or backend.  (The
     old implicit ``matches[:200]`` prefix did, and could differ between
     backends.)
+
+    The evidence is folded through an :class:`EvidenceAggregate` — the
+    same fold workers apply unit-locally in parallel mining — so
+    aggregate-based and match-list-based proposal agree by construction.
     """
     evidence: Sequence[Mapping] = matches
     if sample_size is not None and len(matches) > sample_size:
         rng = random.Random(seed)
         evidence = rng.sample(canonical_matches(matches), sample_size)
-    attrs_by_var: Dict[str, Counter] = defaultdict(Counter)
-    for match in evidence:
-        for var, node in match.items():
-            attrs_by_var[var].update(graph.attrs(node).keys())
-    out: List[Tuple[Tuple[Literal, ...], Tuple[Literal, ...]]] = []
-    variables = pattern.variables
-    for var1 in variables:
-        for var2 in variables:
-            if var1 >= var2:
-                continue
-            common = _ranked_attrs(
-                attrs_by_var[var1] & attrs_by_var[var2], max_attrs
-            )
-            for lhs_attr in common:
-                for rhs_attr in common:
-                    if lhs_attr == rhs_attr:
-                        continue
-                    out.append(
-                        (
-                            (VariableLiteral(var1, lhs_attr, var2, lhs_attr),),
-                            (VariableLiteral(var1, rhs_attr, var2, rhs_attr),),
-                        )
-                    )
-    # Single-variable constant rules: X = ∅ → x.A = c (capital-style).
-    for var in variables:
-        for attr in _ranked_attrs(attrs_by_var[var], max_attrs):
-            values = {
-                graph.get_attr(match[var], attr)
-                for match in evidence
-                if graph.has_attr(match[var], attr)
-            }
-            if len(values) == 1:
-                value = next(iter(values))
-                out.append(((), (ConstantLiteral(var, attr, value),)))
-    return out
+    aggregate = EvidenceAggregate.from_matches(graph, evidence)
+    return aggregate.propose(pattern, max_attrs)
 
 
 def count_dependency(

@@ -30,6 +30,8 @@ from .engine import (
 )
 from .executors import (
     EXECUTORS,
+    MatchStore,
+    MatchStoreStats,
     MultiprocessExecutor,
     ShardCache,
     ShippingStats,
@@ -66,6 +68,8 @@ __all__ = [
     "singleton_groups",
     "split_oversized",
     "split_statistics",
+    "MatchStore",
+    "MatchStoreStats",
     "MaterialiserStats",
     "UnitResult",
     "ValidationRun",

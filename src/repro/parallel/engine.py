@@ -18,16 +18,21 @@ from __future__ import annotations
 import heapq
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .executors import MultiprocessExecutor, ShardCache, ShippingStats
+    from .executors import (
+        MatchStore,
+        MultiprocessExecutor,
+        ShardCache,
+        ShippingStats,
+    )
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.locality import candidate_permutations
 from ..matching.vf2 import MatchStats, SubgraphMatcher
-from ..core.discovery import match_items_key
+from ..core.discovery import EvidenceAggregate, match_items_key
 from ..core.gfd import GFD
 from ..core.satisfaction import match_satisfies_all
 from ..core.validation import Violation, det_vio, make_violation
@@ -248,6 +253,7 @@ def execute_unit(
     graph: PropertyGraph,
     unit: WorkUnit,
     materialiser: Optional[BlockMaterialiser] = None,
+    match_store: Optional["MatchStore"] = None,
 ) -> UnitResult:
     """Execute one (primary) work unit per its :attr:`WorkUnit.kind`.
 
@@ -255,17 +261,28 @@ def execute_unit(
     re-expand the pivot candidate's symmetry permutations, enumerate the
     leader pattern's pinned matches — and differ only in what they do
     per match: ``detect`` evaluates member dependencies into violations,
-    ``mine`` returns the matches, ``count`` tallies proposed
+    ``mine`` folds or returns the matches, ``count`` tallies proposed
     dependencies (see :mod:`repro.core.discovery`).
+
+    ``match_store`` (a :class:`~repro.parallel.executors.MatchStore`)
+    short-circuits the enumeration itself: ``mine`` units deposit their
+    enumerated matches, and any later unit naming the same ``(leader
+    pattern, pivot candidate, block)`` — discovery's ``count`` and
+    ``confirm`` phases over an unchanged shard — *replays* the resident
+    matches instead of re-running VF2.  Replayed units charge the
+    entry's recorded ``steps``, which equals what a fresh enumeration
+    would measure (step counts are enumeration-order-free), so results
+    and cost reports are replay-invariant; an evicted or never-stored
+    entry transparently falls back to enumeration.
     """
     if materialiser is None:
         materialiser = BlockMaterialiser(graph)
     if unit.kind == "detect":
-        return _execute_detect(sigma, unit, materialiser)
+        return _execute_detect(sigma, unit, materialiser, match_store)
     if unit.kind == "mine":
-        return _execute_mine(sigma, unit, materialiser)
+        return _execute_mine(sigma, unit, materialiser, match_store)
     if unit.kind == "count":
-        return _execute_count(sigma, unit, materialiser)
+        return _execute_count(sigma, unit, materialiser, match_store)
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
 
 
@@ -285,13 +302,52 @@ def _pinned_matches(sigma, unit, materialiser, stats):
     return block, generate()
 
 
+def _store_key(sigma: Sequence[GFD], unit: WorkUnit) -> tuple:
+    """A unit's enumeration identity: (leader pattern, pivot, block).
+
+    Keyed by pattern *content* (signature hash), not by Σ-index — the
+    same triple enumerates the same match set whichever rule set is
+    live, so a hit is always semantically safe across discovery's
+    probe/mined Σ swaps.
+    """
+    return (
+        sigma[unit.group.leader_index].pattern,
+        unit.assignment,
+        unit.block_nodes,
+    )
+
+
+def _replayed(sigma, unit, materialiser, match_store):
+    """The unit's resident ``(steps, match items, block)``, if stored."""
+    if match_store is None:
+        return None
+    stored = match_store.get(_store_key(sigma, unit))
+    if stored is None:
+        return None
+    steps, items = stored
+    return steps, items, materialiser.block(unit.block_nodes)
+
+
 def _execute_detect(
-    sigma: Sequence[GFD], unit: WorkUnit, materialiser: BlockMaterialiser
+    sigma: Sequence[GFD],
+    unit: WorkUnit,
+    materialiser: BlockMaterialiser,
+    match_store: Optional["MatchStore"] = None,
 ) -> UnitResult:
-    """Local error detection (the original unit semantics)."""
-    stats = MatchStats()
+    """Local error detection (the original unit semantics).
+
+    With a match store, a unit whose enumeration is resident (discovery's
+    ``confirm`` phase re-skins mining units as ``detect``) replays it —
+    the mined-Σ validation pass then runs zero VF2 on warm blocks.
+    """
+    replay = _replayed(sigma, unit, materialiser, match_store)
+    if replay is not None:
+        steps, items, block = replay
+        matches = (dict(match_items) for match_items in items)
+    else:
+        stats = MatchStats()
+        block, matches = _pinned_matches(sigma, unit, materialiser, stats)
     violations: Set[Violation] = set()
-    block, matches = _pinned_matches(sigma, unit, materialiser, stats)
     for match in matches:
         for member in unit.group.members:
             if not match_satisfies_all(block, match, member.lhs):
@@ -304,40 +360,142 @@ def _execute_detect(
             }
             violations.add(make_violation(member_gfd, member_match))
     return UnitResult(
-        violations=violations, steps=stats.steps, block_size=unit.block_size
+        violations=violations,
+        steps=steps if replay is not None else stats.steps,
+        block_size=unit.block_size,
+    )
+
+
+def _match_list_payload(
+    items: Sequence[Tuple], count: int, cap: Optional[int], members
+) -> tuple:
+    """The match-shipping payload for a complete canonical match list.
+
+    Mirrors the incremental selection of :func:`_execute_mine`'s
+    enumeration path (same threshold, same per-member canonical cap), so
+    a replayed unit ships the byte-identical payload a fresh enumeration
+    would have.
+    """
+    threshold = max(2 * cap, 4096) if cap is not None else None
+    if threshold is None or count <= threshold:
+        return ("shared", tuple(items))
+    return (
+        "members",
+        count,
+        tuple(
+            tuple(
+                heapq.nsmallest(
+                    cap,
+                    (
+                        tuple(sorted((member.iso[var], node)
+                                     for var, node in match_items))
+                        for match_items in items
+                    ),
+                    key=match_items_key,
+                )
+            )
+            for member in members
+        ),
     )
 
 
 def _execute_mine(
-    sigma: Sequence[GFD], unit: WorkUnit, materialiser: BlockMaterialiser
+    sigma: Sequence[GFD],
+    unit: WorkUnit,
+    materialiser: BlockMaterialiser,
+    match_store: Optional["MatchStore"] = None,
 ) -> UnitResult:
-    """Discovery's enumeration phase: return the unit's pivoted matches.
+    """Discovery's enumeration phase: fold or return the pivoted matches.
 
     The result payload is a pure value — equal across execution backends
     and enumeration orders.  Pivot candidates partition the match space
     (each match pins the pivot variables at exactly one deduplicated
-    candidate), so unioning unit payloads over a plan yields every match
+    candidate), so merging unit payloads over a plan covers every match
     of the leader pattern exactly once.
 
-    ``unit.payload`` carries the coordinator's ``max_matches`` cap.  The
-    common case — a block with at most ~2×cap matches — ships
-    ``("shared", matches)`` in *leader* variable space, translated per
-    member on the coordinator.  A pathological block with more matches
-    switches to ``("members", total_count, per_member)``: matches are
-    translated into each member's variable space *on the worker* and
-    kept as the member-space canonical ``cap``-smallest (the cap must be
-    taken per member — variable renaming permutes the canonical order,
-    so a leader-space cut could drop a member's smallest matches).
-    Either way worker memory and the shipped payload stay
-    ``O(members × cap)``, and the per-unit selection commutes with the
-    coordinator's global canonical cap.
+    ``unit.payload`` is ``(max_matches, mode)``:
+
+    * ``mode="aggregate"`` (discovery's default): matches are folded
+      worker-side into a mergeable
+      :class:`~repro.core.discovery.EvidenceAggregate` and the unit
+      ships ``("agg", count, aggregate_payload)`` — ``O(vars × attrs)``
+      however many matches the block holds.  The enumerated matches are
+      deposited in ``match_store`` (budget permitting) so the later
+      ``count``/``confirm`` phases replay them.
+    * ``mode="matches"``: the match list itself ships — the documented
+      fallback the coordinator requests when a pattern's ``max_matches``
+      cap bites (support/confidence must then be counted over the
+      canonical capped subset only the coordinator can select) or when
+      an explicit seeded evidence sample is requested.  The common case
+      — a block with at most ~2×cap matches — ships ``("shared",
+      matches)`` in *leader* variable space, translated per member on
+      the coordinator.  A pathological block with more matches switches
+      to ``("members", total_count, per_member)``: matches are
+      translated into each member's variable space *on the worker* and
+      kept as the member-space canonical ``cap``-smallest (the cap must
+      be taken per member — variable renaming permutes the canonical
+      order, so a leader-space cut could drop a member's smallest
+      matches).  Either way worker memory and the shipped payload stay
+      ``O(members × cap)``, and the per-unit selection commutes with
+      the coordinator's global canonical cap.
+
+    A resident entry (a warm repeated ``discover()``, or the capped
+    fallback re-requesting matches the aggregate pass already
+    enumerated) replays instead of re-running VF2 on either mode.
     """
-    stats = MatchStats()
-    cap = unit.payload[0] if unit.payload else None
-    threshold = max(2 * cap, 4096) if cap is not None else None
+    payload_in = unit.payload or ()
+    cap = payload_in[0] if payload_in else None
+    mode = payload_in[1] if len(payload_in) > 1 else "matches"
     members = unit.group.members
-    _, matches = _pinned_matches(sigma, unit, materialiser, stats)
-    found: Optional[List[Tuple]] = []
+
+    replay = _replayed(sigma, unit, materialiser, match_store)
+    if replay is not None:
+        steps, items, block = replay
+        if mode == "aggregate":
+            aggregate = EvidenceAggregate()
+            for match_items in items:
+                aggregate.add(block, dict(match_items))
+            payload = ("agg", len(items), aggregate.to_payload())
+        else:
+            payload = _match_list_payload(items, len(items), cap, members)
+        return UnitResult(
+            violations=set(),
+            steps=steps,
+            block_size=unit.block_size,
+            payload=payload,
+        )
+
+    stats = MatchStats()
+    block, matches = _pinned_matches(sigma, unit, materialiser, stats)
+
+    if mode == "aggregate":
+        aggregate = EvidenceAggregate()
+        # Retain the canonical items for the resident store while they
+        # fit its budget; past it, keep folding without retention (the
+        # later phases then fall back to re-enumeration).
+        retain_limit = match_store.budget if match_store is not None else 0
+        found: Optional[List[Tuple]] = [] if retain_limit else None
+        count = 0
+        for match in matches:
+            count += 1
+            aggregate.add(block, match)
+            if found is not None:
+                found.append(tuple(sorted(match.items())))
+                if len(found) > retain_limit:
+                    found = None
+        if found is not None and match_store is not None:
+            found.sort(key=match_items_key)
+            match_store.put(_store_key(sigma, unit), stats.steps,
+                            tuple(found))
+        return UnitResult(
+            violations=set(),
+            steps=stats.steps,
+            block_size=unit.block_size,
+            payload=("agg", count, aggregate.to_payload()),
+        )
+
+    threshold = max(2 * cap, 4096) if cap is not None else None
+    found = []
     per_member: Optional[List[List[Tuple]]] = None
     count = 0
 
@@ -358,15 +516,22 @@ def _execute_mine(
         else:
             for bucket, member in zip(per_member, members):
                 bucket.append(translate(items, member))
-        if per_member is not None:
+            # Amortised overflow handling: pruning to the cap-smallest
+            # commutes with appending more matches, so letting a bucket
+            # run to 2×threshold before compacting keeps the final
+            # selection identical while costing O(n log cap) overall
+            # instead of O(n · cap) re-heaps (one per append).
             for pos, bucket in enumerate(per_member):
-                if len(bucket) > threshold:
+                if len(bucket) > 2 * threshold:
                     per_member[pos] = heapq.nsmallest(
                         cap, bucket, key=match_items_key
                     )
     if per_member is None:
         found.sort(key=match_items_key)
-        payload = ("shared", tuple(found))
+        found = tuple(found)
+        if match_store is not None:
+            match_store.put(_store_key(sigma, unit), stats.steps, found)
+        payload = ("shared", found)
     else:
         payload = (
             "members",
@@ -385,22 +550,38 @@ def _execute_mine(
 
 
 def _execute_count(
-    sigma: Sequence[GFD], unit: WorkUnit, materialiser: BlockMaterialiser
+    sigma: Sequence[GFD],
+    unit: WorkUnit,
+    materialiser: BlockMaterialiser,
+    match_store: Optional["MatchStore"] = None,
 ) -> UnitResult:
     """Discovery's counting phase: tally proposed dependencies.
 
     ``unit.payload`` carries, per group member, the member's proposed
     ``(lhs, rhs)`` candidates *rewritten into leader variable space* (the
     same alignment detection uses), so one pinned enumeration of the
-    leader pattern serves every member's tallies.  The result payload
-    mirrors that shape with ``(supported, satisfied)`` pairs.
+    leader pattern serves every member's tallies.  The result payload is
+    *sparse*: per member, ``(dep_pos, supported, satisfied)`` triples for
+    the candidates some match actually supported — a typical pivot block
+    supports few of the proposed premises, so dense zero rows would
+    dominate the tally traffic (``satisfied`` can only tick inside a
+    supported match, so ``supported == 0`` implies nothing to report).
+
+    On a warm shard the enumeration the ``mine`` phase deposited in the
+    match store replays here — the counting phase of a persistent-pool
+    ``discover()`` runs zero VF2 on resident blocks.
     """
-    stats = MatchStats()
     member_deps = unit.payload or ()
     counts = [
         [[0, 0] for _ in deps] for deps in member_deps
     ]
-    block, matches = _pinned_matches(sigma, unit, materialiser, stats)
+    replay = _replayed(sigma, unit, materialiser, match_store)
+    if replay is not None:
+        steps, items, block = replay
+        matches = (dict(match_items) for match_items in items)
+    else:
+        stats = MatchStats()
+        block, matches = _pinned_matches(sigma, unit, materialiser, stats)
     for match in matches:
         for member_pos, deps in enumerate(member_deps):
             for dep_pos, (lhs, rhs) in enumerate(deps):
@@ -412,13 +593,146 @@ def _execute_count(
                     tally[1] += 1
     return UnitResult(
         violations=set(),
-        steps=stats.steps,
+        steps=steps if replay is not None else stats.steps,
         block_size=unit.block_size,
         payload=tuple(
-            tuple((supported, satisfied) for supported, satisfied in deps)
+            tuple(
+                (dep_pos, supported, satisfied)
+                for dep_pos, (supported, satisfied) in enumerate(deps)
+                if supported
+            )
             for deps in counts
         ),
     )
+
+
+def expand_count_payloads(units: Sequence[WorkUnit]) -> List[WorkUnit]:
+    """Materialise ``("derive", …)`` count payloads into concrete deps.
+
+    The counting phase's unit inputs are, in the aggregate data path,
+    *recipes* rather than literal lists: ``("derive", variables,
+    aggregate_payload, max_attrs)`` per group member.  Re-deriving the
+    candidate list locally — via the deterministic
+    :meth:`~repro.core.discovery.EvidenceAggregate.propose_for_variables`
+    — reproduces the coordinator's proposals exactly (same positions,
+    same literals), so a slot ships one compact aggregate per pattern
+    instead of ``O(proposals)`` literal objects.  Derivation is cached
+    per payload object (units of a shared group reference one payload),
+    and the derived deps are rewritten into leader variable space
+    through each member's stored alignment, exactly as the coordinator
+    used to ship them.  Units with concrete payloads pass through
+    untouched (the match-shipping fallback keeps the explicit form —
+    sampled proposals are not a pure function of the aggregate).
+    """
+    derived_cache: Dict[int, tuple] = {}
+    out: List[WorkUnit] = []
+    for unit in units:
+        payload = unit.payload
+        if (
+            unit.kind != "count"
+            or not payload
+            or not any(spec and spec[0] == "derive" for spec in payload)
+        ):
+            out.append(unit)
+            continue
+        concrete = derived_cache.get(id(payload))
+        if concrete is None:
+            member_deps = []
+            for spec, member in zip(payload, unit.group.members):
+                if not spec or spec[0] != "derive":
+                    member_deps.append(spec or ())
+                    continue
+                _, variables, aggregate_payload, max_attrs = spec
+                aggregate = EvidenceAggregate.from_payload(aggregate_payload)
+                inverse = {v: k for k, v in member.iso.items()}
+                member_deps.append(tuple(
+                    (
+                        tuple(lit.rename(inverse) for lit in lhs),
+                        tuple(lit.rename(inverse) for lit in rhs),
+                    )
+                    for lhs, rhs in aggregate.propose_for_variables(
+                        variables, max_attrs
+                    )
+                ))
+            concrete = tuple(member_deps)
+            derived_cache[id(payload)] = concrete
+        out.append(replace(unit, payload=concrete))
+    return out
+
+
+def consolidate_slot_results(
+    units: Sequence[WorkUnit], results: Sequence[Optional[UnitResult]]
+) -> None:
+    """Fold one slot's mergeable result payloads per shared group, in place.
+
+    Mine aggregates and count tallies merge associatively, so a slot
+    needs to ship exactly one of each per isomorphism group — not one
+    per work unit (pivot blocks are typically small and plentiful, so
+    per-unit payload overhead would dominate the wire volume).  The
+    first unit of each group becomes the carrier of the merged payload;
+    folded units keep their per-unit ``steps`` and ``block_size`` (cost
+    charging is untouched) with an empty payload marker (``None`` for
+    mine, ``()`` for count — both no-ops for the coordinator's gather).
+    Match-shipping mine payloads pass through unmerged: the capped
+    fallback needs per-unit granularity for its per-member canonical
+    caps.
+    """
+    mine_carriers: Dict[int, list] = {}
+    count_carriers: Dict[int, list] = {}
+    for unit, result in zip(units, results):
+        if result is None or result.payload is None:
+            continue
+        gid = id(unit.group)
+        if unit.kind == "mine" and result.payload[0] == "agg":
+            entry = mine_carriers.get(gid)
+            if entry is None:
+                mine_carriers[gid] = [
+                    result,
+                    result.payload[1],
+                    EvidenceAggregate.from_payload(result.payload[2]),
+                    False,
+                ]
+            else:
+                entry[1] += result.payload[1]
+                entry[2].merge(
+                    EvidenceAggregate.from_payload(result.payload[2])
+                )
+                entry[3] = True
+                result.payload = None
+        elif unit.kind == "count":
+            entry = count_carriers.get(gid)
+            if entry is None:
+                count_carriers[gid] = [
+                    result,
+                    [
+                        {pos: [sup, sat] for pos, sup, sat in member}
+                        for member in result.payload
+                    ],
+                    False,
+                ]
+            else:
+                for tally, member in zip(entry[1], result.payload):
+                    for pos, sup, sat in member:
+                        slot_tally = tally.get(pos)
+                        if slot_tally is None:
+                            tally[pos] = [sup, sat]
+                        else:
+                            slot_tally[0] += sup
+                            slot_tally[1] += sat
+                entry[2] = True
+                result.payload = ()
+    for result, count, aggregate, folded in mine_carriers.values():
+        if folded:
+            result.payload = ("agg", count, aggregate.to_payload())
+    for result, tallies, folded in count_carriers.values():
+        if folded:
+            result.payload = tuple(
+                tuple(
+                    (pos, sup, sat)
+                    for pos, (sup, sat) in sorted(member.items())
+                )
+                for member in tallies
+            )
 
 
 def run_assignment(
@@ -524,6 +838,7 @@ def run_units(
     shard_cache: Optional["ShardCache"] = None,
     epoch: Optional[str] = None,
     sigma_key: Optional[object] = None,
+    match_store: Optional["MatchStore"] = None,
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan and return the per-unit results, charging costs.
 
@@ -531,7 +846,9 @@ def run_units(
     that consume unit *payloads* (discovery's mine/count phases) rather
     than unioned violations.  Cost charging is the primary-unit part of
     :func:`run_assignment` (mining plans carry no split replicas); the
-    backend switches are identical.
+    backend switches are identical.  ``match_store`` gives the simulated
+    backend a coordinator-side resident match store (worker processes
+    keep their own; see :func:`execute_unit`).
     """
     from .executors import execute_plan
 
@@ -546,6 +863,7 @@ def run_units(
         shard_cache=shard_cache,
         epoch=epoch,
         sigma_key=sigma_key,
+        match_store=match_store,
     )
     for worker, worker_units in enumerate(plan):
         for unit, result in zip(worker_units, results[worker]):

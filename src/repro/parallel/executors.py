@@ -55,10 +55,14 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import sys
+import threading
 import traceback
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing.reduction import ForkingPickler
 from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..graph.graph import PropertyGraph
@@ -138,11 +142,19 @@ def _run_worker_units(
     the worker's own units are indexed once, exactly as on the
     coordinator path.
     """
-    from .engine import BlockMaterialiser, execute_unit
+    from .engine import (
+        BlockMaterialiser,
+        consolidate_slot_results,
+        execute_unit,
+        expand_count_payloads,
+    )
 
     sigma, shard, units = payload
     materialiser = BlockMaterialiser(shard)
-    return [execute_unit(sigma, shard, unit, materialiser) for unit in units]
+    units = expand_count_payloads(units)
+    results = [execute_unit(sigma, shard, unit, materialiser) for unit in units]
+    consolidate_slot_results(units, results)
+    return results
 
 
 #: unique run-epoch tokens for worker-resident cache keys
@@ -152,6 +164,171 @@ _EPOCHS = itertools.count()
 def next_epoch(prefix: str = "run") -> str:
     """A fresh epoch token for the worker-resident shard caches."""
     return f"{prefix}-{os.getpid()}-{next(_EPOCHS)}"
+
+
+def payload_size(obj) -> int:
+    """Pickled size of ``obj`` — the byte measure ShippingStats reports.
+
+    Uses the same pickler the worker pipes use, so the figure matches
+    what actually travels (modulo the envelope).  Measuring re-pickles
+    (the pipe's own serialisation is not observable from here) — cheap
+    for the small payload categories this is applied to; the one big
+    payload, the shard itself, is instead pickled exactly once via
+    :func:`pack_shard` and shipped as the measured blob.
+    """
+    return len(ForkingPickler.dumps(obj))
+
+
+def pack_shard(data) -> bytes:
+    """Serialise a shard payload once, for both the wire and the stats.
+
+    Full shard graphs are the dominant shipment; re-pickling them just
+    to measure would double the coordinator's serialisation cost.  The
+    coordinator therefore ships the pickled blob (pickling ``bytes``
+    inside the batch message is a near-free memcpy) and reads its
+    length for ``ShippingStats.shard_bytes``; the worker unpacks with
+    :func:`unpack_shard`.
+    """
+    return bytes(ForkingPickler.dumps(data))
+
+
+def unpack_shard(blob: bytes):
+    """Worker-side inverse of :func:`pack_shard`."""
+    return pickle.loads(blob)
+
+
+@dataclass
+class MatchStoreStats:
+    """One run's slice of a :class:`MatchStore`'s activity.
+
+    ``hits`` counts work units that *replayed* resident matches instead
+    of re-running VF2 enumeration (discovery's ``count``/``confirm``
+    phases over blocks the ``mine`` phase left resident — and a warm
+    repeated ``mine`` itself); ``misses`` counts units that consulted
+    the store and had to enumerate (cold, evicted, or never stored);
+    ``stored``/``evicted`` count entry writes and budget evictions.
+    Zero VF2 re-enumeration on a warm phase shows up here as
+    ``misses == 0`` with ``hits > 0`` — the counter the discovery
+    benchmark asserts.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+    evicted: int = 0
+
+    def merge(self, other: "MatchStoreStats") -> "MatchStoreStats":
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stored += other.stored
+        self.evicted += other.evicted
+        return self
+
+
+#: total matches retained per store (sum of entry lengths): bounds the
+#: worker-resident match memory at O(budget); past it, least-recently-
+#: used entries are dropped and their units transparently fall back to
+#: re-enumeration.
+MATCH_STORE_BUDGET = 200_000
+
+
+class MatchStore:
+    """Budget-bounded LRU of enumerated pinned-match lists.
+
+    Discovery's ``mine`` units enumerate every pinned match of a
+    ``(leader pattern, pivot candidate, block)`` triple; the ``count``
+    and ``confirm`` phases of the same ``discover()`` call need exactly
+    those matches again.  A worker process keeps one store per resident
+    shard (next to its block cache), keyed by the triple's *content* —
+    so a hit is semantically safe whatever rule set is currently live —
+    and scoped by the shard's lifetime: a full or delta reshipment drops
+    the store with the shard it described.
+
+    Entries record the enumeration's deterministic ``steps`` alongside
+    the canonical leader-space match tuples, so a replayed unit charges
+    the *identical* simulated cost a fresh enumeration would — warmth
+    is a wall-clock win only, and cluster reports stay backend- and
+    replay-invariant.  ``budget`` bounds the summed entry *charges* —
+    ``max(1, len(matches))``, so even an empty enumeration (worth
+    replaying: discovering "no pinned match" still costs VF2 steps)
+    pays for the key it retains and ages out of the LRU like any other
+    entry, and ``budget=0`` refuses everything (the documented "off"
+    switch).  An enumeration exceeding the whole budget on its own is
+    simply not stored.  Thread-safe for the coordinator path (the
+    session shares one across simulated runs), same locking discipline
+    as :class:`~repro.parallel.engine.BlockMaterialiser`.
+    """
+
+    def __init__(self, budget: int = MATCH_STORE_BUDGET) -> None:
+        self.budget = budget
+        #: cumulative counters (per-run slices via :meth:`take_stats`)
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evicted = 0
+        self._retained = 0
+        self._lock = threading.RLock()
+        self._run_stats = MatchStoreStats()
+        self._entries: "OrderedDict[tuple, Tuple[int, tuple]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def retained(self) -> int:
+        """Summed entry charges currently resident (the budgeted quantity)."""
+        return self._retained
+
+    def get(self, key: tuple) -> Optional[Tuple[int, tuple]]:
+        """The ``(steps, matches)`` entry for ``key``, counting hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._run_stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._run_stats.hits += 1
+            return entry
+
+    @staticmethod
+    def _charge(matches: tuple) -> int:
+        """Budget charge of one entry (≥ 1: the key itself has a cost)."""
+        return max(1, len(matches))
+
+    def put(self, key: tuple, steps: int, matches: tuple) -> bool:
+        """Retain one enumeration; ``False`` if it alone exceeds the budget."""
+        charge = self._charge(matches)
+        if charge > self.budget:
+            return False
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._retained -= self._charge(previous[1])
+            self._entries[key] = (steps, matches)
+            self._retained += charge
+            self.stored += 1
+            self._run_stats.stored += 1
+            while self._retained > self.budget and len(self._entries) > 1:
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._retained -= self._charge(evicted)
+                self.evicted += 1
+                self._run_stats.evicted += 1
+            return True
+
+    def clear(self) -> None:
+        """Drop every entry (the backing shard changed)."""
+        with self._lock:
+            self._entries.clear()
+            self._retained = 0
+
+    def take_stats(self) -> MatchStoreStats:
+        """Return and reset the per-run counters (cumulative ones stay)."""
+        with self._lock:
+            stats = self._run_stats
+            self._run_stats = MatchStoreStats()
+            return stats
 
 
 @dataclass
@@ -167,6 +344,17 @@ class ShippingStats:
     update alongside their resident shard (a session running discovery
     phases or a mined-Σ confirmation pass swaps Σ without touching the
     shard — block shares stay at zero).
+
+    The ``*_bytes`` fields measure the run's payload volume via pickle
+    size (:func:`payload_size`): ``sigma_bytes`` the rule sets shipped
+    (full shipments and warm Σ-swaps alike), ``shard_bytes`` the
+    block-share payloads (full shards and deltas), and
+    ``payload_bytes`` the work units' kind-specific data path — unit
+    input payloads coordinator→worker plus result payloads
+    worker→coordinator.  Discovery's aggregate-vs-match-list shipping
+    win is the ``payload_bytes`` delta.  ``match_store`` carries the
+    run's worker-resident match-store activity (``None`` until a
+    persistent run reports).
     """
 
     full: int = 0
@@ -175,7 +363,31 @@ class ShippingStats:
     shipped_nodes: int = 0
     shipped_ops: int = 0
     shipped_sigma: int = 0
+    sigma_bytes: int = 0
+    shard_bytes: int = 0
+    payload_bytes: int = 0
+    match_store: Optional[MatchStoreStats] = None
     worker_pids: Dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "ShippingStats") -> "ShippingStats":
+        """Fold another run's shipping in (a phase spanning two runs —
+        discovery's enumerate pass plus its capped-match fetch —
+        reports one combined record)."""
+        self.full += other.full
+        self.delta += other.delta
+        self.reused += other.reused
+        self.shipped_nodes += other.shipped_nodes
+        self.shipped_ops += other.shipped_ops
+        self.shipped_sigma += other.shipped_sigma
+        self.sigma_bytes += other.sigma_bytes
+        self.shard_bytes += other.shard_bytes
+        self.payload_bytes += other.payload_bytes
+        if other.match_store is not None:
+            if self.match_store is None:
+                self.match_store = MatchStoreStats()
+            self.match_store.merge(other.match_store)
+        self.worker_pids.update(other.worker_pids)
+        return self
 
 
 @dataclass
@@ -343,14 +555,21 @@ class ShardCache:
 
 
 class _ResidentShard:
-    """A worker process's cached state for one (epoch, slot)."""
+    """A worker process's cached state for one (epoch, slot).
 
-    __slots__ = ("sigma", "shard", "materialiser")
+    ``match_store`` is the slot's worker-resident match cache (see
+    :class:`MatchStore`): populated by ``mine`` units, replayed by
+    ``count``/``detect`` units, and scoped to the shard — reshipping or
+    patching the shard drops it, reusing the shard keeps it warm.
+    """
 
-    def __init__(self, sigma, shard, materialiser) -> None:
+    __slots__ = ("sigma", "shard", "materialiser", "match_store")
+
+    def __init__(self, sigma, shard, materialiser, match_store) -> None:
         self.sigma = sigma
         self.shard = shard
         self.materialiser = materialiser
+        self.match_store = match_store
 
 
 def _apply_shard_op(shard: PropertyGraph, op: Tuple) -> None:
@@ -375,16 +594,25 @@ def _run_slot(
     units: Sequence[WorkUnit],
 ) -> List["UnitResult"]:
     """Worker-side execution of one plan slot with shard-cache handling."""
-    from .engine import BlockMaterialiser, execute_unit
+    from .engine import (
+        BlockMaterialiser,
+        consolidate_slot_results,
+        execute_unit,
+        expand_count_payloads,
+    )
 
     if mode == "full":
-        epoch, sigma, shard = payload
+        epoch, sigma, blob, match_budget = payload
+        shard = unpack_shard(blob)
         for key in [k for k in cache if k[1] == slot and k[0] != epoch]:
             del cache[key]  # one resident shard per slot
-        entry = _ResidentShard(sigma, shard, BlockMaterialiser(shard))
+        entry = _ResidentShard(
+            sigma, shard, BlockMaterialiser(shard), MatchStore(match_budget)
+        )
         cache[(epoch, slot)] = entry
     elif mode == "delta":
-        epoch, ops, add_nodes, add_edges, sigma = payload
+        epoch, blob, sigma = payload
+        ops, add_nodes, add_edges = unpack_shard(blob)
         entry = cache[(epoch, slot)]
         shard = entry.shard
         for op in ops:
@@ -394,7 +622,10 @@ def _run_slot(
         for src, dst, label in add_edges:
             shard.add_edge(src, dst, label)
         # Cached blocks may straddle the patched region: start fresh.
+        # Resident matches were enumerated over the pre-patch shard —
+        # equally stale, equally dropped.
         entry.materialiser = BlockMaterialiser(shard)
+        entry.match_store.clear()
         if sigma is not None:
             entry.sigma = sigma
     else:  # reuse: shard, snapshot *and* block cache stay warm
@@ -404,13 +635,21 @@ def _run_slot(
             # New rule set over the same resident shard (discovery's
             # phases, a mined-Σ confirmation pass): blocks and snapshots
             # stay warm; per-pattern matchers are dropped so stale
-            # patterns don't accumulate.
+            # patterns don't accumulate.  Resident matches are keyed by
+            # pattern *content*, so they survive the Σ swap — that is
+            # what lets count/confirm replay what mine enumerated.
             entry.sigma = sigma
             entry.materialiser.drop_matchers()
-    return [
-        execute_unit(entry.sigma, entry.shard, unit, entry.materialiser)
+    units = expand_count_payloads(units)
+    results = [
+        execute_unit(
+            entry.sigma, entry.shard, unit, entry.materialiser,
+            match_store=entry.match_store,
+        )
         for unit in units
     ]
+    consolidate_slot_results(units, results)
+    return results
 
 
 def _persistent_worker_main(conn) -> None:
@@ -429,7 +668,13 @@ def _persistent_worker_main(conn) -> None:
                 (slot, _run_slot(cache, slot, mode, payload, units))
                 for slot, mode, payload, units in message[1]
             ]
-            reply = ("ok", pid, replies)
+            # Per-batch match-store slice, summed over this worker's
+            # resident shards (untouched entries contribute zeros) — the
+            # coordinator aggregates these into the run's ShippingStats.
+            store_stats = MatchStoreStats()
+            for entry in cache.values():
+                store_stats.merge(entry.match_store.take_stats())
+            reply = ("ok", pid, replies, store_stats)
         except BaseException:
             reply = ("err", pid, traceback.format_exc())
         try:
@@ -449,8 +694,13 @@ class SimulatedExecutor:
 
     name = "simulated"
 
-    def __init__(self, materialiser: Optional["BlockMaterialiser"] = None):
+    def __init__(
+        self,
+        materialiser: Optional["BlockMaterialiser"] = None,
+        match_store: Optional[MatchStore] = None,
+    ):
         self.materialiser = materialiser
+        self.match_store = match_store
 
     def run(
         self,
@@ -458,22 +708,36 @@ class SimulatedExecutor:
         graph: PropertyGraph,
         plan: Sequence[Sequence[WorkUnit]],
     ) -> List[List[Optional["UnitResult"]]]:
-        """Execute every primary unit; replicas map to ``None``."""
-        from .engine import BlockMaterialiser, execute_unit
+        """Execute every primary unit; replicas map to ``None``.
+
+        The slot-level payload passes (count-payload derivation, per-
+        group result folding) run here too, so simulated and process
+        backends consume and produce identically-shaped unit payloads.
+        """
+        from .engine import (
+            BlockMaterialiser,
+            consolidate_slot_results,
+            execute_unit,
+            expand_count_payloads,
+        )
 
         materialiser = self.materialiser
         if materialiser is None:
             materialiser = BlockMaterialiser(graph)
         results: List[List[Optional["UnitResult"]]] = []
         for worker_units in plan:
-            results.append(
-                [
-                    execute_unit(sigma, graph, unit, materialiser)
-                    if unit.primary
-                    else None
-                    for unit in worker_units
-                ]
-            )
+            worker_units = expand_count_payloads(worker_units)
+            slot_results = [
+                execute_unit(
+                    sigma, graph, unit, materialiser,
+                    match_store=self.match_store,
+                )
+                if unit.primary
+                else None
+                for unit in worker_units
+            ]
+            consolidate_slot_results(worker_units, slot_results)
+            results.append(slot_results)
         return results
 
 
@@ -518,10 +782,14 @@ class MultiprocessExecutor:
         self,
         processes: Optional[int] = None,
         start_method: Optional[str] = None,
+        match_store_budget: int = MATCH_STORE_BUDGET,
     ) -> None:
         if processes is not None and processes < 1:
             raise ValueError("need at least one process")
         self.processes = processes
+        #: worker-resident match-store budget (matches retained per
+        #: resident shard); shipped with every full shard payload.
+        self.match_store_budget = match_store_budget
         if start_method is None:
             # Prefer fork only on Linux: macOS lists it but its system
             # libraries are not fork-safe (intermittent aborts once the
@@ -687,8 +955,9 @@ class MultiprocessExecutor:
             epoch = next_epoch()
         if shard_cache is not None:
             shard_cache.sync(graph)
-        stats = ShippingStats()
+        stats = ShippingStats(match_store=MatchStoreStats())
         size = len(self._procs)
+        sigma_bytes: Optional[int] = None  # measured once, Σ is per-run
         batches: Dict[int, List[Tuple]] = {}
         for worker in busy:
             needed: Set = set()
@@ -703,21 +972,35 @@ class MultiprocessExecutor:
                     worker, epoch, needed, graph, sigma_key=sigma_key
                 )
             sigma_update = sigma if ship_sigma else None
+            if ship_sigma or mode == "full":
+                if sigma_bytes is None:
+                    sigma_bytes = payload_size(sigma)
+                stats.sigma_bytes += sigma_bytes
             if ship_sigma:
                 stats.shipped_sigma += 1
             if mode == "full":
-                payload = (epoch, sigma, data)
+                blob = pack_shard(data)
+                payload = (epoch, sigma, blob, self.match_store_budget)
                 stats.full += 1
                 stats.shipped_nodes += data.num_nodes
+                stats.shard_bytes += len(blob)
             elif mode == "delta":
                 ops, add_nodes, add_edges = data
-                payload = (epoch, ops, add_nodes, add_edges, sigma_update)
+                blob = pack_shard((ops, add_nodes, add_edges))
+                payload = (epoch, blob, sigma_update)
                 stats.delta += 1
                 stats.shipped_nodes += len(add_nodes)
                 stats.shipped_ops += len(ops)
+                stats.shard_bytes += len(blob)
             else:
                 payload = (epoch, sigma_update)
                 stats.reused += 1
+            unit_inputs = [
+                unit.payload for unit in primaries[worker]
+                if unit.payload is not None
+            ]
+            if unit_inputs:
+                stats.payload_bytes += payload_size(unit_inputs)
             batches.setdefault(worker % size, []).append(
                 (worker, mode, payload, primaries[worker])
             )
@@ -747,10 +1030,17 @@ class MultiprocessExecutor:
                 shard_cache.invalidate()  # worker state now unknown
             raise RuntimeError(f"worker process failed:\n{failures[0][2]}")
         results: Dict[int, List["UnitResult"]] = {}
-        for _, (_, pid, pairs) in replies:
+        for _, (_, pid, pairs, store_stats) in replies:
+            stats.match_store.merge(store_stats)
             for slot, slot_results in pairs:
                 results[slot] = slot_results
                 stats.worker_pids[slot] = pid
+                result_payloads = [
+                    result.payload for result in slot_results
+                    if result.payload is not None
+                ]
+                if result_payloads:
+                    stats.payload_bytes += payload_size(result_payloads)
         self.last_shipping = stats
         return results
 
@@ -766,22 +1056,26 @@ def execute_plan(
     shard_cache: Optional[ShardCache] = None,
     epoch: Optional[str] = None,
     sigma_key: Optional[object] = None,
+    match_store: Optional[MatchStore] = None,
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan's primary units with the chosen backend.
 
     The entry point :func:`~repro.parallel.engine.run_assignment` builds
     on: resolves ``executor`` (see :func:`resolve_executor`), runs every
     primary unit, and returns per-worker result lists aligned with
-    ``plan`` (``None`` for replicas).  ``materialiser`` only applies to
-    the simulated backend — worker processes always build their own
-    shard-local materialiser.  ``pool`` supplies a caller-owned
+    ``plan`` (``None`` for replicas).  ``materialiser`` and
+    ``match_store`` only apply to the simulated backend — worker
+    processes always build their own shard-local materialiser and keep
+    their own resident match stores.  ``pool`` supplies a caller-owned
     :class:`MultiprocessExecutor` (a session's persistent pool) for the
     process backend; ``shard_cache``/``epoch`` enable warm shard shipping
     on a started pool.
     """
     resolved = resolve_executor(executor, plan, processes)
     if resolved == "simulated":
-        backend = SimulatedExecutor(materialiser=materialiser)
+        backend = SimulatedExecutor(
+            materialiser=materialiser, match_store=match_store
+        )
         return backend.run(sigma, graph, plan)
     backend = pool if pool is not None else MultiprocessExecutor(
         processes=processes

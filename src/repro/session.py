@@ -59,12 +59,14 @@ Example::
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .core.discovery import (
     DEFAULT_SAMPLE_SIZE,
     DiscoveredGFD,
+    EvidenceAggregate,
     candidate_dependencies,
     candidate_patterns,
     canonical_matches,
@@ -94,6 +96,9 @@ from .parallel.engine import (
 )
 from .parallel.executors import (
     EXECUTORS,
+    MATCH_STORE_BUDGET,
+    MatchStore,
+    MatchStoreStats,
     MultiprocessExecutor,
     ShardCache,
     ShippingStats,
@@ -122,12 +127,19 @@ class DiscoveryPhase:
     """One phase of a session-backed discovery run.
 
     Discovery executes as (up to) three plans over the parallel engine —
-    ``enumerate`` (pivoted match enumeration per isomorphism group),
-    ``count`` (support/confidence tallies for the proposed dependencies)
-    and ``confirm`` (validation of the mined Σ) — each reported exactly
+    ``enumerate`` (pivoted match enumeration per isomorphism group, plus
+    the capped-pattern match fetch when the fallback engages), ``count``
+    (support/confidence tallies for the proposed dependencies) and
+    ``confirm`` (validation of the mined Σ) — each reported exactly
     like a :class:`~repro.parallel.engine.ValidationRun`: the simulated
     cluster's cost figures plus what the warm machinery actually did
     (``shipping`` on process runs, ``cache`` on simulated ones).
+
+    ``wall_seconds`` is the phase's measured wall-clock (planning,
+    execution and result folding); ``match_store`` records the resident
+    match-store activity — on a warm pool the ``count`` and ``confirm``
+    phases replay what ``mine`` enumerated, showing up here as
+    ``misses == 0`` with ``hits > 0``.
     """
 
     phase: str
@@ -136,6 +148,8 @@ class DiscoveryPhase:
     executor: str
     shipping: Optional[ShippingStats] = None
     cache: Optional[MaterialiserStats] = None
+    wall_seconds: float = 0.0
+    match_store: Optional[MatchStoreStats] = None
 
     @property
     def parallel_time(self) -> float:
@@ -203,6 +217,7 @@ class ValidationSession:
         processes: Optional[int] = None,
         cost_model: Optional[CostModel] = None,
         persistent: bool = True,
+        match_store_budget: int = MATCH_STORE_BUDGET,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -210,17 +225,25 @@ class ValidationSession:
             )
         if processes is not None and processes < 1:
             raise ValueError("need at least one process")
+        if match_store_budget < 0:
+            raise ValueError("match_store_budget must be >= 0")
         self.graph = graph
         self.sigma = list(sigma)
         self.executor = executor
         self.processes = processes
         self.cost_model = cost_model
         self.persistent = persistent
+        #: matches retained per resident match store (worker-side on the
+        #: process backend, coordinator-side on the simulated one);
+        #: ``0`` disables resident-match replay entirely.
+        self.match_store_budget = match_store_budget
         self._epoch = next_epoch("session")
         self._pool: Optional[MultiprocessExecutor] = None
         self._shard_cache = ShardCache()
         self._materialiser: Optional[BlockMaterialiser] = None
         self._materialiser_version = -1
+        self._match_store: Optional[MatchStore] = None
+        self._match_store_version = -1
         self._units_cache: Dict[Tuple, List[WorkUnit]] = {}
         # (patterns, probes, groups, units) per mining parameterisation —
         # warm repeated discover() calls reuse pattern objects and the
@@ -256,6 +279,7 @@ class ValidationSession:
             self._pool = None
         self._shard_cache.invalidate()
         self._materialiser = None
+        self._match_store = None
         self._units_cache.clear()
         self._mining_cache.clear()
 
@@ -373,6 +397,10 @@ class ValidationSession:
             # Cached blocks are induced subgraphs of the pre-update graph.
             self._materialiser.clear()
             self._materialiser_version = self.graph._version
+        if self._match_store is not None:
+            # Resident matches were enumerated pre-update; same staleness.
+            self._match_store.clear()
+            self._match_store_version = self.graph._version
         self._violations = set(self._incremental.violations)
         self._violations_version = self.graph._version
         return added
@@ -460,6 +488,7 @@ class ValidationSession:
         phases: List[DiscoveryPhase] = []
 
         # ---- phase 1: enumerate — pivoted matches per isomorphism group.
+        phase_started = time.perf_counter()
         cluster = SimulatedCluster(workers, self.cost_model)
         cluster.charge_estimation([unit.block_size for unit in units])
         if fragmentation is None:
@@ -484,85 +513,132 @@ class ValidationSession:
                 probes, fragmentation, plan, cluster, materialiser
             )
         pool, shard_cache, epoch = self._process_backend(resolved, processes)
+        match_store = (
+            self._shared_match_store() if resolved == "simulated" else None
+        )
+        backend = dict(
+            materialiser=materialiser, executor=resolved,
+            processes=processes, pool=pool, shard_cache=shard_cache,
+            epoch=epoch, sigma_key=probe_key, match_store=match_store,
+        )
+        # Mine units fold matches into mergeable evidence aggregates by
+        # default — O(vars × attrs) per unit on the wire instead of
+        # O(matches) — and deposit their enumerations in the resident
+        # match store for the later phases to replay.  An explicit
+        # seeded evidence sample needs the match lists themselves: that
+        # is one of the two documented fallbacks to match shipping (the
+        # other — a pattern whose ``max_matches`` cap bites — is
+        # detected after merging and fetched below).
+        mine_mode = "matches" if sample_size is not None else "aggregate"
         # The unit payload carries the cap so workers bound what they
         # materialise and ship (see engine._execute_mine).
         mine_plan = [
-            [replace(unit, kind="mine", payload=(max_matches,))
+            [replace(unit, kind="mine", payload=(max_matches, mine_mode))
              for unit in slot]
             for slot in plan
         ]
-        mine_results = run_units(
-            probes, graph, mine_plan, cluster,
-            materialiser=materialiser, executor=resolved,
-            processes=processes, pool=pool, shard_cache=shard_cache,
-            epoch=epoch, sigma_key=probe_key,
-        )
+        mine_results = run_units(probes, graph, mine_plan, cluster, **backend)
+        mine_shipping = pool.last_shipping if pool is not None else None
+
+        # Merge the units' evidence — worker aggregates in the common
+        # path, match lists on the sampled fallback — and propose
+        # dependencies, byte-identical to the serial reference.
+        pattern_matches: Dict[int, List[dict]] = {}
+        proposals: Dict[int, List[Tuple]] = {}
+        capped: Dict[int, bool] = {}
+        if mine_mode == "matches":
+            raw_matches, raw_counts = _gather_match_lists(
+                mine_plan, mine_results, range(len(patterns)), max_matches
+            )
+            for index, pattern in enumerate(patterns):
+                matches = canonical_matches(
+                    raw_matches[index], cap=max_matches
+                )
+                if len(matches) < min_support:
+                    continue
+                pattern_matches[index] = matches
+                capped[index] = raw_counts[index] > max_matches
+                proposals[index] = candidate_dependencies(
+                    pattern, graph, matches,
+                    max_attrs=max_attrs, sample_size=sample_size, seed=seed,
+                )
+        else:
+            aggregates: Dict[int, EvidenceAggregate] = {
+                index: EvidenceAggregate()
+                for index in range(len(patterns))
+            }
+            for slot_units, slot_results in zip(mine_plan, mine_results):
+                for unit, result in zip(slot_units, slot_results):
+                    if result is None or result.payload is None:
+                        continue  # folded into its slot's group carrier
+                    _, _, agg_payload = result.payload
+                    unit_agg = EvidenceAggregate.from_payload(agg_payload)
+                    for member in unit.group.members:
+                        aggregates[member.index].merge(
+                            unit_agg.rename(member.iso)
+                        )
+            need_fetch: List[int] = []
+            for index, pattern in enumerate(patterns):
+                aggregate = aggregates[index]
+                if min(aggregate.count, max_matches) < min_support:
+                    continue
+                if aggregate.count > max_matches:
+                    # The cap bites: support/confidence (and proposal
+                    # evidence) must cover exactly the canonical capped
+                    # subset the serial reference counts — only the
+                    # match lists themselves can answer that.
+                    capped[index] = True
+                    need_fetch.append(index)
+                else:
+                    capped[index] = False
+                    proposals[index] = aggregate.propose(pattern, max_attrs)
+            if need_fetch:
+                # The capped fallback: re-request match lists for the
+                # affected groups.  On a persistent pool the units
+                # replay their resident enumerations (zero VF2, zero
+                # block-shares); simulated runs replay the coordinator
+                # store.  Identical deterministic steps are charged
+                # either way, so reports stay backend-invariant.
+                fetch_indices = frozenset(need_fetch)
+                fetch_plan = [
+                    [
+                        replace(unit, kind="mine",
+                                payload=(max_matches, "matches"))
+                        for unit in slot
+                        if any(member.index in fetch_indices
+                               for member in unit.group.members)
+                    ]
+                    for slot in plan
+                ]
+                fetch_results = run_units(
+                    probes, graph, fetch_plan, cluster, **backend
+                )
+                if pool is not None and mine_shipping is not None:
+                    mine_shipping.merge(pool.last_shipping)
+                raw_matches, _ = _gather_match_lists(
+                    fetch_plan, fetch_results, need_fetch, max_matches
+                )
+                for index in need_fetch:
+                    matches = canonical_matches(
+                        raw_matches[index], cap=max_matches
+                    )
+                    pattern_matches[index] = matches
+                    proposals[index] = candidate_dependencies(
+                        patterns[index], graph, matches,
+                        max_attrs=max_attrs, sample_size=sample_size,
+                        seed=seed,
+                    )
+        num_proposals = sum(len(deps) for deps in proposals.values())
         phases.append(DiscoveryPhase(
             phase="enumerate",
             report=cluster.report(),
             num_units=len(units),
             executor=resolved,
-            shipping=pool.last_shipping if pool is not None else None,
+            shipping=mine_shipping,
             cache=materialiser.take_stats() if materialiser else None,
+            wall_seconds=time.perf_counter() - phase_started,
+            match_store=_phase_store_stats(match_store, mine_shipping),
         ))
-
-        # Gather matches per candidate pattern (pivot candidates partition
-        # the match space, so this is a disjoint union), translating the
-        # leader-space matches into each member pattern's variables.
-        # Accumulation is compacted to the canonical ``max_matches``
-        # smallest once a bucket overflows the floor, so coordinator
-        # memory stays O(patterns × max_matches) — compacting to the
-        # n-smallest commutes with unioning more matches, so the final
-        # canonical selection is unchanged.
-        compact_floor = max(2 * max_matches, 4096)
-        raw_matches: Dict[int, List[dict]] = {
-            index: [] for index in range(len(patterns))
-        }
-        raw_counts: Dict[int, int] = {
-            index: 0 for index in range(len(patterns))
-        }
-        for slot_units, slot_results in zip(mine_plan, mine_results):
-            for unit, result in zip(slot_units, slot_results):
-                if result is None:
-                    continue
-                for position, member in enumerate(unit.group.members):
-                    bucket = raw_matches[member.index]
-                    if result.payload[0] == "shared":
-                        # Leader-space matches: translate per member.
-                        iso = member.iso
-                        shared = result.payload[1]
-                        bucket.extend(
-                            {iso[var]: node for var, node in items}
-                            for items in shared
-                        )
-                        raw_counts[member.index] += len(shared)
-                    else:  # "members": worker already translated + capped
-                        _, total, per_member = result.payload
-                        bucket.extend(
-                            dict(items) for items in per_member[position]
-                        )
-                        raw_counts[member.index] += total
-                    if len(bucket) > compact_floor:
-                        raw_matches[member.index] = canonical_matches(
-                            bucket, cap=max_matches
-                        )
-
-        # Coordinator-side proposal over the canonical (capped) matches —
-        # byte-identical to what the serial reference proposes.
-        pattern_matches: Dict[int, List[dict]] = {}
-        proposals: Dict[int, List[Tuple]] = {}
-        capped: Dict[int, bool] = {}
-        for index, pattern in enumerate(patterns):
-            matches = canonical_matches(raw_matches[index], cap=max_matches)
-            if len(matches) < min_support:
-                continue
-            pattern_matches[index] = matches
-            capped[index] = raw_counts[index] > max_matches
-            proposals[index] = candidate_dependencies(
-                pattern, graph, matches,
-                max_attrs=max_attrs, sample_size=sample_size, seed=seed,
-            )
-        num_proposals = sum(len(deps) for deps in proposals.values())
 
         # ---- phase 2: count — support/confidence tallies as work units
         # over the same plan (warm shards: zero block-shares shipped).
@@ -578,14 +654,32 @@ class ValidationSession:
                     if not capped.get(member.index, False)
                     else []
                 )
-                inverse = {v: k for k, v in member.iso.items()}
-                member_payloads.append(tuple(
-                    (
-                        tuple(l.rename(inverse) for l in lhs),
-                        tuple(l.rename(inverse) for l in rhs),
-                    )
-                    for lhs, rhs in deps
-                ))
+                if not deps:
+                    member_payloads.append(())
+                elif mine_mode == "aggregate":
+                    # Ship the recipe, not the candidates: workers
+                    # re-derive the identical proposal list from the
+                    # merged aggregate (engine.expand_count_payloads) —
+                    # one compact aggregate per pattern on the wire
+                    # instead of O(proposals) literal objects per slot.
+                    member_payloads.append((
+                        "derive",
+                        tuple(patterns[member.index].variables),
+                        aggregates[member.index].to_payload(),
+                        max_attrs,
+                    ))
+                else:
+                    # Sampled fallback: proposals came from an explicit
+                    # seeded sample, not the aggregate — only the
+                    # concrete candidate list reproduces them.
+                    inverse = {v: k for k, v in member.iso.items()}
+                    member_payloads.append(tuple(
+                        (
+                            tuple(l.rename(inverse) for l in lhs),
+                            tuple(l.rename(inverse) for l in rhs),
+                        )
+                        for lhs, rhs in deps
+                    ))
             group_payload[id(group)] = tuple(member_payloads)
         totals: Dict[int, List[List[int]]] = {
             index: [[0, 0] for _ in deps]
@@ -602,21 +696,11 @@ class ValidationSession:
             for slot in plan
         ]
         if any(count_plan):
+            phase_started = time.perf_counter()
             count_cluster = SimulatedCluster(workers, self.cost_model)
             count_results = run_units(
-                probes, graph, count_plan, count_cluster,
-                materialiser=materialiser, executor=resolved,
-                processes=processes, pool=pool, shard_cache=shard_cache,
-                epoch=epoch, sigma_key=probe_key,
+                probes, graph, count_plan, count_cluster, **backend
             )
-            phases.append(DiscoveryPhase(
-                phase="count",
-                report=count_cluster.report(),
-                num_units=sum(len(slot) for slot in count_plan),
-                executor=resolved,
-                shipping=pool.last_shipping if pool is not None else None,
-                cache=materialiser.take_stats() if materialiser else None,
-            ))
             for slot_units, slot_results in zip(count_plan, count_results):
                 for unit, result in zip(slot_units, slot_results):
                     if result is None:
@@ -627,9 +711,20 @@ class ValidationSession:
                         tallies = totals.get(member.index)
                         if tallies is None:
                             continue
-                        for pos, (sup, sat) in enumerate(member_counts):
+                        for pos, sup, sat in member_counts:
                             tallies[pos][0] += sup
                             tallies[pos][1] += sat
+            count_shipping = pool.last_shipping if pool is not None else None
+            phases.append(DiscoveryPhase(
+                phase="count",
+                report=count_cluster.report(),
+                num_units=sum(len(slot) for slot in count_plan),
+                executor=resolved,
+                shipping=count_shipping,
+                cache=materialiser.take_stats() if materialiser else None,
+                wall_seconds=time.perf_counter() - phase_started,
+                match_store=_phase_store_stats(match_store, count_shipping),
+            ))
 
         # Threshold + naming in the serial reference's iteration order.
         selected = []
@@ -659,8 +754,8 @@ class ValidationSession:
         violations: Optional[Set[Violation]] = None
         if confirm and rules:
             violations, phase = self._confirm_mined(
-                rules, patterns, probes, groups, plan, workers, resolved,
-                processes, materialiser, pool, shard_cache, epoch, probe_key,
+                rules, patterns, probes, groups, plan, workers,
+                backend, probe_key,
             )
             phases.append(phase)
 
@@ -675,8 +770,8 @@ class ValidationSession:
         )
 
     def _confirm_mined(
-        self, rules, patterns, probes, groups, plan, workers, resolved,
-        processes, materialiser, pool, shard_cache, epoch, probe_key,
+        self, rules, patterns, probes, groups, plan, workers,
+        backend, probe_key,
     ) -> Tuple[Set[Violation], DiscoveryPhase]:
         """Validate the mined Σ by re-skinning the mining plan.
 
@@ -684,9 +779,12 @@ class ValidationSession:
         detection units are the mining units with a ``detect`` group of
         mined members — same slots, same block node sets.  Per-slot
         ``needed`` is therefore a subset of what mining left resident:
-        the pass ships zero block-shares, only the mined Σ itself.
-        Probes prefix the shipped Σ so leader indices keep naming the
-        enumerated pattern; dependency-free probes produce no violations.
+        the pass ships zero block-shares, only the mined Σ itself — and
+        replays the resident enumerations the ``mine`` phase deposited
+        (the store keys by pattern content, which the Σ swap preserves),
+        so confirmation runs zero VF2 on warm blocks.  Probes prefix the
+        shipped Σ so leader indices keep naming the enumerated pattern;
+        dependency-free probes produce no violations.
         """
         mined = [mined_rule.gfd for mined_rule in rules]
         confirm_sigma = probes + mined
@@ -723,25 +821,30 @@ class ValidationSession:
             for slot in plan
         ]
         confirm_key = ("sigma:mined", probe_key, tuple(mined))
+        phase_started = time.perf_counter()
         cluster = SimulatedCluster(workers, self.cost_model)
         results = run_units(
             confirm_sigma, self.graph, confirm_plan, cluster,
-            materialiser=materialiser, executor=resolved,
-            processes=processes, pool=pool, shard_cache=shard_cache,
-            epoch=epoch, sigma_key=confirm_key,
+            **{**backend, "sigma_key": confirm_key},
         )
         violations: Set[Violation] = set()
         for slot_results in results:
             for result in slot_results:
                 if result is not None:
                     violations |= result.violations
+        pool = backend["pool"]
+        materialiser = backend["materialiser"]
+        match_store = backend["match_store"]
+        shipping = pool.last_shipping if pool is not None else None
         phase = DiscoveryPhase(
             phase="confirm",
             report=cluster.report(),
             num_units=sum(len(slot) for slot in confirm_plan),
-            executor=resolved,
-            shipping=pool.last_shipping if pool is not None else None,
+            executor=backend["executor"],
+            shipping=shipping,
             cache=materialiser.take_stats() if materialiser else None,
+            wall_seconds=time.perf_counter() - phase_started,
+            match_store=_phase_store_stats(match_store, shipping),
         )
         return violations, phase
 
@@ -799,6 +902,23 @@ class ValidationSession:
             self._materialiser_version = self.graph._version
         return self._materialiser
 
+    def _shared_match_store(self) -> MatchStore:
+        """The simulated backend's resident match store.
+
+        The coordinator-side mirror of what worker processes keep next
+        to their shard caches: populated by discovery's ``mine`` units,
+        replayed by ``count``/``confirm``, version-guarded exactly like
+        :meth:`_shared_materialiser` (a structural version the session
+        did not witness drops every resident enumeration).
+        """
+        if self._match_store is None:
+            self._match_store = MatchStore(self.match_store_budget)
+            self._match_store_version = self.graph._version
+        elif self._match_store_version != self.graph._version:
+            self._match_store.clear()
+            self._match_store_version = self.graph._version
+        return self._match_store
+
     def _process_backend(self, resolved: str, processes: Optional[int]):
         """The (pool, shard_cache, epoch) triple for a process run.
 
@@ -818,7 +938,10 @@ class ValidationSession:
             self._shard_cache.invalidate()
             self._pool = None
         if self._pool is None:
-            self._pool = MultiprocessExecutor(processes=processes)
+            self._pool = MultiprocessExecutor(
+                processes=processes,
+                match_store_budget=self.match_store_budget,
+            )
         self._pool.start()
         return self._pool, self._shard_cache, self._epoch
 
@@ -1017,6 +1140,69 @@ class ValidationSession:
             f"ValidationSession(|Σ|={len(self.sigma)}, |G|={self.graph.size}, "
             f"executor={self.executor!r}, pool={pool})"
         )
+
+
+def _phase_store_stats(
+    match_store: Optional[MatchStore], shipping: Optional[ShippingStats]
+) -> Optional[MatchStoreStats]:
+    """One phase's match-store activity, whichever backend ran it.
+
+    Simulated runs read (and reset) the coordinator store's per-run
+    slice; process runs report what the workers' resident stores did,
+    already aggregated into the run's shipping record.
+    """
+    if match_store is not None:
+        return match_store.take_stats()
+    return shipping.match_store if shipping is not None else None
+
+
+def _gather_match_lists(
+    mine_plan, mine_results, indices, max_matches: int
+) -> Tuple[Dict[int, List[dict]], Dict[int, int]]:
+    """Union match-shipping mine payloads per candidate pattern.
+
+    Gathers matches for the patterns named by ``indices`` only (pivot
+    candidates partition the match space, so this is a disjoint union),
+    translating leader-space matches into each member pattern's
+    variables.  Accumulation is compacted to the canonical
+    ``max_matches`` smallest once a bucket overflows the floor, so
+    coordinator memory stays O(patterns × max_matches) — compacting to
+    the n-smallest commutes with unioning more matches, so the final
+    canonical selection is unchanged.  Returns ``(matches, totals)``;
+    ``totals`` counts every match (pre-cap), which is what decides
+    whether the ``max_matches`` cap bit.
+    """
+    compact_floor = max(2 * max_matches, 4096)
+    raw_matches: Dict[int, List[dict]] = {index: [] for index in indices}
+    raw_counts: Dict[int, int] = {index: 0 for index in raw_matches}
+    for slot_units, slot_results in zip(mine_plan, mine_results):
+        for unit, result in zip(slot_units, slot_results):
+            if result is None:
+                continue
+            for position, member in enumerate(unit.group.members):
+                bucket = raw_matches.get(member.index)
+                if bucket is None:
+                    continue
+                if result.payload[0] == "shared":
+                    # Leader-space matches: translate per member.
+                    iso = member.iso
+                    shared = result.payload[1]
+                    bucket.extend(
+                        {iso[var]: node for var, node in items}
+                        for items in shared
+                    )
+                    raw_counts[member.index] += len(shared)
+                else:  # "members": worker already translated + capped
+                    _, total, per_member = result.payload
+                    bucket.extend(
+                        dict(items) for items in per_member[position]
+                    )
+                    raw_counts[member.index] += total
+                if len(bucket) > compact_floor:
+                    raw_matches[member.index] = canonical_matches(
+                        bucket, cap=max_matches
+                    )
+    return raw_matches, raw_counts
 
 
 def _rep_name(assignment: str, optimize: bool) -> str:

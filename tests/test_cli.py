@@ -256,13 +256,17 @@ class TestDiscoverCommand:
             out=out,
         )
         assert code == 0
-        # Same mined rules; only the reported executor differs.
+        # Same mined rules; only the accounting comments (executor,
+        # per-phase wall-clock/shipping) legitimately differ.
         def strip(text):
             return [line for line in text.splitlines()
-                    if not line.startswith("# verified")]
+                    if not line.startswith("#")]
 
         assert strip(out.getvalue()) == strip(baseline.getvalue())
         assert "# verified (process):" in out.getvalue()
+        # The process run reports its data path: per-phase byte counts
+        # and the count/confirm resident-match replay.
+        assert "unit-payload byte(s)" in out.getvalue()
 
     def test_discover_exit_2_on_confidence_one_inconsistency(
         self, mining_graph_file, monkeypatch

@@ -1,0 +1,248 @@
+"""Satellite: the aggregates ≡ matches equivalence contract.
+
+Discovery's parallel data path ships mergeable
+:class:`~repro.core.discovery.EvidenceAggregate` payloads instead of
+match lists (see ``ISSUE 5`` / ``ROADMAP``); the mined rule set is only
+allowed to be identical to serial mining if dependency proposals from
+*merged worker aggregates* equal proposals from the *full canonical
+match list* — whatever the graph, however the matches are partitioned
+into units and workers, and however the partial aggregates are merged.
+This suite is the property-level lock on that contract, plus the two
+documented match-shipping fallbacks (the ``max_matches`` cap and the
+explicit seeded evidence sample) and the budget knob's degradation path.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    EvidenceAggregate,
+    ValidationSession,
+    discover_gfds,
+    power_law_graph,
+)
+from repro.core.discovery import (
+    candidate_dependencies,
+    candidate_patterns,
+    canonical_matches,
+)
+from repro.datasets import dbpedia_like, pokec_like
+from repro.matching import SubgraphMatcher
+
+PARAMS = dict(min_support=3, min_confidence=0.85)
+
+
+def graph_workloads():
+    """(name, graph) pairs spanning distinct generators and shapes."""
+    dense = power_law_graph(
+        150, 360, seed=3, domain_size=6,
+        node_labels=["person", "city", "org"],
+        edge_labels=["knows", "in", "for"],
+    )
+    skewed = power_law_graph(
+        120, 300, alpha=1.6, seed=11, domain_size=4,
+        node_labels=["a", "b"], edge_labels=["e1", "e2"],
+        attributes=("A", "B", "C"),
+    )
+    return [
+        ("power_law_dense", dense),
+        ("power_law_skewed", skewed),
+        ("dbpedia_like", dbpedia_like.build(scale=120, seed=5).graph),
+        ("pokec_like", pokec_like.build(seed=7).graph),
+    ]
+
+
+WORKLOADS = graph_workloads()
+
+
+def pattern_matches(graph, limit=6):
+    """Per candidate pattern, its full match list (patterns with any)."""
+    out = []
+    for pattern in candidate_patterns(graph)[:limit]:
+        matches = list(SubgraphMatcher(pattern, graph).matches())
+        if matches:
+            out.append((pattern, matches))
+    return out
+
+
+def chunked(matches, pieces, seed):
+    """A seeded partition of the match list into ``pieces`` chunks."""
+    shuffled = list(matches)
+    random.Random(seed).shuffle(shuffled)
+    chunks = [[] for _ in range(pieces)]
+    for position, match in enumerate(shuffled):
+        chunks[position % pieces].append(match)
+    return chunks
+
+
+class TestAggregateEquivalence:
+    """Merged chunk folds ≡ one fold ≡ the match-list proposal."""
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS,
+                             ids=[name for name, _ in WORKLOADS])
+    @pytest.mark.parametrize("pieces", [1, 2, 3, 5])
+    def test_merged_chunks_propose_identically(self, name, graph, pieces):
+        found_any = False
+        for pattern, matches in pattern_matches(graph):
+            reference = candidate_dependencies(
+                pattern, graph, canonical_matches(matches)
+            )
+            merged = EvidenceAggregate()
+            for chunk in chunked(matches, pieces, seed=pieces):
+                merged.merge(EvidenceAggregate.from_matches(graph, chunk))
+            assert merged.propose(pattern) == reference, (name, pieces)
+            assert merged.count == len(matches)
+            found_any = found_any or bool(reference)
+        assert found_any, f"{name}: no pattern proposed anything"
+
+    @pytest.mark.parametrize("merge_seed", range(4))
+    def test_merge_order_invariance(self, merge_seed):
+        _, graph = WORKLOADS[0]
+        pattern, matches = max(
+            pattern_matches(graph), key=lambda pair: len(pair[1])
+        )
+        parts = [
+            EvidenceAggregate.from_matches(graph, chunk)
+            for chunk in chunked(matches, 6, seed=1)
+        ]
+        random.Random(merge_seed).shuffle(parts)
+        merged = EvidenceAggregate()
+        for part in parts:
+            merged.merge(part)
+        baseline = EvidenceAggregate.from_matches(
+            graph, canonical_matches(matches)
+        )
+        # Same payload byte-for-byte, not merely the same proposals:
+        # folding is commutative and associative all the way down.
+        assert merged.to_payload() == baseline.to_payload()
+
+    def test_payload_round_trip(self):
+        _, graph = WORKLOADS[0]
+        for pattern, matches in pattern_matches(graph):
+            aggregate = EvidenceAggregate.from_matches(graph, matches)
+            restored = EvidenceAggregate.from_payload(aggregate.to_payload())
+            assert restored.to_payload() == aggregate.to_payload()
+            assert restored.propose(pattern) == aggregate.propose(pattern)
+
+    def test_rename_commutes_with_folding(self):
+        """Renaming the aggregate ≡ folding the translated matches (the
+        isomorphism-group member view of the leader's enumeration)."""
+        _, graph = WORKLOADS[0]
+        pattern, matches = pattern_matches(graph)[0]
+        iso = {var: f"m_{var}" for var in pattern.variables}
+        renamed = EvidenceAggregate.from_matches(graph, matches).rename(iso)
+        translated = EvidenceAggregate.from_matches(
+            graph,
+            [{iso[var]: node for var, node in match.items()}
+             for match in matches],
+        )
+        assert renamed.to_payload() == translated.to_payload()
+
+    def test_value_table_many_semantics(self):
+        """Exactly one distinct value proposes a constant rule; a second
+        value anywhere (same unit or a merged one) kills it."""
+        from repro.graph import PropertyGraph
+
+        graph = PropertyGraph()
+        for index in range(6):
+            graph.add_node(f"p{index}", "person",
+                           {"uniform": "k", "varied": f"v{index % 2}"})
+            graph.add_node(f"c{index}", "city", None)
+            graph.add_edge(f"p{index}", f"c{index}", "in")
+        pattern = candidate_patterns(graph)[0]
+        matches = list(SubgraphMatcher(pattern, graph).matches())
+        halves = chunked(matches, 2, seed=0)
+        merged = EvidenceAggregate.from_matches(graph, halves[0]).merge(
+            EvidenceAggregate.from_matches(graph, halves[1])
+        )
+        constants = {
+            (rhs[0].attr, rhs[0].const)
+            for lhs, rhs in merged.propose(pattern)
+            if not lhs and rhs[0].var == "x"
+        }
+        assert ("uniform", "k") in constants
+        assert not any(attr == "varied" for attr, _ in constants)
+        assert merged.values[("x", "varied")] is EvidenceAggregate.MANY
+
+    def test_empty_aggregate_proposes_nothing(self):
+        _, graph = WORKLOADS[0]
+        pattern, _ = pattern_matches(graph)[0]
+        assert EvidenceAggregate().propose(pattern) == []
+
+
+class TestFallbackPaths:
+    """The two documented match-shipping fallbacks, plus the budget knob."""
+
+    @pytest.fixture(scope="class")
+    def mining_graph(self):
+        return power_law_graph(
+            170, 400, seed=0, domain_size=7,
+            node_labels=["person", "city", "org"],
+            edge_labels=["knows", "in", "for"],
+        )
+
+    @pytest.mark.parametrize("executor,processes", [
+        ("simulated", None), ("process", 2),
+    ])
+    def test_seeded_sample_falls_back_to_match_shipping(
+        self, mining_graph, executor, processes
+    ):
+        serial = discover_gfds(mining_graph, sample_size=12, seed=4, **PARAMS)
+        with ValidationSession(
+            mining_graph, [], executor=executor, processes=processes
+        ) as session:
+            run = session.discover(n=3, sample_size=12, seed=4, **PARAMS)
+        assert [(d.gfd.name, d.support, d.confidence) for d in run.rules] \
+            == [(d.gfd.name, d.support, d.confidence) for d in serial]
+
+    @pytest.mark.parametrize("executor,processes", [
+        ("simulated", None), ("process", 2),
+    ])
+    def test_capped_pattern_falls_back_to_match_fetch(
+        self, mining_graph, executor, processes
+    ):
+        serial = discover_gfds(mining_graph, max_matches=15, **PARAMS)
+        with ValidationSession(
+            mining_graph, [], executor=executor, processes=processes
+        ) as session:
+            run = session.discover(n=3, max_matches=15, **PARAMS)
+        assert [(d.gfd.name, d.support, d.confidence) for d in run.rules] \
+            == [(d.gfd.name, d.support, d.confidence) for d in serial]
+        assert run.capped_rules or any(
+            d.support == 15 for d in run.rules
+        )  # the cap demonstrably engaged somewhere
+
+    def test_zero_match_budget_disables_replay_not_correctness(
+        self, mining_graph
+    ):
+        serial = discover_gfds(mining_graph, **PARAMS)
+        with ValidationSession(
+            mining_graph, [], executor="process", processes=2,
+            match_store_budget=0,
+        ) as session:
+            run = session.discover(n=3, **PARAMS)
+            count_phase = run.phase("count")
+        assert [(d.gfd.name, d.support, d.confidence) for d in run.rules] \
+            == [(d.gfd.name, d.support, d.confidence) for d in serial]
+        # Nothing was resident, so counting re-enumerated — and still
+        # shipped zero block-shares (the shard stays warm regardless).
+        store = count_phase.match_store
+        assert store is not None and store.hits == 0
+        assert count_phase.shipping.full == 0
+        assert count_phase.shipping.shipped_nodes == 0
+
+    def test_tiny_match_budget_evicts_and_reenumerates(self, mining_graph):
+        serial = discover_gfds(mining_graph, **PARAMS)
+        with ValidationSession(
+            mining_graph, [], executor="process", processes=2,
+            match_store_budget=8,
+        ) as session:
+            run = session.discover(n=3, **PARAMS)
+            count_phase = run.phase("count")
+        assert [(d.gfd.name, d.support, d.confidence) for d in run.rules] \
+            == [(d.gfd.name, d.support, d.confidence) for d in serial]
+        store = count_phase.match_store
+        # Some units miss (their entries were evicted or refused) —
+        # the fallback is transparent re-enumeration, not wrong counts.
+        assert store is not None and store.misses > 0

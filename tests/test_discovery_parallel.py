@@ -131,6 +131,57 @@ class TestProcessDiscoveryDifferential:
                 # wall-clock win only, never a reporting change.
                 assert phase.report == cold.phase(phase.phase).report
 
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_count_and_confirm_replay_resident_matches(self, workloads, seed):
+        """The tentpole pin: on a persistent pool the count and confirm
+        phases replay the matches mine left resident — zero VF2
+        re-enumerations (``misses == 0``) — and a warm repeat replays
+        its enumerate phase too."""
+        graph, serial = workloads[seed]
+        with ValidationSession(
+            graph, [], executor="process", processes=2
+        ) as session:
+            cold = session.discover(n=3, **PARAMS)
+            enumerate_store = cold.phase("enumerate").match_store
+            assert enumerate_store.stored > 0  # mine deposited matches
+            for name in ("count", "confirm"):
+                phase = cold.phase(name)
+                if phase is None:
+                    continue
+                assert phase.match_store.misses == 0, name
+                assert phase.match_store.hits > 0, name
+            warm = session.discover(n=3, **PARAMS)
+            assert [mined_key(d) for d in warm.rules] == [
+                mined_key(d) for d in serial
+            ]
+            warm_store = warm.phase("enumerate").match_store
+            assert warm_store.misses == 0 and warm_store.hits > 0
+
+    def test_aggregate_payloads_ship_fewer_bytes_than_match_lists(
+        self, workloads
+    ):
+        """The evidence-aggregate data path must beat the match-list
+        fallback (an explicit huge sample forces it; the mined set is
+        identical because the sample never truncates) on shipped
+        payload bytes, for the enumerate *and* the count phase."""
+        graph, serial = workloads[0]
+        with ValidationSession(
+            graph, [], executor="process", processes=2
+        ) as session:
+            aggregate_run = session.discover(n=3, **PARAMS)
+            match_run = session.discover(n=3, sample_size=10**9, **PARAMS)
+        for run in (aggregate_run, match_run):
+            assert [mined_key(d) for d in run.rules] == [
+                mined_key(d) for d in serial
+            ]
+        for name in ("enumerate", "count"):
+            aggregate_bytes = aggregate_run.phase(name).shipping.payload_bytes
+            match_bytes = match_run.phase(name).shipping.payload_bytes
+            assert aggregate_bytes < match_bytes, (
+                f"{name}: aggregates shipped {aggregate_bytes} bytes vs "
+                f"{match_bytes} for match lists"
+            )
+
     def test_mining_interleaves_with_base_validation(self, workloads):
         graph, serial = workloads[7]
         sigma = generate_gfds(graph, count=4, pattern_edges=2, seed=7)
@@ -176,6 +227,20 @@ class TestSimulatedDiscoveryDifferential:
         assert warm.phase("enumerate").cache.hits > 0
         for phase in warm.phases:
             assert phase.report == cold.phase(phase.phase).report
+
+    def test_simulated_count_replays_coordinator_store(self, workloads):
+        """The simulated backend keeps a coordinator-side match store
+        with the same replay semantics as the worker-resident ones —
+        and replay never changes the reported cost figures."""
+        graph, _ = workloads[0]
+        with ValidationSession(graph, [], executor="simulated") as session:
+            run = session.discover(n=2, **PARAMS)
+        count_phase = run.phase("count")
+        assert count_phase.match_store.misses == 0
+        assert count_phase.match_store.hits > 0
+        confirm_phase = run.phase("confirm")
+        if confirm_phase is not None:
+            assert confirm_phase.match_store.misses == 0
 
 
 class TestFragmentedDiscovery:
