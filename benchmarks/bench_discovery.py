@@ -22,8 +22,18 @@ the regime the paper's real-life workloads live in.  Asserted:
 * the aggregate data path ships fewer payload bytes than the match-list
   baseline (forced via an explicit never-truncating evidence sample),
   per phase — the reduction is printed *and* asserted;
+* the factorised count phase (``eval_mode="factorised"``) answers the
+  identical tally queries with **zero** VF2 enumerations on this
+  all-acyclic candidate set (session telemetry, measured on a
+  zero-budget session so enumerate mode cannot replay resident
+  matches), and the serial count work on a multiplicity-heavy graph
+  runs at least ``COUNT_PHASE_BAR`` faster factorised than enumerated;
 * warm mining beats serial by the bar below whenever ≥ 4 CPUs are
   usable (single/dual-core runners only report).
+
+The replay-path sections pin ``eval_mode="enumerate"`` deliberately:
+factorised mining deposits no matches (there is nothing to replay), so
+the match-store assertions only make sense on the enumerating path.
 
 Per-phase wall-clock and shipped-byte figures land in
 ``benchmarks/results/discovery_perf.json`` (uploaded by CI, so the
@@ -49,6 +59,13 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 #: are partly IPC-bound — the bar is set for the quick configuration,
 #: with headroom; the table shows the actual ratio.
 PARALLEL_MINING_BAR = 1.15
+
+#: the serial count work (evidence + dependency tallies per candidate
+#: pattern, on the multiplicity-heavy count graph) must run at least
+#: this much faster factorised than enumerated.  Observed quick-mode
+#: ratios sit near 1.5–1.6x; the bar guards against the factorised
+#: path silently degenerating into enumeration.
+COUNT_PHASE_BAR = 1.25
 
 DISCOVERY = dict(min_support=4, min_confidence=0.6, max_attrs=14)
 
@@ -90,8 +107,14 @@ def test_session_discovery_speedup(benchmark):
         # Cold: pool start + full shard shipping + workload estimation.
         # confirm=False keeps the comparison apples-to-apples (serial
         # discover_gfds has no confirmation pass).
+        # eval_mode="enumerate" pins the match-store data path this
+        # section asserts on: factorised mining (the default) answers
+        # count queries without materialising matches, so there would be
+        # nothing resident to replay.  The factorised path gets its own
+        # section below.
         started = time.perf_counter()
-        cold = session.discover(n=4, confirm=False, **DISCOVERY)
+        cold = session.discover(n=4, confirm=False,
+                                eval_mode="enumerate", **DISCOVERY)
         cold_time = time.perf_counter() - started
         assert [mined_key(d) for d in cold.rules] == [
             mined_key(d) for d in serial
@@ -103,7 +126,8 @@ def test_session_discovery_speedup(benchmark):
         warm_times = []
         for _ in range(rounds):
             started = time.perf_counter()
-            warm = session.discover(n=4, confirm=False, **DISCOVERY)
+            warm = session.discover(n=4, confirm=False,
+                                    eval_mode="enumerate", **DISCOVERY)
             warm_times.append(time.perf_counter() - started)
             assert [mined_key(d) for d in warm.rules] == [
                 mined_key(d) for d in serial
@@ -114,7 +138,7 @@ def test_session_discovery_speedup(benchmark):
 
         # One confirming run: the mined-Σ validation pass must also hit
         # the warm shards — zero block-shares, only Σ travels.
-        confirmed = session.discover(n=4, **DISCOVERY)
+        confirmed = session.discover(n=4, eval_mode="enumerate", **DISCOVERY)
         confirm = confirmed.phase("confirm")
         assert confirm is not None
         assert confirm.shipping.full == 0
@@ -159,6 +183,89 @@ def test_session_discovery_speedup(benchmark):
         # strictly sub-match-list payload bytes.
         assert confirm.shipping.payload_bytes <= \
             baseline.phase("confirm").shipping.payload_bytes
+
+        # Factorised count phase, session view.  A fresh session with a
+        # zero match-store budget makes the enumerate-mode count phase
+        # genuinely re-enumerate (no resident matches to replay), so
+        # the two modes answer the identical tally queries by
+        # enumeration vs variable elimination.  Asserted: identical
+        # mined rules, and the telemetry proof that strict factorised
+        # mode ran ZERO VF2 enumerations where enumerate mode ran
+        # thousands.  No wall-clock floor here: per-pivot blocks are
+        # tiny, so per-unit VF2 is cheap and the two paths time out
+        # near parity — the factorised wall-clock win lives in the
+        # global (serial) count path measured below.
+        with ValidationSession(
+            graph, [], match_store_budget=0
+        ) as count_session:
+            for mode in ("enumerate", "factorised"):  # warm both paths
+                count_session.discover(n=4, confirm=False, eval_mode=mode,
+                                       **DISCOVERY)
+            count_times = {}
+            count_vf2 = {}
+            count_rules = {}
+            for mode in ("enumerate", "factorised"):
+                times = []
+                for _ in range(max(rounds, 3)):
+                    run = count_session.discover(n=4, confirm=False,
+                                                 eval_mode=mode,
+                                                 **DISCOVERY)
+                    times.append(run.phase("count").wall_seconds)
+                count_times[mode] = statistics.median(times)
+                count_vf2[mode] = run.phase("count").vf2_units
+                count_rules[mode] = [mined_key(d) for d in run.rules]
+        assert count_rules["enumerate"] == count_rules["factorised"] \
+            == [mined_key(d) for d in serial]
+        assert count_vf2["factorised"] == 0
+        assert count_vf2["enumerate"] > 0
+
+        # Factorised count phase, global view: the tentpole speedup.
+        # On a multiplicity-heavy graph (hubs → many matches per
+        # pattern) the serial count work — evidence aggregation plus
+        # dependency tallies per candidate pattern — is where
+        # enumeration cost scales with the match count and variable
+        # elimination stays O(|G|·|pattern|).
+        count_graph = power_law_graph(
+            *((400, 2400) if QUICK else (500, 3000)),
+            alpha=1.5, seed=17, domain_size=3,
+            node_labels=["person", "city", "org", "repo"],
+            edge_labels=["knows", "in", "for"],
+            attributes=tuple(f"A{i}" for i in range(8)),
+        )
+        from repro.core.discovery import candidate_patterns
+        from repro.matching import SubgraphMatcher
+
+        tasks = []
+        for pattern in candidate_patterns(count_graph, max_edges=2):
+            matcher = SubgraphMatcher(pattern, count_graph)
+            if matcher.factorised_plan() is None:
+                continue
+            _, evidence = matcher.evidence(eval_mode="factorised")
+            deps = evidence.propose(pattern, DISCOVERY["max_attrs"])
+            if deps:
+                tasks.append((pattern, deps))
+        assert tasks  # the workload must propose something to count
+        serial_count = {}
+        for mode in ("enumerate", "factorised"):
+            reps = []
+            for _ in range(2):
+                total = 0.0
+                for pattern, deps in tasks:
+                    matcher = SubgraphMatcher(pattern, count_graph)
+                    started = time.perf_counter()
+                    matcher.evidence(eval_mode=mode)
+                    matcher.dependency_tallies(deps, eval_mode=mode)
+                    total += time.perf_counter() - started
+                reps.append(total)
+            serial_count[mode] = min(reps)
+        count_speedup = (
+            serial_count["enumerate"] / serial_count["factorised"]
+            if serial_count["factorised"] else float("inf")
+        )
+        assert count_speedup > COUNT_PHASE_BAR, (
+            f"factorised count work only {count_speedup:.2f}x faster "
+            f"than enumeration (bar {COUNT_PHASE_BAR}x)"
+        )
 
         serial_median = statistics.median(serial_times)
         warm_median = statistics.median(warm_times)
@@ -216,6 +323,27 @@ def test_session_discovery_speedup(benchmark):
             + ", ".join(f"{name} {ratio:.2f}x"
                         for name, ratio in reductions.items())
         )
+        session_count_speedup = (
+            count_times["enumerate"] / count_times["factorised"]
+            if count_times["factorised"] else float("inf")
+        )
+        emit_table(
+            "discovery_count_phase",
+            ["view", "eval mode", "wall s", "speedup", "VF2 unit(s)"],
+            [
+                ("session count phase", "enumerate",
+                 f"{count_times['enumerate']:.3f}", "1.00x",
+                 count_vf2["enumerate"]),
+                ("session count phase", "factorised",
+                 f"{count_times['factorised']:.3f}",
+                 f"{session_count_speedup:.2f}x", count_vf2["factorised"]),
+                ("serial count work", "enumerate",
+                 f"{serial_count['enumerate']:.3f}", "1.00x", "-"),
+                ("serial count work", "factorised",
+                 f"{serial_count['factorised']:.3f}",
+                 f"{count_speedup:.2f}x", 0),
+            ],
+        )
         emit_json("discovery_perf", {
             "quick": QUICK,
             "graph": {"nodes": nodes, "edges": edges},
@@ -227,6 +355,16 @@ def test_session_discovery_speedup(benchmark):
             "warm_speedup": warm_speedup,
             "payload_reduction": reductions,
             "phases": phase_records,
+            "count_phase": {
+                "session_enumerate_seconds": count_times["enumerate"],
+                "session_factorised_seconds": count_times["factorised"],
+                "session_speedup": session_count_speedup,
+                "serial_enumerate_seconds": serial_count["enumerate"],
+                "serial_factorised_seconds": serial_count["factorised"],
+                "serial_speedup": count_speedup,
+                "enumerate_vf2_units": count_vf2["enumerate"],
+                "factorised_vf2_units": count_vf2["factorised"],
+            },
         })
         if cpus >= 4:
             assert warm_speedup > PARALLEL_MINING_BAR, (

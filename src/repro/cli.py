@@ -32,6 +32,7 @@ from .core import GFD, det_vio, generate_gfds, is_satisfiable, parse_gfd
 from .core.implication import minimal_cover
 from .graph import load_graph, power_law_graph, save_graph
 from .graph.partition import greedy_edge_cut_partition
+from .matching import EVAL_MODES
 from .session import ValidationSession
 
 
@@ -240,6 +241,7 @@ def cmd_discover(args, out: TextIO) -> int:
             max_edges=args.max_edges,
             max_matches=args.max_matches,
             n=workers,
+            eval_mode=args.eval_mode,
         )
     rules = run.sigma
     text = format_rule_file(rules) if rules else "# nothing discovered\n"
@@ -267,6 +269,8 @@ def cmd_discover(args, out: TextIO) -> int:
                 f", {store.hits}/{store.hits + store.misses} unit(s) "
                 "replayed resident matches"
             )
+        if phase.phase in ("enumerate", "count", "confirm"):
+            line += f", {phase.vf2_units} unit(s) ran VF2 enumeration"
         out.write(line + "\n")
     if rules:
         # Confirmation pass (rules mined below confidence 1.0
@@ -330,6 +334,19 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _unit_float(text: str) -> float:
+    """Argparse type for ratios that must lie in [0, 1] (confidence)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be between 0 and 1, got {value}"
+        )
+    return value
+
+
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     """The execution-backend switches every validating command accepts."""
     parser.add_argument("--executor", choices=["simulated", "process", "auto"],
@@ -354,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("rules", help="rule file")
     validate.add_argument("--json", action="store_true",
                           help="machine-readable output")
-    validate.add_argument("--limit", type=int, default=20,
+    validate.add_argument("--limit", type=_nonnegative_int, default=20,
                           help="max violations to print")
     _add_executor_flags(validate)
     validate.set_defaults(func=cmd_validate)
@@ -392,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
                                                "(session-backed, parallel)")
     discover.add_argument("graph", help="graph file")
     discover.add_argument("--support", type=_positive_int, default=5)
-    discover.add_argument("--confidence", type=float, default=0.95)
+    discover.add_argument("--confidence", type=_unit_float, default=0.95)
     discover.add_argument("--output", help="rule file to write")
     discover.add_argument("--workers", type=_positive_int, default=None,
                           help="worker slots for the mining plan "
@@ -407,6 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="matches kept resident per worker match "
                                "store for count/confirm replay "
                                "(0 disables; default: library budget)")
+    discover.add_argument("--eval-mode", choices=list(EVAL_MODES),
+                          default="auto",
+                          help="how mine/count units answer aggregate "
+                               "queries: factorise acyclic patterns, "
+                               "enumerate matches, or pick automatically")
     _add_executor_flags(discover)
     discover.set_defaults(func=cmd_discover)
     return parser

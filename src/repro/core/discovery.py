@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graph.graph import PropertyGraph
+from ..matching.factorised import EVAL_MODES
 from ..matching.vf2 import SubgraphMatcher
 from ..pattern.pattern import GraphPattern
 from .gfd import GFD
@@ -414,7 +415,10 @@ def select_rules(
     """
     results: List[DiscoveredGFD] = []
     for pattern, (lhs, rhs), supported, satisfied in selected:
-        if supported < min_support:
+        if supported < min_support or not supported:
+            # The second clause matters only for min_support <= 0:
+            # a premise no match satisfies has no confidence to speak
+            # of (and would divide by zero), so it never survives.
             continue
         confidence = satisfied / supported
         if confidence < min_confidence:
@@ -445,6 +449,7 @@ def discover_gfds(
     sample_size: Optional[int] = DEFAULT_SAMPLE_SIZE,
     seed: int = 0,
     backend: str = "auto",
+    eval_mode: str = "auto",
 ) -> List[DiscoveredGFD]:
     """Mine GFDs from ``graph`` — the serial reference implementation.
 
@@ -460,15 +465,55 @@ def discover_gfds(
     (``auto``/``legacy``/``snapshot``) — pinned by tests to be
     result-invisible.
 
+    ``eval_mode`` selects how evidence and support/confidence tallies
+    are computed (pinned by tests to be result-invisible too):
+    ``"auto"`` answers the aggregate queries by factorised variable
+    elimination — no match enumeration at all — whenever the pattern
+    factorises, the cap does not bite, and no explicit evidence sample
+    was requested; ``"enumerate"`` forces the match-list path;
+    ``"factorised"`` forces elimination and raises when it cannot apply.
+
     For parallel, warm-engine mining over the same primitives use
     :meth:`repro.session.ValidationSession.discover`, which produces the
     identical mined rule set.
     """
+    if eval_mode not in EVAL_MODES:
+        raise ValueError(f"unknown eval mode {eval_mode!r}")
+    if eval_mode == "factorised" and sample_size is not None:
+        raise ValueError(
+            "eval_mode='factorised' cannot honour an explicit evidence "
+            "sample (sampling draws from materialised matches)"
+        )
     tallies = []
     for pattern in candidate_patterns(
         graph, max_edges=max_edges, top_edges=top_edges
     ):
         matcher = SubgraphMatcher(pattern, graph, backend=backend)
+        plan = None
+        if eval_mode != "enumerate" and sample_size is None:
+            plan = matcher.factorised_plan()
+            if plan is None and eval_mode == "factorised":
+                raise ValueError(
+                    "eval_mode='factorised' but a candidate pattern does "
+                    "not factorise (cyclic structure or legacy backend)"
+                )
+        if plan is not None:
+            count, aggregate = matcher.evidence(eval_mode="factorised")
+            if min(count, max_matches) < min_support:
+                continue
+            if count <= max_matches:
+                deps = aggregate.propose(pattern, max_attrs)
+                for (lhs, rhs), (supported, satisfied) in zip(
+                    deps,
+                    matcher.dependency_tallies(deps, eval_mode=eval_mode),
+                ):
+                    tallies.append(
+                        (pattern, (lhs, rhs), supported, satisfied)
+                    )
+                continue
+            # The cap bites: tallies are defined over the canonical
+            # prefix of the match set, which factorised aggregates
+            # cannot see — fall through to enumeration.
         # The lazy enumeration feeds a bounded heap: O(max_matches)
         # memory however many matches the pattern has.
         matches = canonical_matches(matcher.matches(), cap=max_matches)

@@ -676,6 +676,15 @@ class GraphSnapshot:
             return self.in_uniq[idx]
         return ()
 
+    def neighbour_pool(self, idx: int, code: int, out: bool):
+        """Directional pool: ``out_pool``/``in_pool`` behind one knob.
+
+        The factorised eliminator walks condensed edges whose direction
+        is data (a per-constraint flag), not code shape — this keeps its
+        inner loop branch-free on the caller side.
+        """
+        return self.out_pool(idx, code) if out else self.in_pool(idx, code)
+
     def edge_ok(self, src_idx: int, dst_idx: int, code: int) -> bool:
         """Whether edge ``src -> dst`` exists with label ``code``."""
         if code >= 0:

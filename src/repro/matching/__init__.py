@@ -7,6 +7,7 @@ from .candidates import (
     degree_filter,
     label_candidates,
 )
+from .factorised import EVAL_MODES, FactorisedPlan, build_plan
 from .vf2 import (
     Match,
     MatchStats,
@@ -25,6 +26,9 @@ from .locality import (
 )
 
 __all__ = [
+    "EVAL_MODES",
+    "FactorisedPlan",
+    "build_plan",
     "compute_candidate_indices",
     "compute_candidates",
     "degree_filter",

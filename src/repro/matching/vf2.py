@@ -36,14 +36,20 @@ the traversal cost differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from ..graph.graph import NodeId, PropertyGraph, WILDCARD
 from ..graph.snapshot import GraphSnapshot
 from ..pattern.pattern import GraphPattern, Variable
 from .candidates import compute_candidate_indices, compute_candidates
+from .factorised import EVAL_MODES, FactorisedPlan, build_plan
 
 Match = Dict[Variable, NodeId]
+
+#: Sentinel for "this pivot assignment admits no matches" — distinct from
+#: ``None`` (no restriction at all) in the factorised query paths.
+_NO_MATCH = object()
 
 #: Accepted matcher backends: ``auto`` resolves a PropertyGraph to its
 #: cached snapshot; ``legacy``/``snapshot`` force one path.
@@ -116,6 +122,9 @@ class SubgraphMatcher:
             self._consistent = self._consistent_legacy
         self._cand_nodes: Optional[Dict[Variable, Set[NodeId]]] = None
         self.order = self._plan_order()
+        # Lazily-compiled factorised plan: None = not tried yet, False =
+        # tried and the pattern does not factorise on this backend.
+        self._fact_plan: Union[FactorisedPlan, None, bool] = None
 
     def _compile_pattern(self, snap: GraphSnapshot) -> None:
         """Pre-translate pattern edge labels to interned codes."""
@@ -177,8 +186,11 @@ class SubgraphMatcher:
 
         ``fixed`` pre-assigns variables to graph nodes (pivoted matching,
         Section 6.1: matches "h(x̄) such that h(x̄) includes v_z̄").
-        ``limit`` stops after that many matches.  ``stats`` accumulates
-        search-effort counters.
+        ``limit`` stops after that many matches — per call: the bound
+        applies to the matches *this* iterator yields, regardless of any
+        shared ``stats`` carried over from earlier calls, and
+        ``limit=0`` yields nothing.  ``stats`` accumulates search-effort
+        counters.
         """
         fixed = fixed or {}
         stats = stats if stats is not None else MatchStats()
@@ -191,33 +203,189 @@ class SubgraphMatcher:
             for var, node in fixed.items():
                 idx = index_of.get(node)
                 if idx is None or idx not in self._cand[var]:
-                    return  # incompatible pivot: no matches
+                    return iter(())  # incompatible pivot: no matches
                 pinned[var] = idx
         else:
             pinned = dict(fixed)
             for var, node in pinned.items():
                 if node not in self._cand[var]:
-                    return  # incompatible pivot: no matches
+                    return iter(())  # incompatible pivot: no matches
         if len(set(pinned.values())) != len(pinned):
-            return  # pivot assignment not injective
+            return iter(())  # pivot assignment not injective
         mapping = dict(pinned)
         used = set(pinned.values())
         # Validate edges among fixed variables up front.
         for var in pinned:
             if not self._consistent(var, mapping[var], mapping, skip=var):
-                return
+                return iter(())
         order = [v for v in self.order if v not in pinned]
-        yield from self._search(order, 0, mapping, used, limit, stats)
+        found = self._search(order, 0, mapping, used, stats)
+        if limit is not None:
+            return islice(found, limit)
+        return found
 
     def first_match(self, fixed: Optional[Match] = None) -> Optional[Match]:
         """The first match found, or ``None``."""
         return next(self.matches(fixed=fixed, limit=1), None)
 
     def count_matches(
-        self, fixed: Optional[Match] = None, stats: Optional[MatchStats] = None
+        self,
+        fixed: Optional[Match] = None,
+        stats: Optional[MatchStats] = None,
+        eval_mode: str = "auto",
     ) -> int:
-        """Total number of matches (materialises nothing)."""
+        """Total number of matches (materialises nothing).
+
+        ``eval_mode`` selects the evaluation strategy: ``"auto"``
+        answers by factorised variable elimination when the pattern's
+        join structure permits (see :mod:`repro.matching.factorised`)
+        and enumerates otherwise; ``"factorised"`` forces elimination
+        (raising :class:`ValueError` when the pattern does not
+        factorise); ``"enumerate"`` forces the VF2 walk.
+        """
+        plan = self._plan_for(eval_mode)
+        if plan is not None:
+            restrict = self._pin_indices(fixed)
+            if restrict is _NO_MATCH:
+                return 0
+            return plan.count(restrict, stats=stats)
         return sum(1 for _ in self.matches(fixed=fixed, stats=stats))
+
+    def evidence(
+        self,
+        graph: Optional[PropertyGraph] = None,
+        fixed: Optional[Match] = None,
+        eval_mode: str = "auto",
+        stats: Optional[MatchStats] = None,
+    ):
+        """``(count, EvidenceAggregate)`` over the full match set.
+
+        Equivalent to folding every match through
+        :meth:`repro.core.discovery.EvidenceAggregate.add`, but under
+        ``eval_mode="auto"``/``"factorised"`` computed without
+        enumerating when the pattern factorises.  ``graph`` supplies
+        node attributes (snapshots index structure only) and defaults
+        to the matcher's own ``PropertyGraph``; pass it explicitly when
+        the matcher was built directly on a snapshot.
+        """
+        from ..core.discovery import EvidenceAggregate
+
+        source = graph if graph is not None else self.graph
+        if source is None:
+            raise ValueError(
+                "evidence() needs a PropertyGraph for attribute lookups"
+            )
+        plan = self._plan_for(eval_mode)
+        if plan is not None:
+            restrict = self._pin_indices(fixed)
+            if restrict is _NO_MATCH:
+                return 0, EvidenceAggregate()
+            return plan.evidence(source, restrict, stats=stats)
+        aggregate = EvidenceAggregate()
+        for match in self.matches(fixed=fixed, stats=stats):
+            aggregate.add(source, match)
+        return aggregate.count, aggregate
+
+    def dependency_tallies(
+        self,
+        deps,
+        graph: Optional[PropertyGraph] = None,
+        fixed: Optional[Match] = None,
+        eval_mode: str = "auto",
+        stats: Optional[MatchStats] = None,
+    ) -> List[Tuple[int, int]]:
+        """``(supported, satisfied)`` per ``(lhs, rhs)`` candidate.
+
+        The count phase's core query, answered over the *full* match
+        set.  Factorised evaluation handles candidates spanning at most
+        two variables (everything proposal emits); anything else — or an
+        unhashable attribute value — falls back to a single shared
+        enumeration over all candidates.
+        """
+        from ..core.satisfaction import match_satisfies_all
+
+        source = graph if graph is not None else self.graph
+        if source is None:
+            raise ValueError(
+                "dependency_tallies() needs a PropertyGraph for attributes"
+            )
+        plan = self._plan_for(eval_mode)
+        if plan is not None:
+            restrict = self._pin_indices(fixed)
+            if restrict is _NO_MATCH:
+                return [(0, 0) for _ in deps]
+            tallies = plan.dependency_tallies(
+                source, deps, restrict, stats=stats
+            )
+            if tallies is not None:
+                return tallies
+            if eval_mode == "factorised":
+                raise ValueError(
+                    "dependency candidates exceed the factorised plan's "
+                    "supported forms (more than two variables involved, "
+                    "or unhashable attribute values)"
+                )
+        counts = [[0, 0] for _ in deps]
+        for match in self.matches(fixed=fixed, stats=stats):
+            for position, (lhs, rhs) in enumerate(deps):
+                if match_satisfies_all(source, match, lhs):
+                    counts[position][0] += 1
+                    if match_satisfies_all(source, match, rhs):
+                        counts[position][1] += 1
+        return [(supported, satisfied) for supported, satisfied in counts]
+
+    # ------------------------------------------------------------------
+    # factorised evaluation plumbing
+    # ------------------------------------------------------------------
+    def factorised_plan(self) -> Optional[FactorisedPlan]:
+        """The compiled factorised plan, or ``None`` if not factorisable.
+
+        Compiled lazily on first use and cached on the matcher (the
+        engine's block materialiser caches matchers per pattern, so the
+        plan survives across work units exactly like the candidate
+        sets).  Always ``None`` on the legacy backend — elimination
+        runs on the snapshot's CSR index.
+        """
+        plan = self._fact_plan
+        if plan is None:
+            plan = build_plan(self.pattern, self.snapshot, self._cand)
+            self._fact_plan = plan if plan is not None else False
+        return plan or None
+
+    def _plan_for(self, eval_mode: str) -> Optional[FactorisedPlan]:
+        if eval_mode not in EVAL_MODES:
+            raise ValueError(f"unknown eval mode {eval_mode!r}")
+        if eval_mode == "enumerate":
+            return None
+        plan = self.factorised_plan()
+        if plan is None and eval_mode == "factorised":
+            raise ValueError(
+                "pattern does not factorise (cyclic join structure, too "
+                "many variables, or legacy backend); use eval_mode='auto' "
+                "or 'enumerate'"
+            )
+        return plan
+
+    def _pin_indices(self, fixed: Optional[Match]):
+        """Translate ``fixed`` to an index-space restriction.
+
+        Mirrors :meth:`matches`' pivot validation exactly: unknown
+        variables raise, incompatible or non-injective assignments
+        admit no matches (returned as :data:`_NO_MATCH`)."""
+        if not fixed:
+            return None
+        index_of = self.snapshot.index
+        restrict: Dict[Variable, int] = {}
+        for var, node in fixed.items():
+            if var not in self.pattern:
+                raise KeyError(f"unknown pattern variable {var!r}")
+            idx = index_of.get(node)
+            if idx is None or idx not in self._cand[var]:
+                return _NO_MATCH
+            restrict[var] = idx
+        if len(set(restrict.values())) != len(restrict):
+            return _NO_MATCH
+        return restrict
 
     # ------------------------------------------------------------------
     # search internals
@@ -228,7 +396,6 @@ class SubgraphMatcher:
         index: int,
         mapping: Dict[Variable, object],
         used: Set,
-        limit: Optional[int],
         stats: MatchStats,
     ) -> Iterator[Match]:
         if index == len(order):
@@ -244,11 +411,9 @@ class SubgraphMatcher:
                 continue
             mapping[var] = node
             used.add(node)
-            yield from self._search(order, index + 1, mapping, used, limit, stats)
+            yield from self._search(order, index + 1, mapping, used, stats)
             del mapping[var]
             used.discard(node)
-            if limit is not None and stats.matches >= limit:
-                return
 
     def _emit(self, mapping: Dict[Variable, object]) -> Match:
         if self.snapshot is not None:
@@ -407,6 +572,9 @@ def count_matches(
     pattern: GraphPattern,
     graph: Union[PropertyGraph, GraphSnapshot],
     backend: str = "auto",
+    eval_mode: str = "auto",
 ) -> int:
     """Number of matches of ``pattern`` in ``graph``."""
-    return SubgraphMatcher(pattern, graph, backend=backend).count_matches()
+    return SubgraphMatcher(pattern, graph, backend=backend).count_matches(
+        eval_mode=eval_mode
+    )

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.locality import candidate_permutations
-from ..matching.vf2 import MatchStats, SubgraphMatcher
+from ..matching.vf2 import _NO_MATCH, MatchStats, SubgraphMatcher
 from ..core.discovery import EvidenceAggregate, match_items_key
 from ..core.gfd import GFD
 from ..core.satisfaction import match_satisfies_all
@@ -52,13 +52,17 @@ class UnitResult:
     it empty and return their data — matches or dependency tallies — in
     ``payload`` (a value-comparable tuple, so results stay identical
     across execution backends).  ``steps`` counts full-enumeration
-    extensions for every kind.
+    extensions for every kind.  ``enumerated`` records whether a VF2
+    enumeration actually ran for this unit — ``False`` for match-store
+    replays and factorised evaluation; the session surfaces the per-
+    phase sum as :attr:`repro.session.DiscoveryPhase.vf2_units`.
     """
 
     violations: Set[Violation]
     steps: int
     block_size: int
     payload: Optional[tuple] = None
+    enumerated: bool = False
 
 
 @dataclass
@@ -363,6 +367,127 @@ def _execute_detect(
         violations=violations,
         steps=steps if replay is not None else stats.steps,
         block_size=unit.block_size,
+        enumerated=replay is None,
+    )
+
+
+def _factorised_mine(
+    sigma: Sequence[GFD],
+    unit: WorkUnit,
+    materialiser: BlockMaterialiser,
+    strict: bool,
+) -> Optional[UnitResult]:
+    """The aggregate mine result by factorised evaluation, if possible.
+
+    Sums the leader pattern's evidence over the unit's re-expanded pivot
+    permutations straight off the block's factorised plan — no VF2, and
+    nothing deposited in the match store (there are no matches to
+    retain; later phases on the factorised path don't replay either).
+    Returns ``None`` when the pattern does not factorise on this block
+    (``strict`` raises instead — the ``eval_mode="factorised"``
+    contract).
+    """
+    block, matcher = materialiser.matcher(
+        sigma, unit.group.leader_index, unit.block_nodes
+    )
+    plan = matcher.factorised_plan()
+    if plan is None:
+        if strict:
+            raise ValueError(
+                "eval_mode='factorised' but the unit's leader pattern "
+                "does not factorise"
+            )
+        return None
+    leader = sigma[unit.group.leader_index]
+    stats = MatchStats()
+    count = 0
+    aggregate = EvidenceAggregate()
+    for pinned in candidate_permutations(
+        leader.pattern, leader.pivot, unit.pivot_assignment
+    ):
+        restrict = matcher._pin_indices(pinned)
+        if restrict is _NO_MATCH:
+            continue
+        pin_count, pin_aggregate = plan.evidence(block, restrict, stats=stats)
+        count += pin_count
+        aggregate.merge(pin_aggregate)
+    return UnitResult(
+        violations=set(),
+        steps=stats.steps,
+        block_size=unit.block_size,
+        payload=("agg", count, aggregate.to_payload()),
+    )
+
+
+def _factorised_count(
+    sigma: Sequence[GFD],
+    unit: WorkUnit,
+    materialiser: BlockMaterialiser,
+    member_deps,
+    strict: bool,
+) -> Optional[UnitResult]:
+    """The count-unit tallies by factorised evaluation, if possible.
+
+    Falls back (``None``) as one whole unit — pattern not factorisable,
+    a member candidate spanning more than two variables, or unhashable
+    attribute values — so the enumeration fallback stays a single
+    shared VF2 walk over all members, exactly as before.
+    """
+    block, matcher = materialiser.matcher(
+        sigma, unit.group.leader_index, unit.block_nodes
+    )
+    plan = matcher.factorised_plan()
+    if plan is None or not all(
+        plan.supports_tallies(deps) for deps in member_deps
+    ):
+        if strict:
+            raise ValueError(
+                "eval_mode='factorised' but the unit does not factorise "
+                "(cyclic pattern or unsupported dependency forms)"
+            )
+        return None
+    leader = sigma[unit.group.leader_index]
+    stats = MatchStats()
+    counts = [[[0, 0] for _ in deps] for deps in member_deps]
+    for pinned in candidate_permutations(
+        leader.pattern, leader.pivot, unit.pivot_assignment
+    ):
+        restrict = matcher._pin_indices(pinned)
+        if restrict is _NO_MATCH:
+            continue
+        for member_pos, deps in enumerate(member_deps):
+            tallies = plan.dependency_tallies(
+                block, deps, restrict, stats=stats
+            )
+            if tallies is None:
+                if strict:
+                    raise ValueError(
+                        "eval_mode='factorised' but a dependency "
+                        "candidate's attribute values are unhashable"
+                    )
+                return None
+            for tally, (supported, satisfied) in zip(
+                counts[member_pos], tallies
+            ):
+                tally[0] += supported
+                tally[1] += satisfied
+    return UnitResult(
+        violations=set(),
+        steps=stats.steps,
+        block_size=unit.block_size,
+        payload=_sparse_tallies(counts),
+    )
+
+
+def _sparse_tallies(counts) -> tuple:
+    """The count result payload: per member, supported-only triples."""
+    return tuple(
+        tuple(
+            (dep_pos, supported, satisfied)
+            for dep_pos, (supported, satisfied) in enumerate(deps)
+            if supported
+        )
+        for deps in counts
     )
 
 
@@ -465,6 +590,14 @@ def _execute_mine(
             payload=payload,
         )
 
+    if mode == "aggregate" and unit.eval_mode != "enumerate":
+        result = _factorised_mine(
+            sigma, unit, materialiser,
+            strict=unit.eval_mode == "factorised",
+        )
+        if result is not None:
+            return result
+
     stats = MatchStats()
     block, matches = _pinned_matches(sigma, unit, materialiser, stats)
 
@@ -492,6 +625,7 @@ def _execute_mine(
             steps=stats.steps,
             block_size=unit.block_size,
             payload=("agg", count, aggregate.to_payload()),
+            enumerated=True,
         )
 
     threshold = max(2 * cap, 4096) if cap is not None else None
@@ -546,6 +680,7 @@ def _execute_mine(
         steps=stats.steps,
         block_size=unit.block_size,
         payload=payload,
+        enumerated=True,
     )
 
 
@@ -580,6 +715,13 @@ def _execute_count(
         steps, items, block = replay
         matches = (dict(match_items) for match_items in items)
     else:
+        if unit.eval_mode != "enumerate":
+            result = _factorised_count(
+                sigma, unit, materialiser, member_deps,
+                strict=unit.eval_mode == "factorised",
+            )
+            if result is not None:
+                return result
         stats = MatchStats()
         block, matches = _pinned_matches(sigma, unit, materialiser, stats)
     for match in matches:
@@ -595,14 +737,8 @@ def _execute_count(
         violations=set(),
         steps=steps if replay is not None else stats.steps,
         block_size=unit.block_size,
-        payload=tuple(
-            tuple(
-                (dep_pos, supported, satisfied)
-                for dep_pos, (supported, satisfied) in enumerate(deps)
-                if supported
-            )
-            for deps in counts
-        ),
+        payload=_sparse_tallies(counts),
+        enumerated=replay is None,
     )
 
 

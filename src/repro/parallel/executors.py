@@ -244,6 +244,13 @@ class MatchStore:
     and scoped by the shard's lifetime: a full or delta reshipment drops
     the store with the shard it described.
 
+    Only *enumerating* units deposit: a ``mine`` unit answered by the
+    factorised plan (``eval_mode`` ``"auto"``/``"factorised"``, see
+    :mod:`repro.matching.factorised`) never materialises matches, so it
+    leaves the store untouched and the count phase factorises too
+    instead of replaying.  Replay is checked *before* factorisation
+    either way, so a warm store keeps winning under ``"auto"``.
+
     Entries record the enumeration's deterministic ``steps`` alongside
     the canonical leader-space match tuples, so a replayed unit charges
     the *identical* simulated cost a fresh enumeration would — warmth

@@ -61,6 +61,12 @@ class WorkUnit:
     coordinator's match cap, ``"count"`` the proposed dependencies;
     results travel back in :attr:`~repro.parallel.engine.UnitResult.
     payload`.
+
+    ``eval_mode`` selects how ``mine``/``count`` units answer their
+    aggregate queries (see :mod:`repro.matching.factorised`): ``auto``
+    factorises when the leader pattern's join structure permits and
+    enumerates otherwise; the explicit modes force one path.  ``detect``
+    units ignore it (violations need witness matches).
     """
 
     group: SharedGroup
@@ -74,6 +80,7 @@ class WorkUnit:
     primary: bool = True
     kind: str = "detect"
     payload: Optional[tuple] = None
+    eval_mode: str = "auto"
 
     @property
     def cost_share(self) -> float:

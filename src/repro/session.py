@@ -79,6 +79,7 @@ from .core.incremental import IncrementalValidator, apply_updates
 from .core.validation import Violation, det_vio
 from .graph.graph import PropertyGraph
 from .graph.partition import Fragmentation
+from .matching.factorised import EVAL_MODES
 from .parallel.assignment import (
     balance_only_assign,
     bicriteria_assign,
@@ -139,7 +140,10 @@ class DiscoveryPhase:
     execution and result folding); ``match_store`` records the resident
     match-store activity — on a warm pool the ``count`` and ``confirm``
     phases replay what ``mine`` enumerated, showing up here as
-    ``misses == 0`` with ``hits > 0``.
+    ``misses == 0`` with ``hits > 0``.  ``vf2_units`` counts the units
+    that actually ran a VF2 enumeration — zero across ``enumerate`` and
+    ``count`` when every candidate pattern evaluated factorised (the
+    default for the acyclic patterns discovery proposes).
     """
 
     phase: str
@@ -150,6 +154,7 @@ class DiscoveryPhase:
     cache: Optional[MaterialiserStats] = None
     wall_seconds: float = 0.0
     match_store: Optional[MatchStoreStats] = None
+    vf2_units: int = 0
 
     @property
     def parallel_time(self) -> float:
@@ -438,6 +443,7 @@ class ValidationSession:
         executor: Optional[str] = None,
         processes: Optional[int] = None,
         confirm: bool = True,
+        eval_mode: str = "auto",
     ) -> DiscoveryRun:
         """Mine GFDs over the session's warm engine.
 
@@ -461,7 +467,23 @@ class ValidationSession:
         pass; otherwise ``DiscoveryRun.violations`` holds its result
         (an uncapped rule mined at confidence 1.0 can never appear in
         it — see :attr:`DiscoveryRun.capped_rules` for the cap caveat).
+
+        ``eval_mode`` is threaded to every mine/count unit (see
+        :func:`~repro.core.discovery.discover_gfds`): under ``"auto"``
+        (default) the aggregate phases answer by factorised variable
+        elimination — zero VF2 enumerations — whenever a unit's leader
+        pattern factorises; witness-needing paths (the capped match
+        fetch, the sampled fallback, confirmation) always enumerate.
+        The mined rule set is eval-mode-invariant.
         """
+        if eval_mode not in EVAL_MODES:
+            raise ValueError(f"unknown eval mode {eval_mode!r}")
+        if eval_mode == "factorised" and sample_size is not None:
+            raise ValueError(
+                "eval_mode='factorised' cannot honour an explicit "
+                "evidence sample (sampling draws from materialised "
+                "matches)"
+            )
         executor = executor if executor is not None else self.executor
         processes = processes if processes is not None else self.processes
         graph = self.graph
@@ -533,12 +555,14 @@ class ValidationSession:
         # The unit payload carries the cap so workers bound what they
         # materialise and ship (see engine._execute_mine).
         mine_plan = [
-            [replace(unit, kind="mine", payload=(max_matches, mine_mode))
+            [replace(unit, kind="mine", payload=(max_matches, mine_mode),
+                     eval_mode=eval_mode)
              for unit in slot]
             for slot in plan
         ]
         mine_results = run_units(probes, graph, mine_plan, cluster, **backend)
         mine_shipping = pool.last_shipping if pool is not None else None
+        mine_vf2 = _count_enumerations(mine_results)
 
         # Merge the units' evidence — worker aggregates in the common
         # path, match lists on the sampled fallback — and propose
@@ -603,7 +627,8 @@ class ValidationSession:
                 fetch_plan = [
                     [
                         replace(unit, kind="mine",
-                                payload=(max_matches, "matches"))
+                                payload=(max_matches, "matches"),
+                                eval_mode="enumerate")
                         for unit in slot
                         if any(member.index in fetch_indices
                                for member in unit.group.members)
@@ -613,6 +638,7 @@ class ValidationSession:
                 fetch_results = run_units(
                     probes, graph, fetch_plan, cluster, **backend
                 )
+                mine_vf2 += _count_enumerations(fetch_results)
                 if pool is not None and mine_shipping is not None:
                     mine_shipping.merge(pool.last_shipping)
                 raw_matches, _ = _gather_match_lists(
@@ -638,6 +664,7 @@ class ValidationSession:
             cache=materialiser.take_stats() if materialiser else None,
             wall_seconds=time.perf_counter() - phase_started,
             match_store=_phase_store_stats(match_store, mine_shipping),
+            vf2_units=mine_vf2,
         ))
 
         # ---- phase 2: count — support/confidence tallies as work units
@@ -689,7 +716,8 @@ class ValidationSession:
         count_plan = [
             [
                 replace(unit, kind="count",
-                        payload=group_payload[id(unit.group)])
+                        payload=group_payload[id(unit.group)],
+                        eval_mode=eval_mode)
                 for unit in slot
                 if any(group_payload[id(unit.group)])
             ]
@@ -724,6 +752,7 @@ class ValidationSession:
                 cache=materialiser.take_stats() if materialiser else None,
                 wall_seconds=time.perf_counter() - phase_started,
                 match_store=_phase_store_stats(match_store, count_shipping),
+                vf2_units=_count_enumerations(count_results),
             ))
 
         # Threshold + naming in the serial reference's iteration order.
@@ -845,6 +874,7 @@ class ValidationSession:
             cache=materialiser.take_stats() if materialiser else None,
             wall_seconds=time.perf_counter() - phase_started,
             match_store=_phase_store_stats(match_store, shipping),
+            vf2_units=_count_enumerations(results),
         )
         return violations, phase
 
@@ -1140,6 +1170,20 @@ class ValidationSession:
             f"ValidationSession(|Σ|={len(self.sigma)}, |G|={self.graph.size}, "
             f"executor={self.executor!r}, pool={pool})"
         )
+
+
+def _count_enumerations(results) -> int:
+    """Units of a phase that actually ran a VF2 enumeration.
+
+    Replayed and factorised units report ``enumerated=False``, so this
+    is exactly the phase's :attr:`DiscoveryPhase.vf2_units`.
+    """
+    return sum(
+        1
+        for slot in results
+        for result in slot
+        if result is not None and result.enumerated
+    )
 
 
 def _phase_store_stats(

@@ -122,6 +122,21 @@ class TestValidateCommand:
         assert payload
         assert payload[0]["rule"] == "unique-capital"
 
+    def test_rejects_negative_limit(self, graph_file, rules_file):
+        # Satellite: --limit -1 used to be accepted and mangle the
+        # "... and N more" arithmetic; argparse now rejects negatives.
+        with pytest.raises(SystemExit):
+            main(["validate", str(graph_file), str(rules_file),
+                  "--limit", "-1"], out=io.StringIO())
+
+    def test_limit_zero_prints_no_witnesses(self, graph_file, rules_file):
+        out = io.StringIO()
+        code = main(["validate", str(graph_file), str(rules_file),
+                     "--limit", "0"], out=out)
+        assert code == 1  # violations still detected and counted
+        assert "violation(s)" in out.getvalue()
+        assert "more" in out.getvalue()  # all witnesses elided
+
     def test_clean_graph_exit_zero(self, tmp_path, rules_file):
         g = PropertyGraph()
         g.add_node("x", "country", {"val": "A"})
@@ -345,3 +360,45 @@ class TestDiscoverCommand:
             with pytest.raises(SystemExit):
                 main(["discover", str(mining_graph_file), flag, "0"],
                      out=io.StringIO())
+
+    def test_discover_rejects_out_of_range_confidence(
+        self, mining_graph_file
+    ):
+        # Satellite: --confidence used to accept any float (1.5, -0.1),
+        # silently mining nothing or everything; now argparse rejects
+        # values outside [0, 1] at parse time.
+        for bad in ("1.5", "-0.1", "nan", "abc"):
+            with pytest.raises(SystemExit):
+                main(["discover", str(mining_graph_file),
+                      "--confidence", bad], out=io.StringIO())
+        # The boundary values stay legal.
+        for ok in ("0", "1.0", "0.95"):
+            code = main(["discover", str(mining_graph_file),
+                         "--support", "5", "--confidence", ok],
+                        out=io.StringIO())
+            assert code == 0
+
+    def test_discover_eval_mode_choices(self, mining_graph_file):
+        with pytest.raises(SystemExit):
+            main(["discover", str(mining_graph_file),
+                  "--eval-mode", "bogus"], out=io.StringIO())
+        outputs = {}
+        for mode in ("auto", "factorised", "enumerate"):
+            out = io.StringIO()
+            code = main(["discover", str(mining_graph_file),
+                         "--support", "5", "--eval-mode", mode], out=out)
+            assert code == 0
+            outputs[mode] = [line for line in out.getvalue().splitlines()
+                             if not line.startswith("#")]
+        # All three evaluation modes mine the same rules.
+        assert outputs["auto"] == outputs["factorised"] \
+            == outputs["enumerate"]
+
+    def test_discover_reports_vf2_units(self, mining_graph_file):
+        out = io.StringIO()
+        assert main(["discover", str(mining_graph_file), "--support", "5",
+                     "--eval-mode", "factorised"], out=out) == 0
+        text = out.getvalue()
+        count_line = next(line for line in text.splitlines()
+                          if line.startswith("# count:"))
+        assert "0 unit(s) ran VF2 enumeration" in count_line

@@ -171,6 +171,89 @@ class TestAggregateEquivalence:
         assert EvidenceAggregate().propose(pattern) == []
 
 
+class TestFactorisedEquivalence:
+    """Tentpole lock: count-only factorised evaluation is observationally
+    identical to VF2 enumeration — exact counts, byte-identical
+    :class:`EvidenceAggregate` payloads, identical dependency tallies,
+    and the same mined rule set — across every workload generator and
+    however the pivot space is partitioned into pinned sub-queries
+    (mirroring the parallel engine's per-unit evaluation)."""
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS,
+                             ids=[name for name, _ in WORKLOADS])
+    def test_counts_evidence_tallies_match_enumeration(self, name, graph):
+        covered = 0
+        for pattern in candidate_patterns(graph)[:8]:
+            matcher = SubgraphMatcher(pattern, graph)
+            if matcher.factorised_plan() is None:
+                continue
+            covered += 1
+            matches = list(matcher.matches())
+            assert matcher.count_matches(eval_mode="factorised") \
+                == len(matches)
+            fact_count, fact_agg = matcher.evidence(eval_mode="factorised")
+            enum_count, enum_agg = matcher.evidence(eval_mode="enumerate")
+            assert fact_count == enum_count == len(matches)
+            # Byte-identical evidence, not merely identical proposals.
+            assert fact_agg.to_payload() == enum_agg.to_payload()
+            deps = enum_agg.propose(pattern)
+            if deps:
+                assert matcher.dependency_tallies(
+                    deps, eval_mode="factorised"
+                ) == matcher.dependency_tallies(
+                    deps, eval_mode="enumerate"
+                )
+        assert covered, f"{name}: no factorisable candidate pattern"
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS,
+                             ids=[name for name, _ in WORKLOADS])
+    @pytest.mark.parametrize("pieces", [1, 2, 3, 5])
+    def test_pinned_partitions_fold_to_whole(self, name, graph, pieces):
+        """Splitting a pattern's pivot space into pinned sub-queries and
+        folding the per-pin factorised evidence reproduces the unpinned
+        whole — the invariant the engine's mine units rely on."""
+        from repro.matching import compute_candidates
+
+        covered = 0
+        for pattern in candidate_patterns(graph)[:4]:
+            matcher = SubgraphMatcher(pattern, graph)
+            if matcher.factorised_plan() is None:
+                continue
+            covered += 1
+            whole_count, whole_agg = matcher.evidence(
+                eval_mode="factorised"
+            )
+            var = min(pattern.variables)
+            nodes = sorted(compute_candidates(pattern, graph)[var], key=str)
+            merged = EvidenceAggregate()
+            total = 0
+            for chunk in chunked(nodes, pieces, seed=pieces):
+                part = EvidenceAggregate()
+                for node in chunk:
+                    pin_count, pin_agg = matcher.evidence(
+                        fixed={var: node}, eval_mode="factorised"
+                    )
+                    total += pin_count
+                    part.merge(pin_agg)
+                merged.merge(part)
+            assert total == whole_count, (name, pieces)
+            assert merged.to_payload() == whole_agg.to_payload()
+        assert covered, f"{name}: no factorisable candidate pattern"
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS,
+                             ids=[name for name, _ in WORKLOADS])
+    def test_mined_rules_identical_across_eval_modes(self, name, graph):
+        runs = {
+            mode: discover_gfds(graph, eval_mode=mode, **PARAMS)
+            for mode in ("auto", "factorised", "enumerate")
+        }
+        keys = {
+            mode: [(d.gfd.name, d.support, d.confidence) for d in run]
+            for mode, run in runs.items()
+        }
+        assert keys["auto"] == keys["factorised"] == keys["enumerate"]
+
+
 class TestFallbackPaths:
     """The two documented match-shipping fallbacks, plus the budget knob."""
 
@@ -232,13 +315,40 @@ class TestFallbackPaths:
         assert count_phase.shipping.full == 0
         assert count_phase.shipping.shipped_nodes == 0
 
+    @pytest.mark.parametrize("executor,processes", [
+        ("simulated", None), ("process", 2),
+    ])
+    def test_eval_modes_agree_with_serial_mining(
+        self, mining_graph, executor, processes
+    ):
+        """Every evaluation mode, on every backend, mines the serial
+        rule set — and the telemetry proves which path actually ran."""
+        serial = discover_gfds(mining_graph, **PARAMS)
+        assert serial
+        reference = [(d.gfd.name, d.support, d.confidence) for d in serial]
+        for mode in ("auto", "factorised", "enumerate"):
+            with ValidationSession(
+                mining_graph, [], executor=executor, processes=processes
+            ) as session:
+                run = session.discover(n=3, eval_mode=mode, **PARAMS)
+            assert [(d.gfd.name, d.support, d.confidence)
+                    for d in run.rules] == reference, (executor, mode)
+            if mode == "factorised":
+                # Strict mode: zero VF2 enumerations in mine and count.
+                assert run.phase("enumerate").vf2_units == 0
+                assert run.phase("count").vf2_units == 0
+            if mode == "enumerate":
+                assert run.phase("enumerate").vf2_units > 0
+
     def test_tiny_match_budget_evicts_and_reenumerates(self, mining_graph):
+        # Pinned under eval_mode="enumerate": the eviction/re-enumeration
+        # degradation path only exists when mining deposits matches.
         serial = discover_gfds(mining_graph, **PARAMS)
         with ValidationSession(
             mining_graph, [], executor="process", processes=2,
             match_store_budget=8,
         ) as session:
-            run = session.discover(n=3, **PARAMS)
+            run = session.discover(n=3, eval_mode="enumerate", **PARAMS)
             count_phase = run.phase("count")
         assert [(d.gfd.name, d.support, d.confidence) for d in run.rules] \
             == [(d.gfd.name, d.support, d.confidence) for d in serial]

@@ -133,15 +133,18 @@ class TestProcessDiscoveryDifferential:
 
     @pytest.mark.parametrize("seed", SEEDS[:2])
     def test_count_and_confirm_replay_resident_matches(self, workloads, seed):
-        """The tentpole pin: on a persistent pool the count and confirm
-        phases replay the matches mine left resident — zero VF2
+        """The PR-5 tentpole pin: on a persistent pool the count and
+        confirm phases replay the matches mine left resident — zero VF2
         re-enumerations (``misses == 0``) — and a warm repeat replays
-        its enumerate phase too."""
+        its enumerate phase too.  Replay requires enumerated matches to
+        exist, so this pin runs under ``eval_mode="enumerate"`` (the
+        factorised default deposits nothing — there are no matches to
+        retain)."""
         graph, serial = workloads[seed]
         with ValidationSession(
             graph, [], executor="process", processes=2
         ) as session:
-            cold = session.discover(n=3, **PARAMS)
+            cold = session.discover(n=3, eval_mode="enumerate", **PARAMS)
             enumerate_store = cold.phase("enumerate").match_store
             assert enumerate_store.stored > 0  # mine deposited matches
             for name in ("count", "confirm"):
@@ -150,7 +153,7 @@ class TestProcessDiscoveryDifferential:
                     continue
                 assert phase.match_store.misses == 0, name
                 assert phase.match_store.hits > 0, name
-            warm = session.discover(n=3, **PARAMS)
+            warm = session.discover(n=3, eval_mode="enumerate", **PARAMS)
             assert [mined_key(d) for d in warm.rules] == [
                 mined_key(d) for d in serial
             ]
@@ -231,10 +234,12 @@ class TestSimulatedDiscoveryDifferential:
     def test_simulated_count_replays_coordinator_store(self, workloads):
         """The simulated backend keeps a coordinator-side match store
         with the same replay semantics as the worker-resident ones —
-        and replay never changes the reported cost figures."""
+        and replay never changes the reported cost figures.  Pinned
+        under ``eval_mode="enumerate"``: factorised mining deposits no
+        matches, so there would be nothing to replay."""
         graph, _ = workloads[0]
         with ValidationSession(graph, [], executor="simulated") as session:
-            run = session.discover(n=2, **PARAMS)
+            run = session.discover(n=2, eval_mode="enumerate", **PARAMS)
         count_phase = run.phase("count")
         assert count_phase.match_store.misses == 0
         assert count_phase.match_store.hits > 0

@@ -117,3 +117,30 @@ class TestDiscovery:
         g.add_node("b", "y", {"A": 1})
         g.add_edge("a", "b", "e")
         assert discover_gfds(g, min_support=5) == []
+
+    def test_zero_min_support_skips_unsupported_premises(self):
+        # Regression: with min_support=0 a proposal whose premise no
+        # match satisfied reached confidence = satisfied / 0.
+        g = PropertyGraph()
+        for i in range(8):
+            g.add_node(f"p{i}", "person", {"A": f"u{i}"})
+            g.add_node(f"c{i}", "city", {"A": f"w{i}"})
+            g.add_edge(f"p{i}", f"c{i}", "lives_in")
+        mined = discover_gfds(g, min_support=0, min_confidence=0.0)
+        assert all(0.0 <= m.confidence <= 1.0 for m in mined)
+        assert all(m.support > 0 for m in mined)
+
+    def test_select_rules_zero_supported_no_division(self):
+        from repro.core.discovery import candidate_patterns, select_rules
+        from repro.core.literals import ConstantLiteral
+
+        g = PropertyGraph()
+        g.add_node("a", "t", {"A": "v"})
+        g.add_node("b", "u", None)
+        g.add_edge("a", "b", "e")
+        pattern = candidate_patterns(g)[0]
+        dep = ((ConstantLiteral("x", "A", "never"),),
+               (ConstantLiteral("x", "A", "v"),))
+        rules = select_rules([(pattern, dep, 0, 0)],
+                             min_support=0, min_confidence=0.0)
+        assert rules == []  # skipped, not ZeroDivisionError

@@ -126,6 +126,26 @@ class TestMatcherFeatures:
         limited = list(find_matches(q, g2, limit=3))
         assert len(limited) == 3
 
+    def test_limit_zero_yields_nothing(self, g2):
+        # Regression: limit=0 used to be checked only *after* the first
+        # match was yielded, so one match slipped through.
+        q = parse_pattern("x:account -like-> y:blog")
+        assert list(find_matches(q, g2, limit=0)) == []
+        matcher = SubgraphMatcher(q, g2)
+        assert list(matcher.matches(limit=0)) == []
+
+    def test_limit_is_per_call_under_shared_stats(self, g2):
+        # Regression: the limit used to be compared against the shared
+        # stats object's *cumulative* match count, so a second run with
+        # the same stats stopped early (or returned nothing at all).
+        q = parse_pattern("x:account -like-> y:blog")
+        shared = MatchStats()
+        first = list(find_matches(q, g2, limit=3, stats=shared))
+        second = list(find_matches(q, g2, limit=3, stats=shared))
+        assert len(first) == 3
+        assert second == first
+        assert shared.matches == 6  # stats still accumulate across calls
+
     def test_stats_accumulate(self, q2, g3):
         stats = MatchStats()
         list(find_matches(q2, g3, stats=stats))
@@ -135,6 +155,67 @@ class TestMatcherFeatures:
     def test_count(self, g2):
         q = parse_pattern("x:account -like-> y:blog")
         assert count_matches(q, g2) == 8
+
+
+class TestEvalModeKnob:
+    """The ``eval_mode`` switch on the counting/evidence entry points."""
+
+    def test_count_matches_modes_agree(self, g2):
+        q = parse_pattern("x:account -like-> y:blog")
+        matcher = SubgraphMatcher(q, g2)
+        reference = len(list(matcher.matches()))
+        for mode in ("auto", "factorised", "enumerate"):
+            assert matcher.count_matches(eval_mode=mode) == reference
+
+    def test_pinned_count_matches_modes_agree(self, g2):
+        q = parse_pattern("x:account -like-> y:blog")
+        matcher = SubgraphMatcher(q, g2)
+        pins = [{"x": node} for node in sorted(
+            SubgraphMatcher(q, g2).candidates["x"], key=str
+        )]
+        for fixed in pins:
+            reference = len(list(matcher.matches(fixed=fixed)))
+            for mode in ("auto", "factorised", "enumerate"):
+                assert matcher.count_matches(
+                    fixed=fixed, eval_mode=mode
+                ) == reference
+        # A non-injective pin is zero under every mode.
+        q2 = parse_pattern("x:account -like-> y:blog; x2:account -like-> y")
+        matcher2 = SubgraphMatcher(q2, g2)
+        account = sorted(matcher2.candidates["x"], key=str)[0]
+        for mode in ("auto", "factorised", "enumerate"):
+            assert matcher2.count_matches(
+                fixed={"x": account, "x2": account}, eval_mode=mode
+            ) == 0
+
+    def test_cyclic_pattern_falls_back_to_enumeration(self):
+        g = graph_from_edges(
+            [("a", "e", "b"), ("b", "e", "c"), ("c", "e", "a")],
+            node_labels={"a": "n", "b": "n", "c": "n"},
+        )
+        q = parse_pattern("x:n -e-> y:n; y -e-> z:n; z -e-> x")
+        matcher = SubgraphMatcher(q, g)
+        assert matcher.factorised_plan() is None
+        assert matcher.count_matches(eval_mode="auto") == 3
+        with pytest.raises(ValueError):
+            matcher.count_matches(eval_mode="factorised")
+
+    def test_unknown_eval_mode_rejected(self, g2):
+        q = parse_pattern("x:account -like-> y:blog")
+        with pytest.raises(ValueError):
+            SubgraphMatcher(q, g2).count_matches(eval_mode="bogus")
+
+    def test_evidence_counts_stats_not_matches(self, g2):
+        """Factorised evidence must not inflate ``stats.matches`` — the
+        whole point is that no match is ever materialised."""
+        q = parse_pattern("x:account -like-> y:blog")
+        matcher = SubgraphMatcher(q, g2)
+        stats = MatchStats()
+        count, aggregate = matcher.evidence(eval_mode="factorised",
+                                            stats=stats)
+        assert count == aggregate.count == 8
+        assert stats.matches == 0
+        assert stats.steps > 0  # the DP work is still accounted for
 
 
 class TestCandidates:
