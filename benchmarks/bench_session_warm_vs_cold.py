@@ -19,11 +19,15 @@ from __future__ import annotations
 import os
 import statistics
 import time
+import warnings
+
+import pytest
 
 from repro import ValidationSession, det_vio, generate_gfds, power_law_graph, rep_val
+from repro.parallel import shm_available
 from repro.parallel.executors import usable_cpus
 
-from _bench_utils import emit_table
+from _bench_utils import emit_json, emit_table
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -92,3 +96,88 @@ def test_session_warm_beats_cold_repval(benchmark):
         benchmark.pedantic(
             lambda: session.validate(n=4), rounds=1, iterations=1
         )
+
+
+#: a mapped cold start may not cost more than this multiple of the
+#: pickled one — the floor that keeps the zero-copy path honest even on
+#: runners where the shards are too small for shm to win outright.
+COLD_START_FLOOR = 3.0
+
+
+@pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable on this host"
+)
+def test_cold_start_ship_modes():
+    """Cold-start section: pickle vs shm shard transport, first run only.
+
+    The shard plane's claim is about *warmup*: a cold ``validate()``
+    ships every worker its full shard, and with ``ship_mode="shm"`` that
+    shipment is a zero-copy mapping — ``shard_bytes`` must be ~0 with
+    every byte accounted under ``mapped_bytes`` instead, and the mapped
+    cold start must stay within :data:`COLD_START_FLOOR` of the pickled
+    one.  Results land in ``results/session_cold_start.txt`` and
+    ``results/session_shipping.json``.
+    """
+    nodes, edges = (900, 1800) if QUICK else (2000, 4000)
+    rounds = 3
+    graph = power_law_graph(nodes, edges, seed=10, domain_size=25)
+    sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=10)
+    expected = det_vio(sigma, graph)
+
+    timings = {}
+    shipping = {}
+    for mode in ("pickle", "shm"):
+        walls = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with ValidationSession(
+                    graph, sigma, executor="process", processes=4,
+                    ship_mode=mode,
+                ) as session:
+                    run = session.validate(n=4)
+            walls.append(time.perf_counter() - started)
+            assert run.violations == expected
+        timings[mode] = statistics.median(walls)
+        stats = run.shipping
+        shipping[mode] = {
+            "full": stats.full,
+            "shard_bytes": stats.shard_bytes,
+            "mapped": stats.mapped,
+            "mapped_bytes": stats.mapped_bytes,
+            "sigma_bytes": stats.sigma_bytes,
+            "median_cold_wall_s": timings[mode],
+        }
+
+    # The accounting pins: mapped volume is not shipped volume.
+    assert shipping["shm"]["shard_bytes"] == 0, shipping["shm"]
+    assert shipping["shm"]["mapped_bytes"] > 0, shipping["shm"]
+    assert shipping["pickle"]["mapped_bytes"] == 0, shipping["pickle"]
+    assert shipping["pickle"]["shard_bytes"] > 0, shipping["pickle"]
+
+    ratio = timings["shm"] / timings["pickle"] if timings["pickle"] else 1.0
+    cpus = usable_cpus()
+    emit_table(
+        "session_cold_start",
+        ["ship mode", "median cold wall s", "shard B", "mapped B", "cpus"],
+        [
+            ("pickle", f"{timings['pickle']:.3f}",
+             shipping["pickle"]["shard_bytes"],
+             shipping["pickle"]["mapped_bytes"], cpus),
+            ("shm", f"{timings['shm']:.3f}",
+             shipping["shm"]["shard_bytes"],
+             shipping["shm"]["mapped_bytes"], cpus),
+        ],
+    )
+    emit_json("session_shipping", {
+        "quick": QUICK,
+        "workers": 4,
+        "usable_cpus": cpus,
+        "cold_start": shipping,
+        "shm_over_pickle_wall_ratio": ratio,
+    })
+    assert ratio <= COLD_START_FLOOR, (
+        f"shm cold start {ratio:.2f}x the pickled one "
+        f"(floor {COLD_START_FLOOR}x)"
+    )

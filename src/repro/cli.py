@@ -110,7 +110,7 @@ def _detect(graph, rules, args):
     n = args.processes or max(1, usable_cpus())
     with ValidationSession(
         graph, rules, executor=args.executor, processes=args.processes,
-        persistent=False,
+        persistent=False, ship_mode=args.ship_mode,
     ) as session:
         return session.validate(n=n).violations
 
@@ -172,7 +172,8 @@ def cmd_bench(args, out: TextIO) -> int:
     rules = parse_rule_file(Path(args.rules).read_text())
     fragmentation = greedy_edge_cut_partition(graph, args.workers, seed=0)
     with ValidationSession(
-        graph, rules, executor=args.executor, processes=args.processes
+        graph, rules, executor=args.executor, processes=args.processes,
+        ship_mode=args.ship_mode,
     ) as session:
         for iteration in range(args.repeat):
             started = time.perf_counter()
@@ -211,6 +212,13 @@ def cmd_bench(args, out: TextIO) -> int:
             f"{sum(s.sigma_bytes for s in stats)} sigma, "
             f"{sum(s.payload_bytes for s in stats)} unit payload\n"
         )
+        if any(s.mapped for s in stats):
+            out.write(
+                f"mapped via shared memory (final iteration): "
+                f"{sum(s.mapped for s in stats)} shard(s), "
+                f"{sum(s.mapped_bytes for s in stats)} byte(s) "
+                "(zero-copy, not shipped)\n"
+            )
     else:
         out.write("shipping (final iteration): none "
                   "(simulated executor ships nothing)\n")
@@ -233,7 +241,7 @@ def cmd_discover(args, out: TextIO) -> int:
         session_options["match_store_budget"] = args.match_budget
     with ValidationSession(
         graph, [], executor=args.executor, processes=args.processes,
-        **session_options,
+        ship_mode=args.ship_mode, **session_options,
     ) as session:
         run = session.discover(
             min_support=args.support,
@@ -263,6 +271,11 @@ def cmd_discover(args, out: TextIO) -> int:
                 f"{shipping.shard_bytes + shipping.sigma_bytes} shard+sigma "
                 f"byte(s), {shipping.payload_bytes} unit-payload byte(s)"
             )
+            if shipping.mapped:
+                line += (
+                    f", {shipping.mapped_bytes} byte(s) shm-mapped "
+                    f"({shipping.mapped} shard(s))"
+                )
         store = phase.match_store
         if store is not None and (store.hits or store.misses):
             line += (
@@ -354,8 +367,15 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="execution backend: cost-simulated serial run, "
                              "a real process pool, or auto-selection")
     parser.add_argument("--processes", type=_positive_int, default=None,
-                        help="cap the real process pool "
-                             "(executor=process/auto)")
+                        help="size the real process pool "
+                             "(executor=process/auto; oversubscribing the "
+                             "CPUs is honoured with a warning)")
+    parser.add_argument("--ship-mode", choices=["pickle", "shm", "auto"],
+                        default="auto", dest="ship_mode",
+                        help="how full shards reach worker processes: "
+                             "pickled blobs over the pipe, zero-copy "
+                             "shared-memory arenas, or size-based "
+                             "auto-selection")
 
 
 def build_parser() -> argparse.ArgumentParser:

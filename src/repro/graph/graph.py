@@ -327,6 +327,31 @@ class PropertyGraph:
         self._snapshot_delta = []
         return self._snapshot_cache
 
+    def adopt_snapshot(self, snapshot: "GraphSnapshot") -> None:
+        """Install ``snapshot`` as this graph's cached indexed view.
+
+        The caller warrants the snapshot indexes exactly this graph's
+        current structure *in insertion order* — the shared-memory shard
+        plane uses this after rebuilding a worker-side graph from the
+        very arena snapshot it adopts, so the warrant holds by
+        construction.  From here on the normal delta-maintenance
+        contract applies, as if :meth:`snapshot` had built it.
+        """
+        self._snapshot_cache = snapshot
+        self._snapshot_version = self._version
+        self._snapshot_delta = []
+
+    def drop_snapshot_cache(self) -> None:
+        """Forget the cached snapshot (the next :meth:`snapshot` rebuilds).
+
+        Used when the cached view must not be patched further — e.g. a
+        worker releasing a shared-memory arena its mapped snapshot still
+        references.
+        """
+        self._snapshot_cache = None
+        self._snapshot_version = -1
+        self._snapshot_delta = []
+
     # ------------------------------------------------------------------
     # pickling
     # ------------------------------------------------------------------

@@ -69,6 +69,24 @@ histograms and degree arrays — is rebuilt on unpickling from the CSR in
 one ``O(|V| + |E|)`` pass.  This keeps the pickled payload within a small
 factor of :meth:`GraphSnapshot.memory_estimate` (guarded by tests) rather
 than paying for the set-heavy derived structures twice.
+
+Arena layout (zero-copy shipping)
+---------------------------------
+
+The nine primary arrays (:data:`GraphSnapshot.ARENA_FIELDS`) can also
+live in one contiguous, ``memoryview``-sliceable byte arena:
+:meth:`GraphSnapshot.write_arena` lays them out back to back in a caller-
+supplied buffer (a ``multiprocessing.shared_memory`` segment, a
+``bytearray``, an mmap — anything buffer-protocol) and returns a compact
+layout descriptor; :meth:`GraphSnapshot.from_arena` reattaches by casting
+``memoryview`` slices over the buffer *without copying* and rebuilding
+the derived indices locally, exactly as unpickling does.  The executor
+layer's :class:`~repro.parallel.executors.ShardPlane` uses this to map
+shards across co-located processes instead of pickling them.  A mapped
+snapshot is read-only until :meth:`GraphSnapshot.materialise` copies the
+views into private ``array`` storage — :meth:`apply_delta` does so
+automatically, because index patching needs ``insert``/``pop`` on the
+rows (the one thing a flat mapped buffer cannot do).
 """
 
 from __future__ import annotations
@@ -81,6 +99,9 @@ from .graph import Edge, NodeId, PropertyGraph, WILDCARD
 #: Pattern-edge label codes with no concrete interned id.
 WILD_CODE = -1  #: the wildcard label — matches any edge label
 ABSENT_CODE = -2  #: a label the snapshot has never seen — matches nothing
+
+#: The one typecode every primary array uses (and the arena is cast to).
+ARENA_TYPECODE = "l"
 
 
 class GraphSnapshot:
@@ -120,6 +141,7 @@ class GraphSnapshot:
         "pair_src",
         "pair_dst",
         "num_edges",
+        "arena",
     )
 
     def __init__(self, graph: PropertyGraph) -> None:
@@ -158,6 +180,7 @@ class GraphSnapshot:
         self.in_offsets, self.in_nbrs, self.in_labs = self._build_csr(
             graph, index, edge_label_ids, out=False
         )
+        self.arena = None
         self._derive_indices()
 
     def _build_csr(
@@ -209,12 +232,25 @@ class GraphSnapshot:
     )
 
     def __getstate__(self) -> Dict[str, object]:
-        """Primary structures only — derived indices are rebuilt on load."""
-        return {name: getattr(self, name) for name in self._PICKLED_FIELDS}
+        """Primary structures only — derived indices are rebuilt on load.
+
+        Mapped (arena-backed) snapshots hold ``memoryview`` primaries,
+        which cannot pickle; they are copied into plain ``array`` form on
+        the way out, so a pickle round-trip always yields a private,
+        fully materialised snapshot.
+        """
+        state = {}
+        for name in self._PICKLED_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, memoryview):
+                value = array(ARENA_TYPECODE, value)
+            state[name] = value
+        return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         for name in self._PICKLED_FIELDS:
             setattr(self, name, state[name])
+        self.arena = None
         self._derive_indices()
 
     def _derive_indices(self) -> None:
@@ -325,6 +361,127 @@ class GraphSnapshot:
         return row_slices, tuple(sorted(uniq_row)), row_hist
 
     # ------------------------------------------------------------------
+    # shared-memory arena (zero-copy shipping)
+    # ------------------------------------------------------------------
+    #: the nine primary arrays, in arena layout order: everything a
+    #: snapshot stores as a flat ``array("l")`` — the six CSR arrays, the
+    #: node-label codes, and the two degree arrays.
+    ARENA_FIELDS = (
+        "label_codes",
+        "out_offsets",
+        "out_nbrs",
+        "out_labs",
+        "in_offsets",
+        "in_nbrs",
+        "in_labs",
+        "out_deg",
+        "in_deg",
+    )
+
+    @property
+    def mapped(self) -> bool:
+        """Whether the primary arrays are views into a shared arena."""
+        return self.arena is not None
+
+    def arena_nbytes(self) -> int:
+        """Byte size of the contiguous arena :meth:`write_arena` fills."""
+        return sum(
+            len(getattr(self, name)) for name in self.ARENA_FIELDS
+        ) * array(ARENA_TYPECODE).itemsize
+
+    def identity_state(self) -> Tuple[List, List[str], List[str]]:
+        """The non-array primary state an arena cannot carry.
+
+        ``(node_ids, node_label_names, edge_label_names)`` — together
+        with the arena bytes this is exactly :attr:`_PICKLED_FIELDS`, so
+        ``from_arena(buffer, layout, identity)`` reconstructs the same
+        snapshot a pickle round-trip would, minus the array copies.
+        """
+        return (self.node_ids, self.node_label_names, self.edge_label_names)
+
+    def write_arena(self, buffer) -> Tuple[Tuple[str, int, int], ...]:
+        """Lay the nine primary arrays contiguously into ``buffer``.
+
+        ``buffer`` is any writable buffer of at least
+        :meth:`arena_nbytes` bytes (a ``shared_memory`` segment's
+        ``.buf``, a ``bytearray``, …).  Returns the layout — one
+        ``(field, start, length)`` triple per array, positions in items
+        of :data:`ARENA_TYPECODE` — which :meth:`from_arena` needs to
+        reattach.  Works on materialised and mapped snapshots alike.
+        """
+        itemsize = array(ARENA_TYPECODE).itemsize
+        view = memoryview(buffer)
+        layout = []
+        offset = 0
+        for name in self.ARENA_FIELDS:
+            arr = getattr(self, name)
+            data = bytes(arr)
+            view[offset : offset + len(data)] = data
+            layout.append((name, offset // itemsize, len(arr)))
+            offset += len(data)
+        return tuple(layout)
+
+    @classmethod
+    def from_arena(
+        cls,
+        buffer,
+        layout: Sequence[Tuple[str, int, int]],
+        identity: Tuple[List, List[str], List[str]],
+        keep_alive=None,
+    ) -> "GraphSnapshot":
+        """Attach a snapshot over an arena *without copying* it.
+
+        The primary arrays become read-only ``memoryview`` slices of
+        ``buffer``; derived indices are rebuilt locally (the same
+        ``O(|V| + |E|)`` pass unpickling runs).  ``identity`` is
+        :meth:`identity_state` of the snapshot that wrote the arena.
+        ``keep_alive`` (e.g. a ``SharedMemory`` handle) is retained on
+        :attr:`arena` so the mapping outlives the caller's reference;
+        without it the buffer itself is retained.  The views stay valid
+        only while the backing buffer does — close/unlink the segment
+        only after dropping the snapshot or calling :meth:`materialise`.
+        """
+        snap = object.__new__(cls)
+        node_ids, node_label_names, edge_label_names = identity
+        snap.node_ids = list(node_ids)
+        snap.node_label_names = list(node_label_names)
+        snap.edge_label_names = list(edge_label_names)
+        view = memoryview(buffer)
+        if not view.readonly:
+            view = view.toreadonly()
+        typed = view.cast(ARENA_TYPECODE)
+        fields = {}
+        for name, start, length in layout:
+            fields[name] = typed[start : start + length]
+        for name in cls._PICKLED_FIELDS:
+            if name in fields:
+                setattr(snap, name, fields[name])
+        snap.arena = keep_alive if keep_alive is not None else buffer
+        snap._derive_indices()
+        # The degree arrays are derivable (and _derive_indices just
+        # rebuilt them); rebind to the mapped views so all nine primaries
+        # genuinely share the arena's storage.
+        snap.out_deg = fields["out_deg"]
+        snap.in_deg = fields["in_deg"]
+        return snap
+
+    def materialise(self) -> "GraphSnapshot":
+        """Copy mapped primaries into private storage; release the arena.
+
+        No-op on an already-materialised snapshot.  After this the
+        snapshot no longer references its backing buffer, so the shared
+        segment can be closed/unlinked safely.
+        """
+        if self.arena is None:
+            return self
+        for name in self.ARENA_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, memoryview):
+                setattr(self, name, array(ARENA_TYPECODE, value))
+        self.arena = None
+        return self
+
+    # ------------------------------------------------------------------
     # delta maintenance (incremental index patching)
     # ------------------------------------------------------------------
     def apply_delta(self, ops: Sequence[Tuple]) -> None:
@@ -358,7 +515,14 @@ class GraphSnapshot:
         ``tests/test_snapshot_delta.py``); interned *codes* may differ —
         a delta never renumbers surviving labels, a rebuild re-interns in
         first-seen order.
+
+        A *mapped* (arena-backed) snapshot is materialised first: row
+        splicing needs ``insert``/``pop`` on the flat arrays, which a
+        shared arena cannot provide — patching demotes the snapshot to a
+        private local copy (see :meth:`materialise`).
         """
+        if self.arena is not None:
+            self.materialise()
         for op in ops:
             kind = op[0]
             if kind == "edge+":

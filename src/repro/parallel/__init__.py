@@ -30,14 +30,17 @@ from .engine import (
 )
 from .executors import (
     EXECUTORS,
+    SHIP_MODES,
     MatchStore,
     MatchStoreStats,
     MultiprocessExecutor,
     ShardCache,
+    ShardPlane,
     ShippingStats,
     SimulatedExecutor,
     execute_plan,
     resolve_executor,
+    shm_available,
     worker_graph,
 )
 from .repval import rep_nop, rep_ran, rep_val
@@ -78,12 +81,15 @@ __all__ = [
     "run_units",
     "sequential_run",
     "EXECUTORS",
+    "SHIP_MODES",
     "MultiprocessExecutor",
     "ShardCache",
+    "ShardPlane",
     "ShippingStats",
     "SimulatedExecutor",
     "execute_plan",
     "resolve_executor",
+    "shm_available",
     "worker_graph",
     "rep_nop",
     "rep_ran",

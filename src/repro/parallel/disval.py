@@ -44,6 +44,7 @@ def dis_val(
     seed: int = 0,
     executor: str = "simulated",
     processes: Optional[int] = None,
+    ship_mode: str = "auto",
 ) -> ValidationRun:
     """Compute ``Vio(Σ, G)`` over a fragmented graph.
 
@@ -54,7 +55,8 @@ def dis_val(
     ``"auto"``); with ``"process"`` each worker process receives and
     indexes only its shard — the resident share of its assigned blocks —
     mirroring ``dlovalVio``'s locally-available data after prefetching
-    (see :mod:`repro.parallel.executors`).
+    (see :mod:`repro.parallel.executors`); ``ship_mode`` picks how those
+    shards travel (``"pickle"``/``"shm"``/``"auto"`` — the shard plane).
 
     This is a thin facade over the session layer: each call constructs a
     throwaway (non-persistent) :class:`~repro.session.ValidationSession`
@@ -72,6 +74,7 @@ def dis_val(
         processes=processes,
         cost_model=cost_model,
         persistent=False,
+        ship_mode=ship_mode,
     ) as session:
         return session.validate(
             fragmentation=fragmentation,

@@ -884,6 +884,7 @@ def run_assignment(
     shard_cache: Optional["ShardCache"] = None,
     epoch: Optional[str] = None,
     sigma_key: Optional[object] = None,
+    ship_mode: str = "auto",
 ) -> Set[Violation]:
     """Execute a per-worker unit assignment, charging costs as measured.
 
@@ -904,7 +905,9 @@ def run_assignment(
     :func:`~repro.parallel.executors.resolve_executor`).  ``pool`` lends
     a caller-owned :class:`~repro.parallel.executors.MultiprocessExecutor`
     (a session's persistent pool) to the process backend, with
-    ``shard_cache``/``epoch`` enabling warm shard shipping.  Cost
+    ``shard_cache``/``epoch`` enabling warm shard shipping.  ``ship_mode``
+    selects how ad-hoc pools ship full shards (pickle vs. shared-memory
+    mapping; lent pools keep their own configured mode).  Cost
     charging happens on the coordinator from the per-unit measurements
     either way, so all backends yield identical violations *and*
     identical cluster reports.
@@ -927,6 +930,7 @@ def run_assignment(
         shard_cache=shard_cache,
         epoch=epoch,
         sigma_key=sigma_key,
+        ship_mode=ship_mode,
     )
     for worker, worker_units in enumerate(assignment):
         for unit, result in zip(worker_units, results[worker]):
@@ -975,6 +979,7 @@ def run_units(
     epoch: Optional[str] = None,
     sigma_key: Optional[object] = None,
     match_store: Optional["MatchStore"] = None,
+    ship_mode: str = "auto",
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan and return the per-unit results, charging costs.
 
@@ -1000,6 +1005,7 @@ def run_units(
         epoch=epoch,
         sigma_key=sigma_key,
         match_store=match_store,
+        ship_mode=ship_mode,
     )
     for worker, worker_units in enumerate(plan):
         for unit, result in zip(worker_units, results[worker]):

@@ -48,6 +48,31 @@ every slot holds so consecutive runs over a reused fragmentation ship
 only the block-share *delta* (or, when nothing changed, nothing at all);
 :class:`ShippingStats` reports full/delta/reuse counts and worker pids
 per run.
+
+Ship modes (the shard plane)
+----------------------------
+
+``ship_mode`` selects how full shards travel to worker processes:
+
+* ``"pickle"`` — the portable baseline: the shard graph is pickled once
+  (:func:`pack_shard`) and sent over the worker pipe;
+* ``"shm"`` — the zero-copy path: a :class:`ShardPlane` writes the
+  shard's :class:`~repro.graph.snapshot.GraphSnapshot` arena (nine
+  primary CSR arrays, see ``GraphSnapshot.ARENA_FIELDS``) plus a small
+  pickled sidecar (node ids, label tables, attributes) into one
+  ``multiprocessing.shared_memory`` segment; only the segment *name* and
+  layout travel over the pipe, and the worker attaches and rebuilds
+  derived indices locally.  Mapped volume is reported as
+  ``ShippingStats.mapped_bytes`` — never as shipped ``shard_bytes``;
+* ``"auto"`` (default) — ``"shm"`` for shards of at least
+  :data:`AUTO_SHM_MIN_SIZE` size units when shared memory works on this
+  platform, ``"pickle"`` otherwise.
+
+Deltas and Σ swaps always use the pipe (they are small by construction —
+that is the point of shipping them); a delta against a mapped shard
+demotes the worker's copy to private storage and retires the segment.
+Both modes produce byte-identical results — the differential suite pins
+``shm`` ≡ ``pickle`` across the executor matrix.
 """
 
 from __future__ import annotations
@@ -59,15 +84,23 @@ import pickle
 import sys
 import threading
 import traceback
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing.reduction import ForkingPickler
 from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..graph.graph import PropertyGraph
+from ..graph.snapshot import GraphSnapshot
 from ..core.gfd import GFD
 from .workload import WorkUnit
+
+try:  # pragma: no cover - present on every supported CPython
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exotic builds
+    resource_tracker = None
+    shared_memory = None
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import BlockMaterialiser, UnitResult
@@ -78,6 +111,43 @@ EXECUTORS = ("simulated", "process", "auto")
 #: ``auto`` only reaches for processes when the plan has at least this
 #: many primary units — below it, pool start-up dwarfs the matching work.
 AUTO_MIN_PRIMARY_UNITS = 8
+
+#: Accepted shard ship modes (see the module docstring's "Ship modes").
+SHIP_MODES = ("pickle", "shm", "auto")
+
+#: ``ship_mode="auto"`` maps a shard only from this ``|V| + |E|`` size
+#: up — below it the segment create/attach syscalls cost more than the
+#: pickle they replace.
+AUTO_SHM_MIN_SIZE = 256
+
+#: name prefix of every shard-plane segment (leak checks grep for it)
+SHM_NAME_PREFIX = "rgfd"
+
+_SEG_IDS = itertools.count()
+_SHM_WORKS: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether shared-memory segments actually work on this host.
+
+    Probed once per process (create + attach + unlink of a tiny
+    segment): ``multiprocessing.shared_memory`` may import fine and
+    still fail at runtime (no ``/dev/shm``, sandboxed tmpfs, …) — the
+    ``"auto"`` ship mode falls back to pickle in that case.
+    """
+    global _SHM_WORKS
+    if _SHM_WORKS is None:
+        if shared_memory is None:
+            _SHM_WORKS = False
+        else:
+            try:
+                seg = shared_memory.SharedMemory(create=True, size=16)
+                seg.close()
+                seg.unlink()
+                _SHM_WORKS = True
+            except Exception:
+                _SHM_WORKS = False
+    return _SHM_WORKS
 
 
 def usable_cpus() -> int:
@@ -107,7 +177,12 @@ def resolve_executor(
     busy_workers = sum(1 for units in plan if units)
     cpus = usable_cpus()
     if processes is not None:
-        cpus = min(processes, cpus)  # the pool is capped by both anyway
+        # Effective *parallelism* for the auto decision: an explicit
+        # ``processes`` above the CPU count is honoured by the pool
+        # (with a RuntimeWarning, see ``MultiprocessExecutor.start``),
+        # but oversubscription never makes real processes pay off more,
+        # so it must not make auto more eager either.
+        cpus = min(processes, cpus)
     if busy_workers > 1 and primaries >= AUTO_MIN_PRIMARY_UNITS and cpus > 1:
         return "process"
     return "simulated"
@@ -133,14 +208,19 @@ def worker_graph(
 
 
 def _run_worker_units(
-    payload: Tuple[Sequence[GFD], PropertyGraph, List[WorkUnit]]
+    payload: Tuple[Sequence[GFD], Tuple, List[WorkUnit]]
 ) -> List["UnitResult"]:
     """Worker-process entry point: execute primary units over the shard.
 
-    Module-level (picklable) by construction.  Builds one shard-local
-    :class:`~repro.parallel.engine.BlockMaterialiser` so blocks shared by
-    the worker's own units are indexed once, exactly as on the
-    coordinator path.
+    Module-level (picklable) by construction.  The shard arrives as a
+    tagged reference (see :func:`attach_shard_ref`) — the raw graph on
+    the pickle path, a shared-memory segment name on the shm path.
+    Builds one shard-local :class:`~repro.parallel.engine.
+    BlockMaterialiser` so blocks shared by the worker's own units are
+    indexed once, exactly as on the coordinator path.  One-shot pool
+    workers outlive the task, so a mapped segment is detached in
+    ``finally`` — the coordinator unlinks names only after all futures
+    resolve.
     """
     from .engine import (
         BlockMaterialiser,
@@ -149,11 +229,19 @@ def _run_worker_units(
         expand_count_payloads,
     )
 
-    sigma, shard, units = payload
-    materialiser = BlockMaterialiser(shard)
-    units = expand_count_payloads(units)
-    results = [execute_unit(sigma, shard, unit, materialiser) for unit in units]
-    consolidate_slot_results(units, results)
+    sigma, shard_ref, units = payload
+    shard, segment = attach_shard_ref(shard_ref)
+    try:
+        materialiser = BlockMaterialiser(shard)
+        units = expand_count_payloads(units)
+        results = [
+            execute_unit(sigma, shard, unit, materialiser) for unit in units
+        ]
+        consolidate_slot_results(units, results)
+    finally:
+        if segment is not None:
+            shard.drop_snapshot_cache()
+            segment.close()
     return results
 
 
@@ -166,28 +254,16 @@ def next_epoch(prefix: str = "run") -> str:
     return f"{prefix}-{os.getpid()}-{next(_EPOCHS)}"
 
 
-def payload_size(obj) -> int:
-    """Pickled size of ``obj`` — the byte measure ShippingStats reports.
-
-    Uses the same pickler the worker pipes use, so the figure matches
-    what actually travels (modulo the envelope).  Measuring re-pickles
-    (the pipe's own serialisation is not observable from here) — cheap
-    for the small payload categories this is applied to; the one big
-    payload, the shard itself, is instead pickled exactly once via
-    :func:`pack_shard` and shipped as the measured blob.
-    """
-    return len(ForkingPickler.dumps(obj))
-
-
 def pack_shard(data) -> bytes:
-    """Serialise a shard payload once, for both the wire and the stats.
+    """Serialise a shipping payload once, for both the wire and the stats.
 
-    Full shard graphs are the dominant shipment; re-pickling them just
-    to measure would double the coordinator's serialisation cost.  The
-    coordinator therefore ships the pickled blob (pickling ``bytes``
-    inside the batch message is a near-free memcpy) and reads its
-    length for ``ShippingStats.shard_bytes``; the worker unpacks with
-    :func:`unpack_shard`.
+    Every measured payload category — full shard graphs, deltas, rule
+    sets, unit input/result payloads — is pickled exactly once here;
+    the coordinator (or worker) ships the blob itself (pickling
+    ``bytes`` inside a pipe message is a near-free memcpy) and reads
+    its length for the matching ``ShippingStats`` field.  Re-pickling
+    purely to measure would double the serialisation cost and could
+    drift from what actually travels; the blob's length cannot.
     """
     return bytes(ForkingPickler.dumps(data))
 
@@ -195,6 +271,168 @@ def pack_shard(data) -> bytes:
 def unpack_shard(blob: bytes):
     """Worker-side inverse of :func:`pack_shard`."""
     return pickle.loads(blob)
+
+
+class ShardPlane:
+    """Coordinator-side registry of shared-memory shard segments.
+
+    One per :class:`MultiprocessExecutor`.  :meth:`publish` lays a shard
+    out as one segment — the snapshot arena (nine flat CSR arrays, a
+    straight ``memcpy`` on both ends) followed by a pickled sidecar
+    (node ids, label tables, per-node attribute dicts) — and returns the
+    compact *reference* that travels over the worker pipe instead of the
+    shard itself.  Workers attach by name (:func:`attach_shard_ref`).
+
+    Lifecycle: publishing a slot retires that slot's previous segment;
+    :meth:`unlink` retires one slot (the coordinator does this when a
+    delta demotes the worker's mapped shard); :meth:`close` retires
+    everything (executor shutdown, session close, worker-crash
+    teardown).  Retiring means close + unlink — POSIX keeps existing
+    worker mappings valid until the worker itself closes them, so
+    unlinking eagerly never races the consumer; it only guarantees the
+    name cannot leak.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[int, "shared_memory.SharedMemory"] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def segment_names(self) -> List[str]:
+        """Names of the currently published segments (tests/leak checks)."""
+        return [seg.name for seg in self._segments.values()]
+
+    def publish(self, slot: int, shard: PropertyGraph) -> Tuple[Tuple, int]:
+        """Publish ``shard`` for ``slot``; returns ``(ref, segment_bytes)``.
+
+        ``ref`` is the tagged tuple the worker resolves with
+        :func:`attach_shard_ref`; ``segment_bytes`` is the mapped volume
+        (``ShippingStats.mapped_bytes`` — deliberately *not* counted as
+        shipped ``shard_bytes``: nothing but the reference travels).
+        """
+        snapshot = shard.snapshot()
+        identity = snapshot.identity_state()
+        attrs = [shard.attrs(node) for node in snapshot.node_ids]
+        sidecar = pack_shard((identity, attrs))
+        arena_nbytes = snapshot.arena_nbytes()
+        total = arena_nbytes + len(sidecar)
+        seg = shared_memory.SharedMemory(
+            name=f"{SHM_NAME_PREFIX}-{os.getpid()}-{next(_SEG_IDS)}",
+            create=True,
+            size=max(1, total),
+        )
+        layout = snapshot.write_arena(seg.buf[:arena_nbytes])
+        seg.buf[arena_nbytes:total] = sidecar
+        self.unlink(slot)
+        self._segments[slot] = seg
+        ref = ("shm", seg.name, layout, arena_nbytes, len(sidecar))
+        return ref, total
+
+    def unlink(self, slot: int) -> None:
+        """Retire ``slot``'s segment, if any (idempotent)."""
+        seg = self._segments.pop(slot, None)
+        if seg is None:
+            return
+        try:
+            seg.close()
+        finally:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        """Retire every published segment (idempotent)."""
+        for slot in list(self._segments):
+            self.unlink(slot)
+
+
+def _attach_untracked(name: str):
+    """Attach a named segment without resource-tracker registration.
+
+    CPython < 3.13 registers every ``SharedMemory`` — attachments
+    included — with the resource tracker, which unlinks all registered
+    names at process exit and warns about them as leaks.  Only the
+    coordinator owns segment lifetime here, so attach-side registration
+    must be suppressed (the 3.13+ ``track=False`` parameter, by hand).
+    Suppression — rather than ``unregister`` after the fact — matters
+    under the fork start method: workers share the coordinator's tracker
+    process, whose name cache is a set, so a worker-side unregister
+    would silently drop the *coordinator's* registration too (and the
+    coordinator's own unlink would then trip a tracker ``KeyError``).
+    """
+    if resource_tracker is None:  # pragma: no cover - exotic builds
+        return shared_memory.SharedMemory(name=name)
+    registered = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = registered
+
+
+def attach_shard_ref(ref: Tuple) -> Tuple[PropertyGraph, Optional[object]]:
+    """Worker-side resolution of a shard reference to a live graph.
+
+    ``("pickle", blob_or_graph)`` unpickles (or passes through) the
+    shard; ``("shm", name, layout, arena_nbytes, sidecar_len)`` attaches
+    the named segment, rebuilds the shard graph from the mapped arena +
+    sidecar, and *adopts* the mapped snapshot as the graph's cached
+    indexed view — zero-copy for all nine primary arrays; derived
+    indices are rebuilt locally, exactly as unpickling would.
+
+    Returns ``(shard, segment)``; ``segment`` is the worker's
+    ``SharedMemory`` handle to close when the shard is dropped (``None``
+    on the pickle path).
+    """
+    tag = ref[0]
+    if tag == "pickle":
+        blob = ref[1]
+        shard = unpack_shard(blob) if isinstance(blob, bytes) else blob
+        return shard, None
+    if tag != "shm":
+        raise ValueError(f"unknown shard ref tag {tag!r}")
+    _, name, layout, arena_nbytes, sidecar_len = ref
+    seg = _attach_untracked(name)
+    try:
+        identity, attrs = unpack_shard(
+            seg.buf[arena_nbytes : arena_nbytes + sidecar_len]
+        )
+        snapshot = GraphSnapshot.from_arena(
+            seg.buf[:arena_nbytes], layout, identity, keep_alive=seg
+        )
+        shard = _graph_from_snapshot(snapshot, attrs)
+    except BaseException:
+        seg.close()
+        raise
+    return shard, seg
+
+
+def _graph_from_snapshot(
+    snapshot: GraphSnapshot, attrs: Sequence[Dict]
+) -> PropertyGraph:
+    """Rebuild a shard graph from a (mapped) snapshot + attribute rows.
+
+    Nodes are added in ``node_ids`` order, so the rebuilt graph's
+    insertion order matches the snapshot's interning — the precondition
+    of :meth:`~repro.graph.graph.PropertyGraph.adopt_snapshot`.
+    """
+    g = PropertyGraph()
+    ids = snapshot.node_ids
+    label_names = snapshot.node_label_names
+    label_codes = snapshot.label_codes
+    for idx, node in enumerate(ids):
+        g.add_node(node, label_names[label_codes[idx]], attrs[idx] or None)
+    offsets, nbrs, labs = (
+        snapshot.out_offsets, snapshot.out_nbrs, snapshot.out_labs
+    )
+    edge_names = snapshot.edge_label_names
+    for src_idx, src in enumerate(ids):
+        for pos in range(offsets[src_idx], offsets[src_idx + 1]):
+            g.add_edge(src, ids[nbrs[pos]], edge_names[labs[pos]])
+    g.adopt_snapshot(snapshot)
+    return g
 
 
 @dataclass
@@ -352,26 +590,36 @@ class ShippingStats:
     phases or a mined-Σ confirmation pass swaps Σ without touching the
     shard — block shares stay at zero).
 
-    The ``*_bytes`` fields measure the run's payload volume via pickle
-    size (:func:`payload_size`): ``sigma_bytes`` the rule sets shipped
-    (full shipments and warm Σ-swaps alike), ``shard_bytes`` the
-    block-share payloads (full shards and deltas), and
-    ``payload_bytes`` the work units' kind-specific data path — unit
-    input payloads coordinator→worker plus result payloads
-    worker→coordinator.  Discovery's aggregate-vs-match-list shipping
-    win is the ``payload_bytes`` delta.  ``match_store`` carries the
-    run's worker-resident match-store activity (``None`` until a
-    persistent run reports).
+    The ``*_bytes`` fields measure the run's payload volume as the
+    length of the blob that was actually serialised for the wire
+    (serialise-once: the measured bytes *are* the shipped bytes):
+    ``sigma_bytes`` the rule sets shipped (full shipments and warm
+    Σ-swaps alike), ``shard_bytes`` the block-share payloads (pickled
+    full shards and deltas), and ``payload_bytes`` the work units'
+    kind-specific data path — unit input payloads coordinator→worker
+    plus result payloads worker→coordinator.  Discovery's
+    aggregate-vs-match-list shipping win is the ``payload_bytes`` delta.
+
+    ``mapped``/``mapped_bytes`` count full shipments that travelled as
+    shared-memory segments instead (``ship_mode="shm"``/``"auto"``, see
+    :class:`ShardPlane`): mapped volume is resident-shared, not copied
+    through a pipe, so it is deliberately **excluded** from
+    ``shard_bytes`` — a co-located shm run reports ``mapped_bytes > 0``
+    with ``shard_bytes ≈ 0``.  ``match_store`` carries the run's
+    worker-resident match-store activity (``None`` until a persistent
+    run reports).
     """
 
     full: int = 0
     delta: int = 0
     reused: int = 0
+    mapped: int = 0
     shipped_nodes: int = 0
     shipped_ops: int = 0
     shipped_sigma: int = 0
     sigma_bytes: int = 0
     shard_bytes: int = 0
+    mapped_bytes: int = 0
     payload_bytes: int = 0
     match_store: Optional[MatchStoreStats] = None
     worker_pids: Dict[int, int] = field(default_factory=dict)
@@ -383,11 +631,13 @@ class ShippingStats:
         self.full += other.full
         self.delta += other.delta
         self.reused += other.reused
+        self.mapped += other.mapped
         self.shipped_nodes += other.shipped_nodes
         self.shipped_ops += other.shipped_ops
         self.shipped_sigma += other.shipped_sigma
         self.sigma_bytes += other.sigma_bytes
         self.shard_bytes += other.shard_bytes
+        self.mapped_bytes += other.mapped_bytes
         self.payload_bytes += other.payload_bytes
         if other.match_store is not None:
             if self.match_store is None:
@@ -568,15 +818,35 @@ class _ResidentShard:
     :class:`MatchStore`): populated by ``mine`` units, replayed by
     ``count``/``detect`` units, and scoped to the shard — reshipping or
     patching the shard drops it, reusing the shard keeps it warm.
+
+    ``segment`` is the worker's handle on the shared-memory segment a
+    mapped shard is backed by (``None`` on the pickle path), closed via
+    :meth:`release_segment` when the shard is dropped or patched.
     """
 
-    __slots__ = ("sigma", "shard", "materialiser", "match_store")
+    __slots__ = ("sigma", "shard", "materialiser", "match_store", "segment")
 
-    def __init__(self, sigma, shard, materialiser, match_store) -> None:
+    def __init__(
+        self, sigma, shard, materialiser, match_store, segment=None
+    ) -> None:
         self.sigma = sigma
         self.shard = shard
         self.materialiser = materialiser
         self.match_store = match_store
+        self.segment = segment
+
+    def release_segment(self) -> None:
+        """Detach from the backing shared-memory segment, if any.
+
+        The shard's adopted mapped snapshot still references the arena,
+        so it is dropped first (a later ``snapshot()`` call rebuilds a
+        private index) — then the mapping can be closed safely.
+        """
+        if self.segment is None:
+            return
+        self.shard.drop_snapshot_cache()
+        self.segment.close()
+        self.segment = None
 
 
 def _apply_shard_op(shard: PropertyGraph, op: Tuple) -> None:
@@ -593,12 +863,32 @@ def _apply_shard_op(shard: PropertyGraph, op: Tuple) -> None:
         raise ValueError(f"unknown shard op {kind!r}")
 
 
+def _restore_unit_payloads(
+    units: Sequence[WorkUnit], blob: Optional[bytes]
+) -> Sequence[WorkUnit]:
+    """Reattach the unit input payloads shipped as one packed blob.
+
+    The coordinator strips ``unit.payload`` before pickling the units
+    and ships the payload tuple as a single :func:`pack_shard` blob —
+    serialised exactly once, measured from its length (the
+    ``payload_bytes`` accounting).  ``None`` means no unit had one.
+    """
+    if blob is None:
+        return units
+    payloads = unpack_shard(blob)
+    return [
+        replace(unit, payload=payload) if payload is not None else unit
+        for unit, payload in zip(units, payloads)
+    ]
+
+
 def _run_slot(
     cache: Dict[Tuple[str, int], _ResidentShard],
     slot: int,
     mode: str,
     payload,
     units: Sequence[WorkUnit],
+    unit_payloads: Optional[bytes] = None,
 ) -> List["UnitResult"]:
     """Worker-side execution of one plan slot with shard-cache handling."""
     from .engine import (
@@ -609,18 +899,23 @@ def _run_slot(
     )
 
     if mode == "full":
-        epoch, sigma, blob, match_budget = payload
-        shard = unpack_shard(blob)
+        epoch, sigma_blob, shard_ref, match_budget = payload
+        shard, segment = attach_shard_ref(shard_ref)
         for key in [k for k in cache if k[1] == slot and k[0] != epoch]:
-            del cache[key]  # one resident shard per slot
+            cache.pop(key).release_segment()  # one resident shard per slot
         entry = _ResidentShard(
-            sigma, shard, BlockMaterialiser(shard), MatchStore(match_budget)
+            unpack_shard(sigma_blob), shard, BlockMaterialiser(shard),
+            MatchStore(match_budget), segment,
         )
         cache[(epoch, slot)] = entry
     elif mode == "delta":
-        epoch, blob, sigma = payload
+        epoch, blob, sigma_blob = payload
         ops, add_nodes, add_edges = unpack_shard(blob)
         entry = cache[(epoch, slot)]
+        # A mapped shard demotes to a private copy before patching: row
+        # splicing cannot happen inside a read-only arena, and the
+        # coordinator has already retired the slot's segment.
+        entry.release_segment()
         shard = entry.shard
         for op in ops:
             _apply_shard_op(shard, op)
@@ -633,20 +928,21 @@ def _run_slot(
         # equally stale, equally dropped.
         entry.materialiser = BlockMaterialiser(shard)
         entry.match_store.clear()
-        if sigma is not None:
-            entry.sigma = sigma
+        if sigma_blob is not None:
+            entry.sigma = unpack_shard(sigma_blob)
     else:  # reuse: shard, snapshot *and* block cache stay warm
-        epoch, sigma = payload
+        epoch, sigma_blob = payload
         entry = cache[(epoch, slot)]
-        if sigma is not None:
+        if sigma_blob is not None:
             # New rule set over the same resident shard (discovery's
             # phases, a mined-Σ confirmation pass): blocks and snapshots
             # stay warm; per-pattern matchers are dropped so stale
             # patterns don't accumulate.  Resident matches are keyed by
             # pattern *content*, so they survive the Σ swap — that is
             # what lets count/confirm replay what mine enumerated.
-            entry.sigma = sigma
+            entry.sigma = unpack_shard(sigma_blob)
             entry.materialiser.drop_matchers()
+    units = _restore_unit_payloads(units, unit_payloads)
     units = expand_count_payloads(units)
     results = [
         execute_unit(
@@ -657,6 +953,25 @@ def _run_slot(
     ]
     consolidate_slot_results(units, results)
     return results
+
+
+def _pack_result_payloads(
+    results: List["UnitResult"],
+) -> Optional[bytes]:
+    """Strip result payloads into one packed blob for the reply.
+
+    Mirror of :func:`_restore_unit_payloads` for the worker→coordinator
+    direction: the payload tuple is serialised exactly once, its length
+    is the accounting, and the results travel payload-free.  Returns
+    ``None`` when no result carries one.
+    """
+    payloads = tuple(result.payload for result in results)
+    if not any(payload is not None for payload in payloads):
+        return None
+    blob = pack_shard(payloads)
+    for result in results:
+        result.payload = None
+    return blob
 
 
 def _persistent_worker_main(conn) -> None:
@@ -671,10 +986,14 @@ def _persistent_worker_main(conn) -> None:
         if message[0] == "stop":
             break
         try:
-            replies = [
-                (slot, _run_slot(cache, slot, mode, payload, units))
-                for slot, mode, payload, units in message[1]
-            ]
+            replies = []
+            for slot, mode, payload, units, unit_payloads in message[1]:
+                slot_results = _run_slot(
+                    cache, slot, mode, payload, units, unit_payloads
+                )
+                replies.append(
+                    (slot, slot_results, _pack_result_payloads(slot_results))
+                )
             # Per-batch match-store slice, summed over this worker's
             # resident shards (untouched entries contribute zeros) — the
             # coordinator aggregates these into the run's ShippingStats.
@@ -688,6 +1007,8 @@ def _persistent_worker_main(conn) -> None:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover
             break  # coordinator went away mid-run
+    for entry in cache.values():
+        entry.release_segment()
     conn.close()
 
 
@@ -790,10 +1111,23 @@ class MultiprocessExecutor:
         processes: Optional[int] = None,
         start_method: Optional[str] = None,
         match_store_budget: int = MATCH_STORE_BUDGET,
+        ship_mode: str = "auto",
     ) -> None:
         if processes is not None and processes < 1:
             raise ValueError("need at least one process")
+        if ship_mode not in SHIP_MODES:
+            raise ValueError(
+                f"unknown ship_mode {ship_mode!r}; expected one of {SHIP_MODES}"
+            )
+        if ship_mode == "shm" and not shm_available():
+            raise ValueError(
+                "ship_mode='shm' requested but shared memory does not work "
+                "on this host; use 'pickle' or 'auto'"
+            )
         self.processes = processes
+        #: how full shards travel (see the module docstring's Ship modes)
+        self.ship_mode = ship_mode
+        self._plane: Optional[ShardPlane] = None
         #: worker-resident match-store budget (matches retained per
         #: resident shard); shipped with every full shard payload.
         self.match_store_budget = match_store_budget
@@ -827,13 +1161,26 @@ class MultiprocessExecutor:
     def start(self, size: Optional[int] = None) -> "MultiprocessExecutor":
         """Fork the persistent pool (idempotent).
 
-        ``size`` defaults to ``processes`` capped by usable CPUs.
+        ``size`` defaults to ``processes`` (or usable CPUs when unset).
+        An explicit request above the usable CPU count is *honoured* —
+        oversubscription is legitimate for I/O-heavy or test workloads —
+        but warns loudly, because it used to be silently clamped and
+        never speeds up CPU-bound matching.
         """
         if self._procs:
             return self
         if size is None:
-            size = min(self.processes or usable_cpus(), usable_cpus())
+            size = self.processes or usable_cpus()
         size = max(1, size)
+        cpus = usable_cpus()
+        if size > cpus:
+            warnings.warn(
+                f"starting {size} persistent worker processes on {cpus} "
+                "usable CPU(s): the explicit request is honoured, but the "
+                "pool is oversubscribed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         context = multiprocessing.get_context(self.start_method)
         for _ in range(size):
             parent, child = context.Pipe()
@@ -847,7 +1194,11 @@ class MultiprocessExecutor:
         return self
 
     def shutdown(self) -> None:
-        """Stop the persistent pool (idempotent; one-shot runs unaffected)."""
+        """Stop the persistent pool (idempotent; one-shot runs unaffected).
+
+        Retires every published shared-memory segment too — after this
+        no shard-plane name survives, whatever state the workers died in.
+        """
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -862,6 +1213,9 @@ class MultiprocessExecutor:
                 proc.join(timeout=5)
         self._procs.clear()
         self._conns.clear()
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
 
     def __enter__(self) -> "MultiprocessExecutor":
         return self.start()
@@ -878,6 +1232,19 @@ class MultiprocessExecutor:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _map_shard(self, shard: PropertyGraph) -> bool:
+        """Whether this full shard travels via the shard plane (shm)."""
+        if self.ship_mode == "pickle":
+            return False
+        if self.ship_mode == "shm":
+            return True
+        return shm_available() and shard.size >= AUTO_SHM_MIN_SIZE
+
+    def _plane_for_run(self) -> ShardPlane:
+        if self._plane is None:
+            self._plane = ShardPlane()
+        return self._plane
+
     def run(
         self,
         sigma: Sequence[GFD],
@@ -929,23 +1296,42 @@ class MultiprocessExecutor:
         results: Dict[int, List["UnitResult"]] = {}
         if not busy:
             return results
-        pool_size = min(
-            self.processes or len(busy), len(busy), max(1, usable_cpus())
-        )
+        pool_size = min(self.processes or len(busy), len(busy))
+        cpus = max(1, usable_cpus())
+        if pool_size > cpus:
+            warnings.warn(
+                f"one-shot pool of {pool_size} worker processes on {cpus} "
+                "usable CPU(s): the explicit request is honoured, but the "
+                "pool is oversubscribed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        plane: Optional[ShardPlane] = None
         context = multiprocessing.get_context(self.start_method)
-        with ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=context
-        ) as pool:
-            futures = {
-                worker: pool.submit(
-                    _run_worker_units,
-                    (sigma, worker_graph(graph, primaries[worker]),
-                     primaries[worker]),
-                )
-                for worker in busy
-            }
-            for worker, future in futures.items():
-                results[worker] = future.result()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=context
+            ) as pool:
+                futures = {}
+                for worker in busy:
+                    shard = worker_graph(graph, primaries[worker])
+                    if self._map_shard(shard):
+                        if plane is None:
+                            plane = ShardPlane()
+                        ref, _ = plane.publish(worker, shard)
+                    else:
+                        ref = ("pickle", shard)
+                    futures[worker] = pool.submit(
+                        _run_worker_units, (sigma, ref, primaries[worker])
+                    )
+                for worker, future in futures.items():
+                    results[worker] = future.result()
+        finally:
+            # Workers attach during task execution and detach in their
+            # own ``finally``; every future is resolved by here, so the
+            # names can be retired unconditionally.
+            if plane is not None:
+                plane.close()
         return results
 
     def _run_persistent(
@@ -964,7 +1350,9 @@ class MultiprocessExecutor:
             shard_cache.sync(graph)
         stats = ShippingStats(match_store=MatchStoreStats())
         size = len(self._procs)
-        sigma_bytes: Optional[int] = None  # measured once, Σ is per-run
+        # Σ is per-run: pickled exactly once, shipped as the measured
+        # blob to every slot that needs it (serialise-once accounting).
+        sigma_blob: Optional[bytes] = None
         batches: Dict[int, List[Tuple]] = {}
         for worker in busy:
             needed: Set = set()
@@ -978,20 +1366,34 @@ class MultiprocessExecutor:
                 mode, data, ship_sigma = shard_cache.plan(
                     worker, epoch, needed, graph, sigma_key=sigma_key
                 )
-            sigma_update = sigma if ship_sigma else None
             if ship_sigma or mode == "full":
-                if sigma_bytes is None:
-                    sigma_bytes = payload_size(sigma)
-                stats.sigma_bytes += sigma_bytes
+                if sigma_blob is None:
+                    sigma_blob = pack_shard(sigma)
+                stats.sigma_bytes += len(sigma_blob)
+            sigma_update = sigma_blob if ship_sigma else None
             if ship_sigma:
                 stats.shipped_sigma += 1
             if mode == "full":
-                blob = pack_shard(data)
-                payload = (epoch, sigma, blob, self.match_store_budget)
+                if self._map_shard(data):
+                    ref, segment_bytes = self._plane_for_run().publish(
+                        worker, data
+                    )
+                    stats.mapped += 1
+                    stats.mapped_bytes += segment_bytes
+                else:
+                    blob = pack_shard(data)
+                    ref = ("pickle", blob)
+                    stats.shard_bytes += len(blob)
+                payload = (epoch, sigma_blob, ref, self.match_store_budget)
                 stats.full += 1
                 stats.shipped_nodes += data.num_nodes
-                stats.shard_bytes += len(blob)
             elif mode == "delta":
+                # A delta always travels the pipe (it is small by
+                # construction); the slot's mapped segment — if any —
+                # is retired here and the worker demotes its shard to a
+                # private copy before patching.
+                if self._plane is not None:
+                    self._plane.unlink(worker)
                 ops, add_nodes, add_edges = data
                 blob = pack_shard((ops, add_nodes, add_edges))
                 payload = (epoch, blob, sigma_update)
@@ -1002,14 +1404,20 @@ class MultiprocessExecutor:
             else:
                 payload = (epoch, sigma_update)
                 stats.reused += 1
-            unit_inputs = [
-                unit.payload for unit in primaries[worker]
-                if unit.payload is not None
-            ]
-            if unit_inputs:
-                stats.payload_bytes += payload_size(unit_inputs)
+            units = primaries[worker]
+            unit_inputs = tuple(unit.payload for unit in units)
+            if any(payload_in is not None for payload_in in unit_inputs):
+                inputs_blob = pack_shard(unit_inputs)
+                stats.payload_bytes += len(inputs_blob)
+                units = [
+                    replace(unit, payload=None)
+                    if unit.payload is not None else unit
+                    for unit in units
+                ]
+            else:
+                inputs_blob = None
             batches.setdefault(worker % size, []).append(
-                (worker, mode, payload, primaries[worker])
+                (worker, mode, payload, units, inputs_blob)
             )
         try:
             for proc_index, tasks in batches.items():
@@ -1039,15 +1447,17 @@ class MultiprocessExecutor:
         results: Dict[int, List["UnitResult"]] = {}
         for _, (_, pid, pairs, store_stats) in replies:
             stats.match_store.merge(store_stats)
-            for slot, slot_results in pairs:
+            for slot, slot_results, payloads_blob in pairs:
                 results[slot] = slot_results
                 stats.worker_pids[slot] = pid
-                result_payloads = [
-                    result.payload for result in slot_results
-                    if result.payload is not None
-                ]
-                if result_payloads:
-                    stats.payload_bytes += payload_size(result_payloads)
+                if payloads_blob is not None:
+                    # Result payloads arrive as the one blob the worker
+                    # serialised (and we measure): reattach in place.
+                    stats.payload_bytes += len(payloads_blob)
+                    for result, payload in zip(
+                        slot_results, unpack_shard(payloads_blob)
+                    ):
+                        result.payload = payload
         self.last_shipping = stats
         return results
 
@@ -1064,6 +1474,7 @@ def execute_plan(
     epoch: Optional[str] = None,
     sigma_key: Optional[object] = None,
     match_store: Optional[MatchStore] = None,
+    ship_mode: str = "auto",
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan's primary units with the chosen backend.
 
@@ -1076,7 +1487,9 @@ def execute_plan(
     their own resident match stores.  ``pool`` supplies a caller-owned
     :class:`MultiprocessExecutor` (a session's persistent pool) for the
     process backend; ``shard_cache``/``epoch`` enable warm shard shipping
-    on a started pool.
+    on a started pool.  ``ship_mode`` selects how an *ad-hoc* pool ships
+    full shards (see :data:`SHIP_MODES`); a caller-owned ``pool`` keeps
+    the mode it was constructed with.
     """
     resolved = resolve_executor(executor, plan, processes)
     if resolved == "simulated":
@@ -1085,7 +1498,7 @@ def execute_plan(
         )
         return backend.run(sigma, graph, plan)
     backend = pool if pool is not None else MultiprocessExecutor(
-        processes=processes
+        processes=processes, ship_mode=ship_mode
     )
     return backend.run(
         sigma, graph, plan,

@@ -43,6 +43,7 @@ def rep_val(
     seed: int = 0,
     executor: str = "simulated",
     processes: Optional[int] = None,
+    ship_mode: str = "auto",
 ) -> ValidationRun:
     """Compute ``Vio(Σ, G)`` with ``n`` processors and a replicated ``G``.
 
@@ -51,7 +52,9 @@ def rep_val(
     ``split_threshold`` overrides the automatic skew threshold; pass ``0``
     to disable splitting entirely.  ``executor`` selects the execution
     backend (``"simulated"``/``"process"``/``"auto"``, see
-    :mod:`repro.parallel.executors`); ``processes`` caps the real pool.
+    :mod:`repro.parallel.executors`); ``processes`` sizes the real pool;
+    ``ship_mode`` picks how full shards travel to worker processes
+    (``"pickle"``/``"shm"``/``"auto"`` — the shard plane).
 
     This is a thin facade over the session layer: each call constructs a
     throwaway (non-persistent) :class:`~repro.session.ValidationSession`
@@ -69,6 +72,7 @@ def rep_val(
         processes=processes,
         cost_model=cost_model,
         persistent=False,
+        ship_mode=ship_mode,
     ) as session:
         return session.validate(
             n=n,

@@ -98,6 +98,7 @@ from .parallel.engine import (
 from .parallel.executors import (
     EXECUTORS,
     MATCH_STORE_BUDGET,
+    SHIP_MODES,
     MatchStore,
     MatchStoreStats,
     MultiprocessExecutor,
@@ -105,6 +106,7 @@ from .parallel.executors import (
     ShippingStats,
     next_epoch,
     resolve_executor,
+    shm_available,
 )
 from .parallel.multiquery import (
     GroupMember,
@@ -205,7 +207,11 @@ class ValidationSession:
     """A long-lived validation context for one ``(graph, Σ)`` pair.
 
     ``executor`` and ``processes`` set the session-wide defaults
-    (overridable per :meth:`validate` call).  ``persistent=True`` (the
+    (overridable per :meth:`validate` call); ``ship_mode`` fixes how the
+    session's process runs ship full shards (``"pickle"`` blobs,
+    ``"shm"`` zero-copy shared-memory arenas, or size-based ``"auto"`` —
+    see the shard plane in ``parallel/executors.py``).
+    ``persistent=True`` (the
     default) keeps the process pool and worker shard caches alive across
     runs; the stateless facade uses ``persistent=False`` throwaway
     sessions, which behave exactly like the pre-session code paths.
@@ -223,6 +229,7 @@ class ValidationSession:
         cost_model: Optional[CostModel] = None,
         persistent: bool = True,
         match_store_budget: int = MATCH_STORE_BUDGET,
+        ship_mode: str = "auto",
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -232,10 +239,24 @@ class ValidationSession:
             raise ValueError("need at least one process")
         if match_store_budget < 0:
             raise ValueError("match_store_budget must be >= 0")
+        if ship_mode not in SHIP_MODES:
+            raise ValueError(
+                f"unknown ship_mode {ship_mode!r}; expected one of {SHIP_MODES}"
+            )
+        if ship_mode == "shm" and not shm_available():
+            raise ValueError(
+                "ship_mode='shm' requested but shared memory does not work "
+                "on this platform; use 'pickle' or 'auto'"
+            )
         self.graph = graph
         self.sigma = list(sigma)
         self.executor = executor
         self.processes = processes
+        #: how process-backed runs ship full shards — ``"pickle"``
+        #: (portable blobs over the pipe), ``"shm"`` (zero-copy
+        #: shared-memory arenas) or ``"auto"`` (shm for large shards when
+        #: available; see ``parallel/executors.py``).
+        self.ship_mode = ship_mode
         self.cost_model = cost_model
         self.persistent = persistent
         #: matches retained per resident match store (worker-side on the
@@ -542,6 +563,7 @@ class ValidationSession:
             materialiser=materialiser, executor=resolved,
             processes=processes, pool=pool, shard_cache=shard_cache,
             epoch=epoch, sigma_key=probe_key, match_store=match_store,
+            ship_mode=self.ship_mode,
         )
         # Mine units fold matches into mergeable evidence aggregates by
         # default — O(vars × attrs) per unit on the wire instead of
@@ -971,6 +993,7 @@ class ValidationSession:
             self._pool = MultiprocessExecutor(
                 processes=processes,
                 match_store_budget=self.match_store_budget,
+                ship_mode=self.ship_mode,
             )
         self._pool.start()
         return self._pool, self._shard_cache, self._epoch
@@ -1059,6 +1082,7 @@ class ValidationSession:
             shard_cache=shard_cache,
             epoch=epoch,
             sigma_key=_BASE_SIGMA_KEY,
+            ship_mode=self.ship_mode,
         )
         return ValidationRun(
             violations=violations,
@@ -1153,6 +1177,7 @@ class ValidationSession:
             shard_cache=shard_cache,
             epoch=epoch,
             sigma_key=_BASE_SIGMA_KEY,
+            ship_mode=self.ship_mode,
         )
         return ValidationRun(
             violations=violations,

@@ -13,7 +13,13 @@ backend and the real :class:`ProcessPoolExecutor` backend produce
 
 Heavier combinations carry the ``slow`` marker and are excluded from the
 default (tier-1) run; CI runs the full matrix.
+
+``REPRO_SHIP_MODE`` (``pickle``/``shm``/``auto``) overrides how the
+process backend ships shards, so CI re-runs the identical matrix over
+the shared-memory shard plane — same pins, zero-copy transport.
 """
+
+import os
 
 import pytest
 
@@ -42,6 +48,10 @@ from repro.parallel.engine import BlockMaterialiser
 slow = pytest.mark.slow
 
 WORKLOAD_SEEDS = (3, 11)
+
+#: shard transport for every process-backed run in this module — the CI
+#: matrix re-runs the whole suite with ``REPRO_SHIP_MODE=shm``.
+SHIP_MODE = os.environ.get("REPRO_SHIP_MODE", "auto")
 
 
 @pytest.fixture(scope="module")
@@ -112,7 +122,8 @@ class TestRepValDifferential:
         kwargs = dict(assignment=assignment, split_threshold=split)
         sim = rep_val(sigma, graph, n=n, **kwargs)
         proc = rep_val(
-            sigma, graph, n=n, executor="process", processes=2, **kwargs
+            sigma, graph, n=n, executor="process", processes=2,
+            ship_mode=SHIP_MODE, **kwargs
         )
         _pin_runs(sim, proc, expected)
 
@@ -131,6 +142,7 @@ class TestDisValDifferential:
             assignment=assignment,
             executor="process",
             processes=2,
+            ship_mode=SHIP_MODE,
         )
         _pin_runs(sim, proc, expected)
 
@@ -153,7 +165,10 @@ class TestPerUnitResults:
         )
         plan, _ = lpt_partition(units, n)
         sim = execute_plan(sigma, graph, plan, executor="simulated")
-        proc = execute_plan(sigma, graph, plan, executor="process", processes=2)
+        proc = execute_plan(
+            sigma, graph, plan, executor="process", processes=2,
+            ship_mode=SHIP_MODE,
+        )
         assert [len(w) for w in sim] == [len(w) for w in proc]
         compared = 0
         for sim_worker, proc_worker in zip(sim, proc):
@@ -188,7 +203,8 @@ class TestSkewedAssignments:
         for executor in ("simulated", "process"):
             cluster = SimulatedCluster(4)
             violations[executor] = run_assignment(
-                sigma, graph, plan, cluster, executor=executor, processes=2
+                sigma, graph, plan, cluster, executor=executor, processes=2,
+                ship_mode=SHIP_MODE,
             )
             reports[executor] = cluster.report()
         assert violations["simulated"] == expected

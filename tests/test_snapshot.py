@@ -350,6 +350,38 @@ class TestPickling:
             f"pickled {pickled}B vs estimate {snap.memory_estimate()}B"
         )
 
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_pickled_size_guard_survives_heavy_deltas(self, seed):
+        """The 3x guard must also hold on a snapshot grown by in-place
+        ``apply_delta`` patching — heavy edge/attr churn inflates the
+        pair index and leaves slack rows behind, and the estimate has to
+        keep tracking that, not just the freshly-built layout."""
+        import pickle
+
+        rng = random.Random(seed)
+        graph = generated(seed)
+        snap = graph.snapshot()
+        nodes = sorted(graph.nodes())
+        for round_no in range(8):
+            for _ in range(10):
+                src, dst = rng.choice(nodes), rng.choice(nodes)
+                graph.add_edge(src, dst, f"e{rng.randrange(4)}")
+            for _ in range(10):
+                graph.set_attr(
+                    rng.choice(nodes), "A0", f"w{rng.randrange(6)}"
+                )
+            for i in range(3):
+                name = f"extra-{round_no}-{i}"
+                graph.add_node(name, f"L{rng.randrange(8)}")
+                graph.add_edge(name, rng.choice(nodes), "e0")
+                nodes.append(name)
+            snap = graph.snapshot()  # patched in place while in budget
+        pickled = len(pickle.dumps(snap))
+        assert pickled <= 3 * snap.memory_estimate(), (
+            f"post-delta pickled {pickled}B vs estimate "
+            f"{snap.memory_estimate()}B"
+        )
+
     def test_graph_pickle_drops_snapshot_cache(self):
         import pickle
 
