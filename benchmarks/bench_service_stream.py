@@ -1,0 +1,259 @@
+"""Continuous-validation headline: streamed updates over a warm session.
+
+The :class:`~repro.service.ValidationService` claim is that a warm
+process-backed session absorbs a *continuous* mutation stream at bounded
+latency without ever falling back to wholesale re-materialisation:
+concurrent producers submit ops, the applier coalesces them into bounded
+delta batches, each batch rides the incremental path, and worker-resident
+block caches are patched in place — zero rebuilds.
+
+Two replayed traffic phases measure that end to end:
+
+* **skewed sustain** — attribute writes with a Zipf-style hot set (a few
+  hot nodes take most writes, mirroring real update logs); measures
+  sustained ops/sec and p99 submit-to-applied latency, then asserts the
+  follow-up warm ``validate()`` shipped deltas only and rebuilt **zero**
+  worker blocks (``shipping.block_cache.builds == 0``, ``patched > 0``);
+* **bursty mixed** — edge/node/attr bursts with inter-burst gaps from
+  several producer threads; asserts exactness: the subscriber's diff
+  stream telescopes to the violation set of a from-scratch batch
+  ``det_vio`` on an identically mutated mirror graph.
+
+Floors (sustained ops/sec, p99 latency ceiling) are asserted whenever
+≥ 2 CPUs are usable; single-core runners only report.  Results land in
+``results/service_stream.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+from repro import (
+    ValidationService,
+    ValidationSession,
+    det_vio,
+    generate_gfds,
+    power_law_graph,
+)
+from repro.parallel.executors import usable_cpus
+
+from _bench_utils import emit_json, emit_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: sustained throughput floor for the skewed attr phase (ops/sec)
+SUSTAINED_OPS_FLOOR = 120.0
+
+#: p99 submit-to-applied latency ceiling for the skewed attr phase (s)
+P99_LATENCY_CEILING = 2.0
+
+#: share of skewed-phase writes landing on the hot set
+HOT_WRITE_SHARE = 0.8
+
+
+def _skewed_ops(nodes, count, seed):
+    """Attr writes with a hot set: 10% of nodes take ~80% of writes."""
+    rng = random.Random(seed)
+    hot = nodes[: max(1, len(nodes) // 10)]
+    ops = []
+    for step in range(count):
+        pool = hot if rng.random() < HOT_WRITE_SHARE else nodes
+        ops.append(("attr", rng.choice(pool), "val", f"s{seed}-{step}"))
+    return ops
+
+
+def _bursty_script(nodes, producer, bursts, burst_size, seed):
+    """Per-producer mixed bursts; producer-unique keys keep any
+    interleaving equivalent to per-producer sequential replay."""
+    rng = random.Random(f"burst-{seed}-{producer}")
+    out = []
+    live = []
+    for burst in range(bursts):
+        ops = []
+        for step in range(burst_size):
+            roll = rng.random()
+            if roll < 0.6:
+                ops.append((
+                    "attr", rng.choice(nodes), f"p{producer}",
+                    f"b{burst}s{step}",
+                ))
+            elif roll < 0.8:
+                src, dst = rng.sample(nodes, 2)
+                if (src, dst) not in live:
+                    ops.append(("edge+", src, dst, f"link{producer}"))
+                    live.append((src, dst))
+            elif roll < 0.9 and live:
+                src, dst = live.pop(rng.randrange(len(live)))
+                ops.append(("edge-", src, dst, f"link{producer}"))
+            else:
+                name = f"new-{producer}-{burst}-{step}"
+                ops.append(("node", name, "city", {"val": f"c{step}"}))
+                ops.append(("edge+", rng.choice(nodes), name, "to"))
+        out.append(ops)
+    return out
+
+
+def _replay(graph, ops):
+    for op in ops:
+        if op[0] == "attr":
+            graph.set_attr(op[1], op[2], op[3])
+        elif op[0] == "edge+":
+            graph.add_edge(op[1], op[2], op[3])
+        elif op[0] == "edge-":
+            graph.remove_edge(op[1], op[2], op[3])
+        else:
+            graph.add_node(op[1], op[2], op[3])
+
+
+def test_service_stream_sustain_and_exactness():
+    nodes_n, edges_n = (500, 1000) if QUICK else (1200, 2400)
+    stream_ops = 400 if QUICK else 1500
+    bursts, burst_size = (4, 10) if QUICK else (8, 25)
+    producers = 3
+    seed = 10
+
+    graph = power_law_graph(nodes_n, edges_n, seed=seed, domain_size=25)
+    mirror = power_law_graph(nodes_n, edges_n, seed=seed, domain_size=25)
+    sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=seed)
+    nodes = sorted(graph.nodes())
+    cpus = usable_cpus()
+
+    with ValidationSession(
+        graph, sigma, executor="process", processes=min(4, max(2, cpus))
+    ) as session:
+        session.validate(n=4)  # warm: pool up, shards resident
+
+        # -- phase 1: skewed attr sustain ------------------------------
+        script = _skewed_ops(nodes, stream_ops, seed)
+        with ValidationService(
+            session, max_batch_ops=64, max_batch_age=0.01
+        ) as service:
+            subscriber = service.subscribe()
+            started = time.perf_counter()
+            index = 0
+            rng = random.Random(f"chunks-{seed}")
+            while index < len(script):
+                size = rng.randint(4, 32)
+                service.submit(script[index:index + size])
+                index += size
+            assert service.flush(timeout=600)
+            sustain_wall = time.perf_counter() - started
+            p99 = service.latency_quantile(0.99)
+            sustain_stats = service.stats()
+            diffs = subscriber.drain()
+        ops_per_sec = stream_ops / sustain_wall if sustain_wall else 0.0
+        _replay(mirror, script)
+        expected = det_vio(sigma, mirror)
+        current = set(subscriber.baseline)
+        for diff in diffs:
+            current = diff.apply(current)
+        assert current == expected == set(session.violations)
+
+        # the follow-up warm validate rode the delta path end to end:
+        # ops shipped, worker blocks patched in place, zero rebuilds
+        run = session.validate(n=4)
+        assert run.violations == expected
+        assert run.shipping.full == 0, run.shipping
+        assert run.shipping.delta > 0
+        assert run.shipping.block_cache.builds == 0, run.shipping.block_cache
+        assert run.shipping.block_cache.patched > 0
+
+        # -- phase 2: bursty mixed exactness ---------------------------
+        scripts = [
+            _bursty_script(nodes, producer, bursts, burst_size, seed)
+            for producer in range(producers)
+        ]
+        with ValidationService(
+            session, max_batch_ops=64, max_batch_age=0.01
+        ) as service:
+            subscriber = service.subscribe()
+
+            def run_producer(bursts_of_ops):
+                gap = random.Random(id(bursts_of_ops) % 997)
+                for burst_ops in bursts_of_ops:
+                    service.submit(burst_ops)
+                    time.sleep(gap.uniform(0.001, 0.004))
+
+            threads = [
+                threading.Thread(target=run_producer, args=(script,))
+                for script in scripts
+            ]
+            burst_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert service.flush(timeout=600)
+            burst_wall = time.perf_counter() - burst_started
+            burst_stats = service.stats()
+            diffs = subscriber.drain()
+        for script in scripts:
+            for burst_ops in script:
+                _replay(mirror, burst_ops)
+        expected = det_vio(sigma, mirror)
+        current = set(subscriber.baseline)
+        for diff in diffs:
+            current = diff.apply(current)
+        assert current == expected == set(session.violations)
+        run = session.validate(n=4)
+        assert run.violations == expected
+        assert run.shipping.full == 0, run.shipping  # still never reshipped
+
+    emit_table(
+        "service_stream",
+        ["phase", "ops", "batches", "coalesced", "wall s", "ops/s",
+         "p99 ms", "cpus"],
+        [
+            ("skewed attr sustain", sustain_stats.submitted,
+             sustain_stats.batches, sustain_stats.cancelled,
+             f"{sustain_wall:.3f}", f"{ops_per_sec:.0f}",
+             f"{(p99 or 0) * 1e3:.1f}", cpus),
+            ("bursty mixed", burst_stats.submitted, burst_stats.batches,
+             burst_stats.cancelled, f"{burst_wall:.3f}",
+             f"{burst_stats.submitted / burst_wall:.0f}" if burst_wall
+             else "inf", "-", cpus),
+        ],
+    )
+    emit_json("service_stream", {
+        "quick": QUICK,
+        "usable_cpus": cpus,
+        "sustain": {
+            "ops": sustain_stats.submitted,
+            "batches": sustain_stats.batches,
+            "coalesced": sustain_stats.cancelled,
+            "diffs_emitted": sustain_stats.diffs_emitted,
+            "wall_seconds": sustain_wall,
+            "ops_per_second": ops_per_sec,
+            "p99_apply_seconds": p99,
+            "ops_floor": SUSTAINED_OPS_FLOOR,
+            "p99_ceiling_seconds": P99_LATENCY_CEILING,
+        },
+        "bursty": {
+            "ops": burst_stats.submitted,
+            "batches": burst_stats.batches,
+            "coalesced": burst_stats.cancelled,
+            "diffs_emitted": burst_stats.diffs_emitted,
+            "wall_seconds": burst_wall,
+        },
+        "warm_validate_after_stream": {
+            "full": run.shipping.full,
+            "delta": run.shipping.delta,
+            "block_builds": run.shipping.block_cache.builds,
+            "block_patches": run.shipping.block_cache.patched,
+        },
+    })
+
+    if cpus >= 2:
+        assert ops_per_sec >= SUSTAINED_OPS_FLOOR, (
+            f"sustained only {ops_per_sec:.0f} ops/s "
+            f"(floor {SUSTAINED_OPS_FLOOR}) on {cpus} CPUs"
+        )
+        assert p99 is not None and p99 <= P99_LATENCY_CEILING, (
+            f"p99 submit-to-applied {p99:.3f}s "
+            f"(ceiling {P99_LATENCY_CEILING}s)"
+        )
+    else:
+        print(f"(floors skipped: only {cpus} usable CPU(s))")

@@ -89,7 +89,15 @@ from .parallel import (
     rep_val,
     sequential_run,
 )
+from .core.incremental import IncrementalValidator, UpdateDiff, apply_updates
 from .session import DiscoveryPhase, DiscoveryRun, ValidationSession
+from .service import (
+    ServiceStats,
+    Subscription,
+    ValidationService,
+    ViolationDiff,
+    coalesce_ops,
+)
 from .quality import accuracy, inject_noise, validate_bigdansing, validate_gcfd
 from .datasets import Dataset, dbpedia_like, pokec_like, yago_like
 
@@ -161,6 +169,15 @@ __all__ = [
     "rep_ran",
     "rep_val",
     "sequential_run",
+    # continuous validation (streaming updates)
+    "IncrementalValidator",
+    "ServiceStats",
+    "Subscription",
+    "UpdateDiff",
+    "ValidationService",
+    "ViolationDiff",
+    "apply_updates",
+    "coalesce_ops",
     # quality + datasets
     "accuracy",
     "inject_noise",

@@ -7,6 +7,8 @@ Wraps the library's main entry points for shell use:
 * ``generate``   — emit a synthetic graph (and optionally a rule set)
 * ``bench``      — a one-shot repVal/disVal comparison on a graph file
 * ``discover``   — mine GFDs from a graph file
+* ``serve``      — continuous validation: stream update ops, emit
+  violation diffs
 
 Graphs use the line-JSON format of :mod:`repro.graph.io`.  Rules use a
 small text format, one GFD per ``[name]`` section::
@@ -226,6 +228,99 @@ def cmd_bench(args, out: TextIO) -> int:
         out.write("WARNING: algorithms disagree on Vio — this is a bug\n")
         return 2
     return 0
+
+
+def cmd_serve(args, out: TextIO) -> int:
+    """Continuous validation over a stream of update ops.
+
+    Ops arrive as JSON lines — one op ``["attr", node, attr, value]`` or
+    one batch ``[["edge+", u, v, label], ...]`` per line — from
+    ``--replay FILE`` or stdin.  Each applied batch's violation diff is
+    written as it is emitted; a summary (service counters, final
+    violation count, p99 apply latency) closes the stream.  Exit code 0
+    when the final graph satisfies every rule, 1 otherwise.
+    """
+    from .parallel.executors import usable_cpus
+    from .service import ValidationService
+
+    graph = load_graph(args.graph)
+    rules = parse_rule_file(Path(args.rules).read_text())
+    workers = args.processes or max(1, usable_cpus())
+    source = open(args.replay) if args.replay else sys.stdin
+    try:
+        with ValidationSession(
+            graph, rules, executor=args.executor, processes=args.processes,
+            ship_mode=args.ship_mode,
+        ) as session:
+            session.validate(n=workers)  # warm pool, shards and caches
+            with ValidationService(
+                session,
+                max_batch_ops=args.batch_ops,
+                max_batch_age=args.batch_age,
+            ) as service:
+                subscriber = service.subscribe()
+                for raw in source:
+                    raw = raw.strip()
+                    if not raw or raw.startswith("#"):
+                        continue
+                    payload = json.loads(raw)
+                    if payload and isinstance(payload[0], str):
+                        payload = [payload]  # a single op line
+                    service.submit(tuple(op) for op in payload)
+                    for diff in subscriber.drain():
+                        _write_diff(diff, args.json, out)
+                service.flush()
+                for diff in subscriber.drain():
+                    _write_diff(diff, args.json, out)
+                stats = service.stats()
+                p99 = service.latency_quantile(0.99)
+            violations = session.violations
+        summary = {
+            "submitted": stats.submitted,
+            "applied": stats.applied,
+            "cancelled": stats.cancelled,
+            "batches": stats.batches,
+            "diffs": stats.diffs_emitted,
+            "violations": len(violations),
+            "p99_apply_seconds": p99,
+        }
+        if args.json:
+            json.dump({"summary": summary}, out)
+            out.write("\n")
+        else:
+            out.write(
+                "# served {submitted} op(s) in {batches} batch(es) "
+                "({cancelled} coalesced away): {diffs} diff(s), "
+                "{violations} final violation(s)".format(**summary)
+            )
+            if p99 is not None:
+                out.write(f", p99 apply {p99 * 1e3:.2f}ms")
+            out.write("\n")
+        return 1 if violations else 0
+    finally:
+        if args.replay:
+            source.close()
+
+
+def _write_diff(diff, as_json: bool, out: TextIO) -> None:
+    if as_json:
+        json.dump(
+            {
+                "epoch": diff.epoch,
+                "added": [str(v) for v in sorted(diff.added, key=str)],
+                "removed": [str(v) for v in sorted(diff.removed, key=str)],
+            },
+            out,
+        )
+        out.write("\n")
+    else:
+        out.write(
+            f"epoch {diff.epoch}: +{len(diff.added)} -{len(diff.removed)}\n"
+        )
+        for violation in sorted(diff.added, key=str):
+            out.write(f"  + {violation}\n")
+        for violation in sorted(diff.removed, key=str):
+            out.write(f"  - {violation}\n")
 
 
 def cmd_discover(args, out: TextIO) -> int:
@@ -451,6 +546,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "enumerate matches, or pick automatically")
     _add_executor_flags(discover)
     discover.set_defaults(func=cmd_discover)
+
+    serve = sub.add_parser("serve", help="continuous validation: stream "
+                                         "update ops, emit violation diffs")
+    serve.add_argument("graph", help="graph file (line-JSON)")
+    serve.add_argument("rules", help="rule file")
+    serve.add_argument("--replay", help="read op JSON-lines from a file "
+                                        "instead of stdin")
+    serve.add_argument("--json", action="store_true",
+                       help="machine-readable diffs and summary")
+    serve.add_argument("--batch-ops", type=_positive_int, default=256,
+                       dest="batch_ops",
+                       help="batch-size watermark: apply once this many "
+                            "ops are queued")
+    serve.add_argument("--batch-age", type=float, default=0.05,
+                       dest="batch_age",
+                       help="batch-age watermark in seconds: apply once "
+                            "the oldest queued op has waited this long")
+    _add_executor_flags(serve)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

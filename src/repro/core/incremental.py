@@ -31,6 +31,63 @@ from .satisfaction import match_satisfies_all
 from .validation import Violation, det_vio, make_violation
 
 
+class UpdateDiff(set):
+    """The violation delta of one update (or batch): added and removed.
+
+    The set content *is* the added violations — callers that treat the
+    return of :meth:`IncrementalValidator.set_attr` /
+    :func:`apply_updates` as "the new violations" keep working verbatim —
+    and :attr:`removed` carries the violations the update resolved.
+    Both sides are exact deltas against the pre-update state:
+    ``added ⊆ Vio_after - Vio_before`` and ``removed ⊆ Vio_before -
+    Vio_after`` hold with equality, so ``added & removed == set()`` by
+    construction and an add-then-remove of the same edge inside one
+    batch folds to the empty diff.
+    """
+
+    __slots__ = ("removed",)
+
+    def __init__(
+        self,
+        added: Iterable[Violation] = (),
+        removed: Iterable[Violation] = (),
+    ) -> None:
+        super().__init__(added)
+        self.removed: Set[Violation] = set(removed)
+
+    @property
+    def added(self) -> Set[Violation]:
+        """The added violations as a plain set (== ``set(self)``)."""
+        return set(self)
+
+    def then(self, other: "UpdateDiff") -> "UpdateDiff":
+        """Sequential composition: this diff, then ``other``.
+
+        With ``(A, R)`` exact against state ``V0`` (giving ``V1``) and
+        ``(a, r)`` exact against ``V1`` (giving ``V2``), the composition
+        is exact against ``V0``::
+
+            added   = (A - r) | (a - R)
+            removed = (R - a) | (r - A)
+
+        A violation introduced then resolved (or resolved then
+        re-introduced) inside the window cancels out entirely, so
+        telescoping a diff stream always reproduces ``V_final - V_0`` /
+        ``V_0 - V_final`` exactly.
+        """
+        return UpdateDiff(
+            (self - other.removed) | (set(other) - self.removed),
+            (self.removed - set(other)) | (other.removed - self),
+        )
+
+    def apply(self, violations: Set[Violation]) -> Set[Violation]:
+        """The violation set after this diff: ``(V - removed) | added``."""
+        return (set(violations) - self.removed) | set(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UpdateDiff(added={len(self)}, removed={len(self.removed)})"
+
+
 class IncrementalValidator:
     """Maintains ``Vio(Σ, G)`` while ``G`` is updated in place.
 
@@ -90,27 +147,28 @@ class IncrementalValidator:
     # ------------------------------------------------------------------
     # update API
     # ------------------------------------------------------------------
-    def set_attr(self, node: NodeId, attr: str, value: Any) -> Set[Violation]:
+    def set_attr(self, node: NodeId, attr: str, value: Any) -> UpdateDiff:
         """Set an attribute and refresh affected violations.
 
-        Returns the new violations introduced by this update.
+        Returns the update's :class:`UpdateDiff` — the set content is
+        the newly-introduced violations, ``.removed`` the resolved ones.
         """
         self.graph.set_attr(node, attr, value)
         return self._refresh({node}, structural=False)
 
-    def add_edge(self, src: NodeId, dst: NodeId, label: str) -> Set[Violation]:
+    def add_edge(self, src: NodeId, dst: NodeId, label: str) -> UpdateDiff:
         """Insert an edge and refresh affected violations."""
         self.graph.add_edge(src, dst, label)
         return self._refresh({src, dst}, structural=True)
 
-    def remove_edge(self, src: NodeId, dst: NodeId, label: str) -> Set[Violation]:
+    def remove_edge(self, src: NodeId, dst: NodeId, label: str) -> UpdateDiff:
         """Delete an edge and refresh affected violations."""
         self.graph.remove_edge(src, dst, label)
         return self._refresh({src, dst}, structural=True)
 
     def add_node(
         self, node: NodeId, label: str, attrs: Optional[Dict[str, Any]] = None
-    ) -> Set[Violation]:
+    ) -> UpdateDiff:
         """Insert a node (with attributes) and refresh affected violations."""
         self.graph.add_node(node, label, attrs)
         return self._refresh({node}, structural=True)
@@ -135,17 +193,19 @@ class IncrementalValidator:
     # ------------------------------------------------------------------
     def _refresh(
         self, touched: Set[NodeId], structural: bool
-    ) -> Set[Violation]:
+    ) -> UpdateDiff:
         """Re-validate every GFD around the touched nodes.
 
         Only matches *containing* a touched node can change status (an
         attribute flip changes their literals; an edge change creates or
         destroys them through its endpoints), so exactly those verdicts
-        are dropped and exactly those matches re-checked.
+        are dropped and exactly those matches re-checked.  Returns the
+        exact :class:`UpdateDiff`: ``fresh - stale`` appeared with this
+        update, ``stale - fresh`` disappeared.
         """
         if structural:
             self._matchers.clear()
-        added: Set[Violation] = set()
+        diff = UpdateDiff()
         for index, gfd in enumerate(self.sigma):
             stale = {
                 v
@@ -155,8 +215,9 @@ class IncrementalValidator:
             self.violations -= stale
             fresh = self._violations_touching(index, gfd, touched)
             self.violations |= fresh
-            added |= fresh - stale
-        return added
+            diff |= fresh - stale
+            diff.removed |= stale - fresh
+        return diff
 
     def _violations_touching(
         self, index: int, gfd: GFD, touched: Set[NodeId]
@@ -196,24 +257,32 @@ class IncrementalValidator:
 def apply_updates(
     validator: IncrementalValidator,
     updates: Iterable[tuple],
-) -> Set[Violation]:
-    """Apply a batch of updates; returns all newly-introduced violations.
+) -> UpdateDiff:
+    """Apply a batch of updates; returns the batch's :class:`UpdateDiff`.
 
     Update tuples: ``("attr", node, attr, value)``, ``("edge+", src, dst,
     label)``, ``("edge-", src, dst, label)``, ``("node", node, label,
     attrs)``.
+
+    The per-op diffs are folded with :meth:`UpdateDiff.then`, so the
+    result is exact against the *pre-batch* state: the set content is
+    the violations the whole batch introduced, ``.removed`` the ones it
+    resolved, and a violation that flickered inside the batch appears in
+    neither.  Iterating the return as a plain set (the historical
+    behaviour) still yields exactly the newly-introduced violations.
     """
-    added: Set[Violation] = set()
+    diff = UpdateDiff()
     for update in updates:
         kind = update[0]
         if kind == "attr":
-            added |= validator.set_attr(*update[1:])
+            step = validator.set_attr(*update[1:])
         elif kind == "edge+":
-            added |= validator.add_edge(*update[1:])
+            step = validator.add_edge(*update[1:])
         elif kind == "edge-":
-            added |= validator.remove_edge(*update[1:])
+            step = validator.remove_edge(*update[1:])
         elif kind == "node":
-            added |= validator.add_node(*update[1:])
+            step = validator.add_node(*update[1:])
         else:
             raise ValueError(f"unknown update kind {kind!r}")
-    return added
+        diff = diff.then(step)
+    return diff

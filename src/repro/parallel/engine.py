@@ -73,11 +73,26 @@ class MaterialiserStats:
     cumulative counters on the materialiser itself span runs; this is the
     per-run slice (taken via :meth:`BlockMaterialiser.take_stats`) that
     keeps cluster reports comparable between warm and cold runs.
+
+    ``patched`` counts cached blocks updated *in place* by
+    :meth:`BlockMaterialiser.apply_ops` — the targeted-invalidation path
+    that replaced wholesale clears under ``session.update()`` — one
+    count per (op, affected block) pair.  A warm cache absorbing an
+    update stream shows ``patched > 0`` with ``builds == 0``.
     """
 
     builds: int = 0
     hits: int = 0
     evictions: int = 0
+    patched: int = 0
+
+    def merge(self, other: "MaterialiserStats") -> "MaterialiserStats":
+        """Fold another slice in (worker replies aggregate per run)."""
+        self.builds += other.builds
+        self.hits += other.hits
+        self.evictions += other.evictions
+        self.patched += other.patched
+        return self
 
 
 @dataclass
@@ -159,6 +174,8 @@ class BlockMaterialiser:
         #: cumulative cache hits / LRU evictions
         self.hits = 0
         self.evictions = 0
+        #: cumulative in-place block patches (see :meth:`apply_ops`)
+        self.patched = 0
         self._retained = 0
         self._lock = threading.RLock()
         self._run_stats = MaterialiserStats()
@@ -200,6 +217,64 @@ class BlockMaterialiser:
         with self._lock:
             for _, matchers in self._cache.values():
                 matchers.clear()
+
+    def apply_ops(self, ops: "Sequence[tuple]") -> int:
+        """Patch cached blocks in place for a batch of graph update ops.
+
+        A cached block is the induced subgraph over a *fixed* node set,
+        so an op affects it iff it happens inside that set: an attribute
+        write iff the node is a member, an edge change iff **both**
+        endpoints are members, a node (re-)insertion iff the node is a
+        member (a genuinely new node cannot be — no existing key
+        contains it).  Affected blocks are patched in place — their
+        delta-maintained snapshots follow via ``apply_delta`` — and only
+        *their* matchers are dropped, and only on structural ops
+        (matcher candidate sets depend on labels and structure, never on
+        attribute values).  Every unaffected block, snapshot and matcher
+        stays warm: this is what keeps a warm cache O(|Δ|) under update
+        streams instead of the old wholesale :meth:`clear`.
+
+        Ops use the ``session.update()`` tuple format.  Returns the
+        number of (op, block) patches applied; the same count lands in
+        the cumulative ``patched`` counter and the per-run stats slice.
+        """
+        patched = 0
+        with self._lock:
+            for key, (block, matchers) in self._cache.items():
+                for op in ops:
+                    kind = op[0]
+                    if kind == "attr":
+                        if op[1] not in key:
+                            continue
+                        block.set_attr(op[1], op[2], op[3])
+                    elif kind in ("edge+", "edge-"):
+                        if op[1] not in key or op[2] not in key:
+                            continue
+                        before = block.size
+                        if kind == "edge+":
+                            block.add_edge(op[1], op[2], op[3])
+                        else:
+                            block.remove_edge(op[1], op[2], op[3])
+                        self._retained += block.size - before
+                        matchers.clear()
+                    elif kind == "node":
+                        if op[1] not in key:
+                            continue
+                        block.add_node(
+                            op[1], op[2], dict(op[3]) if op[3] else None
+                        )
+                        matchers.clear()
+                    else:
+                        raise ValueError(f"unknown update kind {kind!r}")
+                    patched += 1
+            self.patched += patched
+            self._run_stats.patched += patched
+            while self._retained > self.budget and len(self._cache) > 1:
+                _, (evicted, _) = self._cache.popitem(last=False)
+                self._retained -= evicted.size
+                self.evictions += 1
+                self._run_stats.evictions += 1
+        return patched
 
     def _entry(
         self, block_nodes: Set[NodeId]
@@ -812,11 +887,29 @@ def consolidate_slot_results(
     Match-shipping mine payloads pass through unmerged: the capped
     fallback needs per-unit granularity for its per-member canonical
     caps.
+
+    ``detect`` units fold the same way: their violation sets merge as a
+    plain union, so a slot ships each distinct violation once per group
+    instead of once per work unit (pivot blocks overlap, and symmetric
+    pivot candidates of one group re-find the same violating matches).
+    The coordinator's gather unions every result's violations anyway, so
+    folding is invisible to it — only the reply volume shrinks.
     """
     mine_carriers: Dict[int, list] = {}
     count_carriers: Dict[int, list] = {}
+    detect_carriers: Dict[int, "UnitResult"] = {}
     for unit, result in zip(units, results):
-        if result is None or result.payload is None:
+        if result is None:
+            continue
+        if unit.kind == "detect":
+            carrier = detect_carriers.get(id(unit.group))
+            if carrier is None:
+                detect_carriers[id(unit.group)] = result
+            elif result.violations:
+                carrier.violations |= result.violations
+                result.violations = set()
+            continue
+        if result.payload is None:
             continue
         gid = id(unit.group)
         if unit.kind == "mine" and result.payload[0] == "agg":

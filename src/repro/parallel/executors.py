@@ -103,7 +103,7 @@ except ImportError:  # pragma: no cover - exotic builds
     shared_memory = None
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .engine import BlockMaterialiser, UnitResult
+    from .engine import BlockMaterialiser, MaterialiserStats, UnitResult
 
 #: Accepted executor names (``auto`` resolves per the module docstring).
 EXECUTORS = ("simulated", "process", "auto")
@@ -511,6 +511,9 @@ class MatchStore:
         self.misses = 0
         self.stored = 0
         self.evicted = 0
+        #: cumulative entries dropped by targeted invalidation
+        #: (:meth:`apply_ops`) — distinct from budget ``evicted``
+        self.invalidated = 0
         self._retained = 0
         self._lock = threading.RLock()
         self._run_stats = MatchStoreStats()
@@ -568,6 +571,44 @@ class MatchStore:
             self._entries.clear()
             self._retained = 0
 
+    def apply_ops(self, ops) -> int:
+        """Targeted invalidation for a batch of graph update ops.
+
+        Entries are keyed ``(pattern, pivot assignment, block nodes)``
+        and hold purely *structural* match tuples — consumers re-read
+        attribute values from the (patched) block at evaluation time —
+        so attribute ops never invalidate anything.  A structural op
+        (``edge+``/``edge-``/``node``) can only change the match set of
+        a block that contains it: entries whose block-node set holds
+        every endpoint are dropped, everything else stays resident.
+        Ops use the ``session.update()`` tuple format; returns the
+        number of entries invalidated (also summed into the cumulative
+        ``invalidated`` counter).
+        """
+        structural = [op for op in ops if op[0] != "attr"]
+        if not structural:
+            return 0
+        with self._lock:
+            doomed = []
+            for key in self._entries:
+                block_nodes = key[2]
+                for op in structural:
+                    kind = op[0]
+                    if kind == "node":
+                        hit = op[1] in block_nodes
+                    elif kind in ("edge+", "edge-"):
+                        hit = op[1] in block_nodes and op[2] in block_nodes
+                    else:
+                        raise ValueError(f"unknown update kind {kind!r}")
+                    if hit:
+                        doomed.append(key)
+                        break
+            for key in doomed:
+                _, matches = self._entries.pop(key)
+                self._retained -= self._charge(matches)
+            self.invalidated += len(doomed)
+            return len(doomed)
+
     def take_stats(self) -> MatchStoreStats:
         """Return and reset the per-run counters (cumulative ones stay)."""
         with self._lock:
@@ -607,7 +648,11 @@ class ShippingStats:
     ``shard_bytes`` — a co-located shm run reports ``mapped_bytes > 0``
     with ``shard_bytes ≈ 0``.  ``match_store`` carries the run's
     worker-resident match-store activity (``None`` until a persistent
-    run reports).
+    run reports).  ``block_cache`` likewise aggregates the workers'
+    resident block-materialiser activity for the run — after a delta
+    shipment, ``builds == 0`` with ``patched > 0`` is the proof that
+    the workers patched their materialised blocks in place instead of
+    rebuilding them (the end-to-end O(|Δ|) pin).
     """
 
     full: int = 0
@@ -622,6 +667,7 @@ class ShippingStats:
     mapped_bytes: int = 0
     payload_bytes: int = 0
     match_store: Optional[MatchStoreStats] = None
+    block_cache: Optional["MaterialiserStats"] = None
     worker_pids: Dict[int, int] = field(default_factory=dict)
 
     def merge(self, other: "ShippingStats") -> "ShippingStats":
@@ -643,6 +689,12 @@ class ShippingStats:
             if self.match_store is None:
                 self.match_store = MatchStoreStats()
             self.match_store.merge(other.match_store)
+        if other.block_cache is not None:
+            if self.block_cache is None:
+                from .engine import MaterialiserStats
+
+                self.block_cache = MaterialiserStats()
+            self.block_cache.merge(other.block_cache)
         self.worker_pids.update(other.worker_pids)
         return self
 
@@ -923,11 +975,16 @@ def _run_slot(
             shard.add_node(node, label, attrs)
         for src, dst, label in add_edges:
             shard.add_edge(src, dst, label)
-        # Cached blocks may straddle the patched region: start fresh.
-        # Resident matches were enumerated over the pre-patch shard —
-        # equally stale, equally dropped.
-        entry.materialiser = BlockMaterialiser(shard)
-        entry.match_store.clear()
+        # Targeted invalidation instead of a rebuild: blocks whose node
+        # set the forwarded ops touch are patched in place (snapshots
+        # follow via apply_delta) and resident matches are dropped only
+        # where a structural op lands inside their block; every other
+        # cached block, matcher and match stays warm.  The block-share
+        # extension (add_nodes/add_edges) can never affect an existing
+        # cached block: its nodes were absent from the resident share,
+        # hence from every cached block's node set.
+        entry.materialiser.apply_ops(ops)
+        entry.match_store.apply_ops(ops)
         if sigma_blob is not None:
             entry.sigma = unpack_shard(sigma_blob)
     else:  # reuse: shard, snapshot *and* block cache stay warm
@@ -994,13 +1051,18 @@ def _persistent_worker_main(conn) -> None:
                 replies.append(
                     (slot, slot_results, _pack_result_payloads(slot_results))
                 )
-            # Per-batch match-store slice, summed over this worker's
-            # resident shards (untouched entries contribute zeros) — the
-            # coordinator aggregates these into the run's ShippingStats.
+            # Per-batch match-store and block-cache slices, summed over
+            # this worker's resident shards (untouched entries contribute
+            # zeros) — the coordinator aggregates these into the run's
+            # ShippingStats.
+            from .engine import MaterialiserStats
+
             store_stats = MatchStoreStats()
+            cache_stats = MaterialiserStats()
             for entry in cache.values():
                 store_stats.merge(entry.match_store.take_stats())
-            reply = ("ok", pid, replies, store_stats)
+                cache_stats.merge(entry.materialiser.take_stats())
+            reply = ("ok", pid, replies, store_stats, cache_stats)
         except BaseException:
             reply = ("err", pid, traceback.format_exc())
         try:
@@ -1344,11 +1406,15 @@ class MultiprocessExecutor:
         epoch: Optional[str],
         sigma_key: Optional[object] = None,
     ) -> Dict[int, List["UnitResult"]]:
+        from .engine import MaterialiserStats
+
         if epoch is None:
             epoch = next_epoch()
         if shard_cache is not None:
             shard_cache.sync(graph)
-        stats = ShippingStats(match_store=MatchStoreStats())
+        stats = ShippingStats(
+            match_store=MatchStoreStats(), block_cache=MaterialiserStats()
+        )
         size = len(self._procs)
         # Σ is per-run: pickled exactly once, shipped as the measured
         # blob to every slot that needs it (serialise-once accounting).
@@ -1445,8 +1511,9 @@ class MultiprocessExecutor:
                 shard_cache.invalidate()  # worker state now unknown
             raise RuntimeError(f"worker process failed:\n{failures[0][2]}")
         results: Dict[int, List["UnitResult"]] = {}
-        for _, (_, pid, pairs, store_stats) in replies:
+        for _, (_, pid, pairs, store_stats, cache_stats) in replies:
             stats.match_store.merge(store_stats)
+            stats.block_cache.merge(cache_stats)
             for slot, slot_results, payloads_blob in pairs:
                 results[slot] = slot_results
                 stats.worker_pids[slot] = pid

@@ -1,0 +1,592 @@
+"""Continuous validation: concurrent update streams over a warm session.
+
+The batch API (:meth:`~repro.session.ValidationSession.update`) applies
+one op batch synchronously in the caller's thread.  Production traffic is
+not shaped like that: many producers emit small mutations continuously,
+and consumers want to know *what changed* about ``Vio(Σ, G)``, not to
+re-diff full violation sets.  :class:`ValidationService` is the streaming
+front end the ROADMAP's north star implies:
+
+* **concurrent ingestion** — any number of threads call
+  :meth:`ValidationService.submit` with update ops (the
+  ``session.update()`` tuple format); a bounded queue applies producer
+  backpressure when the appliers falls behind;
+* **bounded delta batching** — one applier thread owns the session and
+  cuts batches at a size watermark (``max_batch_ops``) or an age
+  watermark (``max_batch_age`` seconds measured on the oldest queued
+  op), whichever trips first — latency stays bounded under trickle
+  load, throughput stays batched under burst load;
+* **per-batch op coalescing** — a batch is folded to a final-state
+  equivalent op list before it touches the session
+  (:func:`coalesce_ops`): redundant attribute writes collapse to the
+  last one, an ``edge+`` followed by ``edge-`` of the same edge (or the
+  reverse, when the final state matches the graph) cancels outright;
+* **violation diffs** — each applied batch advances the service *epoch*
+  and emits a :class:`ViolationDiff` ``(epoch, added, removed)`` to
+  every subscriber.  Diffs are exact and compose
+  (:meth:`ViolationDiff.then`), so any telescoped diff stream
+  reproduces the batch-computed violation set precisely;
+* **per-subscriber backpressure** — each :class:`Subscription` holds a
+  bounded pending queue; when a slow consumer overflows it, the two
+  *oldest* diffs are merged into one (composition, not drop), so a lagging
+  subscriber loses granularity, never correctness.
+
+The theory anchor is Berkholz, Keppeler and Schweikardt ("Answering
+FO+MOD queries under updates on bounded degree databases", PAPERS.md):
+for bounded-shape patterns, near-constant delay per update is
+achievable.  The engineering counterpart here is that the whole warm
+path is O(|Δ|) per batch — the incremental validator re-checks only
+matches around the touched nodes, the session's caches take *targeted*
+invalidation (``BlockMaterialiser.apply_ops`` / ``MatchStore.
+apply_ops``), and process-backed runs forward the same ops to worker
+shards, which patch their materialised blocks in place.
+
+Example::
+
+    from repro import ValidationService, ValidationSession
+
+    with ValidationSession(graph, sigma, executor="process") as session:
+        session.validate(n=4)                      # warm the engine
+        with ValidationService(session) as service:
+            sub = service.subscribe()
+            service.submit([("attr", "c1", "val", "Sydney")])
+            service.flush()
+            diff = sub.next(timeout=1.0)           # ViolationDiff or None
+        session.validate(n=4)                      # delta-shipped, warm
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .core.incremental import UpdateDiff
+from .core.validation import Violation
+from .graph.graph import PropertyGraph
+from .session import ValidationSession
+
+#: update-op kinds the service accepts (the ``session.update()`` format)
+OP_KINDS = ("attr", "edge+", "edge-", "node")
+
+#: default batch-size watermark: apply once this many ops are queued
+DEFAULT_MAX_BATCH_OPS = 256
+
+#: default batch-age watermark (seconds): apply once the oldest queued op
+#: has waited this long, however few ops are pending
+DEFAULT_MAX_BATCH_AGE = 0.05
+
+#: default producer-side queue bound (ops): ``submit`` blocks past this
+DEFAULT_MAX_PENDING_OPS = 16_384
+
+#: default per-subscriber pending-diff bound before coalescing kicks in
+DEFAULT_SUBSCRIBER_PENDING = 256
+
+#: per-op apply-latency samples retained for the quantile estimate
+LATENCY_WINDOW = 65_536
+
+
+@dataclass(frozen=True)
+class ViolationDiff:
+    """What one applied batch changed about ``Vio(Σ, G)``.
+
+    ``epoch`` is the service's batch counter (monotonic from 1);
+    ``added`` / ``removed`` are exact deltas against the epoch before,
+    so ``added & removed == frozenset()`` and applying the diff to the
+    previous violation set (:meth:`apply`) yields the next one.
+    """
+
+    epoch: int
+    added: frozenset
+    removed: frozenset
+
+    @property
+    def empty(self) -> bool:
+        """Whether this diff changes nothing (kept for epoch bookkeeping)."""
+        return not self.added and not self.removed
+
+    def apply(self, violations: Iterable[Violation]) -> Set[Violation]:
+        """The violation set after this diff: ``(V - removed) | added``."""
+        return (set(violations) - set(self.removed)) | set(self.added)
+
+    def then(self, other: "ViolationDiff") -> "ViolationDiff":
+        """Sequential composition (same algebra as ``UpdateDiff.then``).
+
+        The result spans both windows and carries the later epoch; a
+        violation introduced then resolved (or vice versa) inside the
+        combined window cancels out, so coalesced diff streams telescope
+        to exactly the same final set as the originals.
+        """
+        return ViolationDiff(
+            epoch=other.epoch,
+            added=frozenset(
+                (self.added - other.removed) | (other.added - self.removed)
+            ),
+            removed=frozenset(
+                (self.removed - other.added) | (other.removed - self.added)
+            ),
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one :class:`ValidationService`'s lifetime.
+
+    ``submitted`` counts ops accepted by :meth:`~ValidationService.
+    submit`; ``applied`` the ops that reached ``session.update()`` after
+    coalescing; ``cancelled`` the ops coalescing folded away
+    (``submitted == applied + cancelled`` once the queue is drained).
+    ``batches`` counts applied batches (== the current epoch),
+    ``diffs_emitted`` non-empty diffs fanned out to subscribers, and
+    ``diffs_merged`` the backpressure coalescing events on slow
+    subscribers.
+    """
+
+    submitted: int = 0
+    applied: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    diffs_emitted: int = 0
+    diffs_merged: int = 0
+
+
+def coalesce_ops(
+    ops: Sequence[tuple], graph: PropertyGraph
+) -> Tuple[List[tuple], int]:
+    """Fold a batch of update ops to a final-state-equivalent op list.
+
+    ``Vio(Σ, G)`` depends only on the final graph state, and diffs are
+    emitted per *batch* — so any folding that preserves the batch's net
+    effect on the graph is semantically free.  Three rules, each safe by
+    construction:
+
+    * **attr last-wins**: repeated writes to one ``(node, attr)`` keep
+      only the final value;
+    * **edge final-state**: repeated ``edge+``/``edge-`` ops on one
+      ``(src, dst, label)`` key reduce to the *last* op's desired state,
+      compared against the graph's current state (the applier thread
+      owns the graph, so the read is race-free): if they already agree —
+      an add-then-remove round trip, or a remove-then-re-add of an
+      existing edge — the ops cancel entirely, otherwise exactly one op
+      survives;
+    * **node ops pass through**: ``("node", ...)`` insertions are kept
+      verbatim *and* disable both foldings for ops naming their node —
+      an edge op can be valid only after its endpoint's insertion, and
+      a node re-add may reset state an attr fold would misorder, so ops
+      entangled with a node op keep their original relative order.
+
+    Folded attr/edge ops commute with everything else left in the batch
+    (they share no node with any node op, and ops on distinct keys are
+    independent), so they are emitted after the pass-through ops.
+    Returns ``(ops, cancelled)`` where ``cancelled`` is the number of
+    ops folded away.
+    """
+    ops = [tuple(op) for op in ops]
+    node_opped = {op[1] for op in ops if op[0] == "node"}
+    out: List[tuple] = []
+    attr_final: dict = {}
+    edge_final: dict = {}
+    for op in ops:
+        kind = op[0]
+        if kind == "node":
+            out.append(op)
+        elif kind == "attr":
+            if op[1] in node_opped:
+                out.append(op)
+            else:
+                attr_final[(op[1], op[2])] = op[3]
+        elif kind in ("edge+", "edge-"):
+            if op[1] in node_opped or op[2] in node_opped:
+                out.append(op)
+            else:
+                edge_final[(op[1], op[2], op[3])] = kind
+        else:
+            raise ValueError(
+                f"unknown update kind {kind!r}; expected one of {OP_KINDS}"
+            )
+    for (node, attr), value in attr_final.items():
+        out.append(("attr", node, attr, value))
+    for (src, dst, label), kind in edge_final.items():
+        present = graph.has_edge(src, dst, label)
+        if kind == "edge+" and not present:
+            out.append(("edge+", src, dst, label))
+        elif kind == "edge-" and present:
+            out.append(("edge-", src, dst, label))
+        # else: the graph already holds the desired final state — the
+        # batch's ops on this edge cancelled each other out.
+    return out, len(ops) - len(out)
+
+
+class Subscription:
+    """One consumer's view of the service's violation-diff stream.
+
+    Created via :meth:`ValidationService.subscribe`.  ``baseline`` is
+    the (frozen) violation set at subscription time; applying every
+    received diff to it in order — or any coalesced telescoping of them
+    — reproduces the service's current violation set exactly.
+
+    ``max_pending`` bounds the pending queue: past it, the two oldest
+    undelivered diffs are merged into one (:meth:`ViolationDiff.then`),
+    so a slow consumer degrades to coarser diffs instead of unbounded
+    memory or lost changes.
+    """
+
+    def __init__(
+        self,
+        service: "ValidationService",
+        max_pending: int = DEFAULT_SUBSCRIBER_PENDING,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._service = service
+        self.max_pending = max_pending
+        self.baseline: frozenset = frozenset()
+        self._pending: "deque[ViolationDiff]" = deque()
+        self.merged = 0  # backpressure coalescing events on this consumer
+        self.closed = False
+
+    def _offer(self, diff: ViolationDiff) -> None:
+        """Enqueue one diff (called under the service lock)."""
+        self._pending.append(diff)
+        while len(self._pending) > self.max_pending:
+            first = self._pending.popleft()
+            second = self._pending.popleft()
+            self._pending.appendleft(first.then(second))
+            self.merged += 1
+            self._service._stats.diffs_merged += 1
+
+    def next(self, timeout: Optional[float] = None) -> Optional[ViolationDiff]:
+        """The next pending diff, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout, or — once the service is closed —
+        when no diffs remain.
+        """
+        service = self._service
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with service._cond:
+            while not self._pending:
+                if self.closed or service._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                service._cond.wait(remaining)
+            return self._pending.popleft()
+
+    def drain(self) -> List[ViolationDiff]:
+        """All pending diffs, without blocking."""
+        with self._service._cond:
+            out = list(self._pending)
+            self._pending.clear()
+            return out
+
+    def close(self) -> None:
+        """Detach from the service; pending diffs are discarded."""
+        with self._service._cond:
+            self.closed = True
+            self._pending.clear()
+            self._service._subs = [
+                sub for sub in self._service._subs if sub is not self
+            ]
+            self._service._cond.notify_all()
+
+
+class ValidationService:
+    """Streaming violation maintenance over a pinned warm session.
+
+    One applier thread owns the ``session`` (and therefore its graph)
+    for the service's lifetime: producers never touch shared state
+    beyond the ingestion queue, so ``submit`` is safe from any thread.
+    Do not call ``session.update()``/``validate()`` (or mutate the
+    graph) from outside while the service is open, except between a
+    :meth:`flush` and the next :meth:`submit` — the applier only runs
+    when ops are queued.
+
+    ``max_batch_ops`` / ``max_batch_age`` are the batching watermarks
+    (size and seconds); ``max_pending_ops`` bounds the ingestion queue
+    (producer backpressure); ``clock`` is injectable for tests.
+
+    Closing (:meth:`close`, or leaving the context) drains the queue,
+    applies what remains, stops the applier thread and wakes every
+    subscriber; the underlying session stays open and warm — worker
+    pools and resident shards survive for the next ``validate()``.
+    """
+
+    def __init__(
+        self,
+        session: ValidationSession,
+        max_batch_ops: int = DEFAULT_MAX_BATCH_OPS,
+        max_batch_age: float = DEFAULT_MAX_BATCH_AGE,
+        max_pending_ops: int = DEFAULT_MAX_PENDING_OPS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_ops < 1:
+            raise ValueError("max_batch_ops must be >= 1")
+        if max_batch_age < 0:
+            raise ValueError("max_batch_age must be >= 0")
+        if max_pending_ops < max_batch_ops:
+            raise ValueError("max_pending_ops must be >= max_batch_ops")
+        self.session = session
+        self.max_batch_ops = max_batch_ops
+        self.max_batch_age = max_batch_age
+        self.max_pending_ops = max_pending_ops
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: queued (submit_seq, op, enqueue_time) triples
+        self._queue: "deque[Tuple[int, tuple, float]]" = deque()
+        self._subs: List[Subscription] = []
+        self._closed = False
+        self._error: Optional[BaseException] = None
+        self._epoch = 0
+        self._submit_seq = 0
+        self._applied_seq = 0
+        self._stats = ServiceStats()
+        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        # The applier owns the session from here on; seed the current
+        # violation set before it starts (the one safe moment).
+        self._current: frozenset = frozenset(session.violations)
+        self._thread = threading.Thread(
+            target=self._run, name="validation-service-applier", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # producer API
+    # ------------------------------------------------------------------
+    def submit(self, ops: Iterable[tuple]) -> int:
+        """Queue update ops for application; returns the last submit seq.
+
+        Thread-safe; callable from any number of producers.  Blocks when
+        the ingestion queue is full (producer backpressure) until the
+        applier drains it.  Op kinds are validated here so a malformed
+        op raises in the *producer's* thread, not the applier's.
+        """
+        ops = [tuple(op) for op in ops]
+        for op in ops:
+            if not op or op[0] not in OP_KINDS:
+                raise ValueError(
+                    f"unknown update kind {op[0] if op else op!r}; "
+                    f"expected one of {OP_KINDS}"
+                )
+        with self._cond:
+            for op in ops:
+                self._raise_if_failed()
+                if self._closed:
+                    raise RuntimeError("service is closed")
+                while len(self._queue) >= self.max_pending_ops:
+                    self._cond.wait()
+                    self._raise_if_failed()
+                    if self._closed:
+                        raise RuntimeError("service is closed")
+                self._submit_seq += 1
+                self._stats.submitted += 1
+                self._queue.append((self._submit_seq, op, self._clock()))
+            self._cond.notify_all()
+            return self._submit_seq
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until everything submitted so far has been applied.
+
+        Returns ``False`` on timeout.  After a successful flush (with no
+        concurrent producers) the session's violation set reflects every
+        submitted op, and it is safe to call ``session.validate()``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            target = self._submit_seq
+            while self._applied_seq < target:
+                self._raise_if_failed()
+                if self._closed and not self._queue:
+                    return self._applied_seq >= target
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            self._raise_if_failed()
+            return True
+
+    # ------------------------------------------------------------------
+    # consumer API
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, max_pending: int = DEFAULT_SUBSCRIBER_PENDING
+    ) -> Subscription:
+        """Register a diff consumer; see :class:`Subscription`.
+
+        The subscription's ``baseline`` is the violation set as of the
+        last applied batch — diffs received afterwards telescope from it.
+        """
+        sub = Subscription(self, max_pending=max_pending)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            sub.baseline = self._current
+            self._subs.append(sub)
+        return sub
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The number of batches applied so far."""
+        with self._lock:
+            return self._epoch
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service's counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def latency_quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of per-op apply latency (seconds).
+
+        Measured submit-to-applied per op over a sliding window of
+        :data:`LATENCY_WINDOW` samples; ``None`` before the first batch.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            samples = sorted(self._latencies)
+        if not samples:
+            return None
+        index = min(len(samples) - 1, int(q * len(samples)))
+        return samples[index]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the applier (idempotent); the session stays open.
+
+        With ``drain=True`` (default) queued ops are applied before the
+        thread exits; ``drain=False`` discards them.  If the applier hit
+        an error, it is re-raised here (once).
+        """
+        with self._cond:
+            if not drain:
+                self._queue.clear()
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+        with self._cond:
+            for sub in self._subs:
+                sub.closed = True
+            self._cond.notify_all()
+            self._raise_if_failed()
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise RuntimeError(
+                "validation-service applier failed; the service is closed "
+                "and the session may need a full validate() to reconcile"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # the applier thread
+    # ------------------------------------------------------------------
+    def _cut_batch(self) -> Optional[List[Tuple[int, tuple, float]]]:
+        """Wait for a watermark and slice one batch off the queue.
+
+        Returns ``None`` when the service is closed and drained.  Must
+        be called from the applier thread only.
+        """
+        with self._cond:
+            while True:
+                if self._queue:
+                    if (
+                        self._closed
+                        or len(self._queue) >= self.max_batch_ops
+                    ):
+                        break
+                    age = self._clock() - self._queue[0][2]
+                    if age >= self.max_batch_age:
+                        break
+                    self._cond.wait(self.max_batch_age - age)
+                elif self._closed:
+                    return None
+                else:
+                    self._cond.wait()
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch_ops))
+            ]
+            self._cond.notify_all()  # wake producers blocked on the bound
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            try:
+                batch = self._cut_batch()
+            except BaseException as exc:  # pragma: no cover - clock bugs
+                self._fail(exc)
+                return
+            if batch is None:
+                return
+            try:
+                ops, cancelled = coalesce_ops(
+                    [op for _, op, _ in batch], self.session.graph
+                )
+                diff = (
+                    self.session.update(ops) if ops else UpdateDiff()
+                )
+            except BaseException as exc:
+                self._fail(exc)
+                return
+            now = self._clock()
+            with self._cond:
+                self._epoch += 1
+                self._applied_seq = batch[-1][0]
+                self._stats.batches += 1
+                self._stats.applied += len(ops)
+                self._stats.cancelled += cancelled
+                self._latencies.extend(
+                    now - enqueued for _, _, enqueued in batch
+                )
+                self._current = frozenset(diff.apply(self._current))
+                if diff or diff.removed:
+                    emitted = ViolationDiff(
+                        epoch=self._epoch,
+                        added=frozenset(diff),
+                        removed=frozenset(diff.removed),
+                    )
+                    for sub in self._subs:
+                        sub._offer(emitted)
+                    self._stats.diffs_emitted += 1
+                self._cond.notify_all()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._cond:
+            self._error = exc
+            self._closed = True
+            for sub in self._subs:
+                sub.closed = True
+            self._cond.notify_all()
+
+
+# re-exported for convenience alongside the service front end
+__all__ = [
+    "ValidationService",
+    "Subscription",
+    "ViolationDiff",
+    "ServiceStats",
+    "coalesce_ops",
+    "DEFAULT_MAX_BATCH_OPS",
+    "DEFAULT_MAX_BATCH_AGE",
+    "DEFAULT_MAX_PENDING_OPS",
+    "DEFAULT_SUBSCRIBER_PENDING",
+]

@@ -75,7 +75,7 @@ from .core.discovery import (
     select_rules,
 )
 from .core.gfd import GFD
-from .core.incremental import IncrementalValidator, apply_updates
+from .core.incremental import IncrementalValidator, UpdateDiff, apply_updates
 from .core.validation import Violation, det_vio
 from .graph.graph import PropertyGraph
 from .graph.partition import Fragmentation
@@ -387,7 +387,7 @@ class ValidationSession:
     # ------------------------------------------------------------------
     # incremental updates
     # ------------------------------------------------------------------
-    def update(self, ops: Iterable[tuple]) -> Set[Violation]:
+    def update(self, ops: Iterable[tuple]) -> UpdateDiff:
         """Apply graph updates through the incremental path.
 
         ``ops`` uses the :func:`~repro.core.incremental.apply_updates`
@@ -396,10 +396,25 @@ class ValidationSession:
         attrs)``.  Violations are maintained incrementally (on the
         delta-applied snapshot backend — no full re-validation, no full
         re-index), and the ops are queued for the worker shard caches so
-        the next process-backed run ships only deltas.  Returns the
-        newly-introduced violations.
+        the next process-backed run ships only deltas.
+
+        Returns the batch's :class:`~repro.core.incremental.UpdateDiff`:
+        iterating it yields the newly-introduced violations (the
+        historical return), ``.removed`` holds the violations the batch
+        resolved — callers no longer need to diff full sets themselves.
+
+        Warm caches survive the batch via *targeted* invalidation: the
+        shared block materialiser patches exactly the cached blocks the
+        ops land in (``BlockMaterialiser.apply_ops``) and the resident
+        match store drops exactly the entries a structural op touches
+        (``MatchStore.apply_ops``) — everything else stays warm, so a
+        session absorbing an update stream does O(|Δ|) maintenance work
+        per batch instead of rebuilding its caches.  An empty ``ops``
+        list is a true no-op: no cache activity, no version marks.
         """
         ops = list(ops)
+        if not ops:
+            return UpdateDiff()
         stale = (
             self._violations is not None
             and self._violations_version != self.graph._version
@@ -415,21 +430,19 @@ class ValidationSession:
             # An out-of-band structural mutation since the last reconcile:
             # the maintained set cannot be trusted as a seed.
             self._incremental.rebuild()
-        added = apply_updates(self._incremental, ops)
+        diff = apply_updates(self._incremental, ops)
         for op in ops:
             self._shard_cache.record(op)
         self._shard_cache.mark_version(self.graph._version)
         if self._materialiser is not None:
-            # Cached blocks are induced subgraphs of the pre-update graph.
-            self._materialiser.clear()
+            self._materialiser.apply_ops(ops)
             self._materialiser_version = self.graph._version
         if self._match_store is not None:
-            # Resident matches were enumerated pre-update; same staleness.
-            self._match_store.clear()
+            self._match_store.apply_ops(ops)
             self._match_store_version = self.graph._version
         self._violations = set(self._incremental.violations)
         self._violations_version = self.graph._version
-        return added
+        return diff
 
     def _reconcile(self, violations: Set[Violation]) -> None:
         """Sync the maintained violation set with a full run's result."""
