@@ -1,0 +1,144 @@
+"""CLI: ``python -m repro.analysis`` — run the repo-invariant lint pass.
+
+Exit status is the CI contract: 0 when every finding is either fixed,
+suppressed inline with a justification, or grandfathered in the
+baseline; 1 when any new finding (or a stale baseline entry, or a file
+that failed to parse) exists; 2 on usage / baseline-integrity errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import RULES, run_analysis
+from . import baseline as baseline_mod
+
+#: repo root: src/repro/analysis/__main__.py -> three levels above src/
+REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-invariant static analysis (RPLxxx rules)",
+    )
+    parser.add_argument(
+        "targets", nargs="*", type=Path,
+        help="files/directories to analyse (default: the repo's src/repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="root that finding paths are relative to (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from current findings "
+             "(keeps justifications of surviving entries)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RPLxxx",
+        help="print a rule's documentation and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rule codes and exit",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None,
+        help="also write a JSON findings report to this path (CI artifact)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.explain:
+        rule = RULES.get(args.explain)
+        if rule is None:
+            print(f"unknown rule {args.explain!r}; known: "
+                  f"{', '.join(sorted(RULES))}", file=sys.stderr)
+            return 2
+        print(type(rule).explain())
+        return 0
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code].name}")
+        return 0
+
+    root = (args.root or REPO_ROOT).resolve()
+    targets = args.targets or [root / "src" / "repro"]
+    baseline_path = args.baseline or root / DEFAULT_BASELINE
+
+    report = run_analysis(root, targets)
+
+    previous = {}
+    if baseline_path.exists() and not args.no_baseline:
+        try:
+            previous = baseline_mod.load(baseline_path)
+        except baseline_mod.BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        count = baseline_mod.write(baseline_path, report.findings, previous)
+        placeholders = sum(
+            1 for _, fp in baseline_mod.fingerprints(report.findings)
+            if fp not in previous
+        )
+        print(f"wrote {count} entries to {baseline_path}")
+        if placeholders:
+            print(f"note: {placeholders} new entries carry the placeholder "
+                  "justification and must be hand-edited before the "
+                  "baseline loads")
+        return 0
+
+    new, grandfathered, stale = baseline_mod.split(report.findings, previous)
+
+    for finding in new:
+        print(finding.render())
+    for fingerprint in stale:
+        entry = previous[fingerprint]
+        print(f"stale baseline entry {fingerprint} "
+              f"({entry.get('code')} at {entry.get('path')}): the finding "
+              "is gone — retire it with --write-baseline")
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+
+    if args.report is not None:
+        payload = {
+            "findings": [vars(f) for f in new],
+            "grandfathered": [vars(f) for f in grandfathered],
+            "suppressed": [vars(f) for f in report.suppressed],
+            "stale": stale,
+            "errors": report.errors,
+        }
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    summary = (
+        f"{len(new)} finding(s), {len(grandfathered)} grandfathered, "
+        f"{len(report.suppressed)} suppressed, {len(stale)} stale "
+        f"baseline entr(ies), {len(report.errors)} error(s)"
+    )
+    print(summary)
+    return 1 if (new or stale or report.errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

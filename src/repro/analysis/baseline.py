@@ -1,0 +1,147 @@
+"""Checked-in baselines: grandfathered findings with justifications.
+
+A baseline lets the CI gate start *strict* without demanding that every
+historical finding be fixed in the adopting PR: findings fingerprinted in
+the baseline file don't fail the run, every new finding does.  Two
+disciplines keep the baseline from rotting:
+
+* every entry carries a **one-line justification** (loading rejects
+  entries without one — a grandfathered finding someone cannot justify
+  is a finding, not a baseline);
+* fingerprints hash the finding's ``(path, code, snippet, occurrence)``
+  — *not* its line number — so unrelated edits in the same file don't
+  churn the baseline, while any edit to the flagged line itself retires
+  the entry (the finding either went away or must be re-justified).
+
+``python -m repro.analysis --write-baseline`` regenerates the file,
+preserving justifications of surviving entries and stamping new ones
+with a placeholder that must be hand-edited before the run passes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .framework import Finding
+
+#: stamp for freshly-written entries; loading treats it as unjustified
+PLACEHOLDER = "TODO: justify this grandfathered finding"
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be trusted (malformed / unjustified)."""
+
+
+def fingerprint(finding: Finding, occurrence: int) -> str:
+    """Line-number-free identity of one finding.
+
+    ``occurrence`` disambiguates identical snippets flagged by the same
+    code in the same file (the n-th textually-identical finding keeps
+    the n-th fingerprint even when other lines move).
+    """
+    payload = "\n".join(
+        (finding.path, finding.code, finding.snippet, str(occurrence))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprints(findings: Sequence[Finding]) -> List[Tuple[Finding, str]]:
+    """Stable per-occurrence fingerprints for a finding list."""
+    seen: Counter = Counter()
+    out: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        key = (finding.path, finding.code, finding.snippet)
+        out.append((finding, fingerprint(finding, seen[key])))
+        seen[key] += 1
+    return out
+
+
+def load(path: Path) -> Dict[str, dict]:
+    """The baseline as ``{fingerprint: entry}``; strict about shape."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    entries = raw.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} lacks a 'findings' list")
+    out: Dict[str, dict] = {}
+    for entry in entries:
+        print_key = entry.get("fingerprint")
+        justification = (entry.get("justification") or "").strip()
+        if not print_key or not isinstance(print_key, str):
+            raise BaselineError(
+                f"baseline {path}: entry without a fingerprint: {entry!r}"
+            )
+        if not justification or justification == PLACEHOLDER:
+            raise BaselineError(
+                f"baseline {path}: entry {print_key} "
+                f"({entry.get('code')} at {entry.get('path')}) has no "
+                "justification — every grandfathered finding needs one line "
+                "explaining why it is acceptable"
+            )
+        out[print_key] = entry
+    return out
+
+
+def split(
+    findings: Sequence[Finding], baseline: Dict[str, dict]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Partition findings into (new, grandfathered) + stale fingerprints.
+
+    Stale fingerprints — baseline entries no finding matched — are
+    surfaced so a fixed finding retires its entry instead of lingering
+    as dead weight that could mask a future regression on the same line.
+    """
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    matched = set()
+    for finding, print_key in fingerprints(findings):
+        if print_key in baseline:
+            matched.add(print_key)
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - matched)
+    return new, grandfathered, stale
+
+
+def write(
+    path: Path,
+    findings: Sequence[Finding],
+    previous: Dict[str, dict],
+) -> int:
+    """Write the baseline for ``findings``; returns the entry count.
+
+    Surviving entries keep their hand-written justifications; new ones
+    get :data:`PLACEHOLDER` (which :func:`load` rejects, forcing a human
+    edit before the baseline is usable).
+    """
+    entries = []
+    for finding, print_key in fingerprints(findings):
+        kept = previous.get(print_key, {})
+        entries.append({
+            "fingerprint": print_key,
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "snippet": finding.snippet,
+            "justification": kept.get("justification", PLACEHOLDER),
+        })
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis findings. Every entry needs a "
+            "one-line justification; regenerate with "
+            "`python -m repro.analysis --write-baseline` (justifications "
+            "of surviving entries are preserved)."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,253 @@
+"""Determinism rules: unordered iteration and unseeded entropy.
+
+The parallel ≡ serial differential suites exist because the engine's
+contract is *exact equality* of violation sets and counts across
+executors, worker counts, and plan shapes.  The bug class those suites
+keep re-catching is order dependence: PR 4's ``matches[:200]`` truncated
+a set-fed accumulation, so the kept matches depended on hash-seed
+iteration order and the capped executors disagreed run-to-run.  These
+rules catch the shape statically:
+
+* :class:`UnorderedIterationRule` (RPL001) — an unordered collection
+  (set literal / comprehension, ``set()``/``frozenset()``, set algebra)
+  flowing into an order-*sensitive* sink: a slice or index of
+  ``list(...)``/``tuple(...)``, ``next(iter(...))``, a returned
+  ``list(...)`` payload, or a loop-append accumulation that is returned
+  or sliced.  A dominating ``sorted(...)`` clears the taint.
+* :class:`UnseededEntropyRule` (RPL002) — module-global ``random.*``
+  or wall-clock ``time.time()`` in engine paths.  Determinism there
+  comes from injectable seeds (``random.Random(seed)``) and injectable
+  clocks (``time.perf_counter`` telemetry is fine — it never feeds
+  results); ambient entropy cannot be replayed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from .framework import Finding, ModuleContext, Rule, call_name, register
+
+#: engine paths where result ordering is contractual
+ENGINE_SCOPE: Tuple[str, ...] = (
+    "/core/", "/matching/", "/parallel/", "/graph/",
+    "/session.py", "/service.py",
+)
+
+_SET_ALGEBRA_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+class _FunctionTaint:
+    """Per-function name states for the unordered-iteration rule.
+
+    Deliberately intraprocedural and heuristic: a name is *unordered* if
+    some binding in the function makes it so and no binding routes it
+    through ``sorted(...)``; *listed* means ``list()``/``tuple()`` of an
+    unordered value (ordered container, arbitrary order).
+    """
+
+    def __init__(self, func: ast.AST) -> None:
+        self.unordered: Set[str] = set()
+        self.listed: Set[str] = set()
+        sorted_bound: Set[str] = set()
+        assigns = [
+            node for node in ast.walk(func) if isinstance(node, ast.Assign)
+        ]
+        # two passes so `u = a | b` after `a = set()` still taints `u`
+        for _ in range(2):
+            for node in sorted(assigns, key=lambda n: n.lineno):
+                if len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if self.is_unordered(node.value):
+                    self.unordered.add(target.id)
+                elif self.is_listed_unordered(node.value):
+                    self.listed.add(target.id)
+                elif (
+                    isinstance(node.value, ast.Call)
+                    and call_name(node.value) == "sorted"
+                ):
+                    sorted_bound.add(target.id)
+        self.unordered -= sorted_bound
+        self.listed -= sorted_bound
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        """Does this expression evaluate to an unordered collection?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.unordered
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_unordered(node.left) or self.is_unordered(node.right)
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in ("set", "frozenset"):
+                return True
+            if (
+                name in _SET_ALGEBRA_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and self.is_unordered(node.func.value)
+            ):
+                return True
+        return False
+
+    def is_listed_unordered(self, node: ast.expr) -> bool:
+        """``list(U)`` / ``tuple(U)`` of an unordered ``U`` (or such a name)."""
+        if isinstance(node, ast.Name):
+            return node.id in self.listed
+        return (
+            isinstance(node, ast.Call)
+            and call_name(node) in ("list", "tuple")
+            and len(node.args) == 1
+            and self.is_unordered(node.args[0])
+        )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Unordered set iteration order must not reach result payloads.
+
+    Slicing, indexing, ``next(iter(...))``, returning, or accumulating
+    an unordered collection makes the outcome depend on hash-seed
+    iteration order — the parallel ≡ serial exactness contract breaks
+    exactly the way PR 4's ``matches[:200]`` cap did.  Route through
+    ``sorted(...)`` (any deterministic key) before ordering matters.
+    """
+
+    code = "RPL001"
+    name = "unordered-iteration-order"
+    scope = ENGINE_SCOPE
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for func in module.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            if module.enclosing_function(func) is not None:
+                continue  # nested defs are covered by the outer walk
+            taint = _FunctionTaint(func)
+            self._check_sinks(module, func, taint, findings)
+        return findings
+
+    def _check_sinks(self, module, func, taint, findings) -> None:
+        returned_names = {
+            node.value.id
+            for node in ast.walk(func)
+            if isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Name)
+        }
+        sliced_names = {
+            node.value.id
+            for node in ast.walk(func)
+            if isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+        }
+        for node in ast.walk(func):
+            if isinstance(node, ast.Subscript):
+                if taint.is_listed_unordered(node.value):
+                    findings.append(module.finding(
+                        self.code, node,
+                        "slicing/indexing list()/tuple() of an unordered "
+                        "collection depends on hash-seed iteration order; "
+                        "sort first (`sorted(...)`)",
+                    ))
+            elif isinstance(node, ast.Call):
+                if (
+                    call_name(node) == "next"
+                    and node.args
+                    and isinstance(node.args[0], ast.Call)
+                    and call_name(node.args[0]) == "iter"
+                    and node.args[0].args
+                    and taint.is_unordered(node.args[0].args[0])
+                ):
+                    findings.append(module.finding(
+                        self.code, node,
+                        "next(iter(...)) of an unordered collection picks "
+                        "a hash-order-dependent element; sort or use min()",
+                    ))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if taint.is_listed_unordered(node.value):
+                    findings.append(module.finding(
+                        self.code, node,
+                        "returning list()/tuple() of an unordered collection "
+                        "leaks hash-seed iteration order into the payload; "
+                        "return sorted(...) instead",
+                    ))
+            elif isinstance(node, ast.For):
+                self._check_accumulation(
+                    module, node, taint, returned_names, sliced_names,
+                    findings,
+                )
+
+    def _check_accumulation(
+        self, module, loop, taint, returned_names, sliced_names, findings
+    ) -> None:
+        """``for x in U: acc.append(...)`` where ``acc`` is returned/sliced."""
+        if not taint.is_unordered(loop.iter):
+            return
+        for node in ast.walk(loop):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                continue
+            accumulator = node.func.value.id
+            if accumulator in returned_names or accumulator in sliced_names:
+                findings.append(module.finding(
+                    self.code, loop,
+                    f"iterating an unordered collection while accumulating "
+                    f"into `{accumulator}` (which is returned/sliced) makes "
+                    "the payload order hash-seed dependent; iterate "
+                    "sorted(...) instead",
+                ))
+                return
+
+
+@register
+class UnseededEntropyRule(Rule):
+    """Engine paths must take entropy and time as injectable parameters.
+
+    Every stochastic component in this repo threads a ``seed`` into
+    ``random.Random(seed)`` and every latency metric uses the monotonic
+    ``time.perf_counter``.  Module-global ``random.*`` draws from
+    process-wide state no replay can reproduce, and ``time.time()``
+    (wall clock) jumps under NTP — neither belongs in a code path whose
+    outputs the differential suites compare bit-for-bit.
+    """
+
+    code = "RPL002"
+    name = "unseeded-entropy"
+    scope = ENGINE_SCOPE
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in module.nodes(ast.Call):
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+            ):
+                continue
+            base, attr = func.value.id, func.attr
+            if base == "random":
+                if attr == "Random" and (node.args or node.keywords):
+                    continue  # explicitly seeded: the injectable idiom
+                findings.append(module.finding(
+                    self.code, node,
+                    f"module-global `random.{attr}(...)` draws unseeded "
+                    "process-wide entropy; thread a seed through "
+                    "`random.Random(seed)` instead",
+                ))
+            elif base == "time" and attr == "time":
+                findings.append(module.finding(
+                    self.code, node,
+                    "`time.time()` is wall-clock (non-monotonic, not "
+                    "injectable); use `time.perf_counter()` for intervals "
+                    "or accept a clock parameter",
+                ))
+        return findings

@@ -1,0 +1,379 @@
+"""The lint framework: one parse per file, rule-registry dispatch.
+
+``repro.analysis`` is a *repo-invariant* static-analysis pass: every rule
+encodes an invariant this codebase's own differential test suites keep
+re-catching dynamically (order-dependent iteration, shipping-accounting
+drift, resource-tracker double-unlink, lock-discipline holes — see the
+rule modules for the PR history each rule distils).  The framework keeps
+the cost model honest:
+
+* **one parse per file** — a :class:`ModuleContext` parses the source
+  once, walks the tree once (building the node-type index and the parent
+  map every rule shares), and every rule reads those indices instead of
+  re-walking;
+* **rule registry** — rules self-register via :func:`register`;
+  :data:`RULES` maps ``RPLxxx`` codes to instances, and
+  ``--explain RPLxxx`` prints a rule's own documentation;
+* **inline suppressions** — ``# repro-lint: disable=RPLxxx -- why`` on
+  (or immediately above) the flagged line suppresses that code there.
+  The justification text after ``--`` is *required*: a bare disable is
+  itself a finding (:data:`SUPPRESSION_CODE`) and suppresses nothing;
+* **scoping** — a rule may restrict itself to engine paths (``scope``
+  is a tuple of path fragments); repo-layout-relative fragments keep
+  fixture trees honest in tests.
+
+Module-local rules subclass :class:`Rule`; rules that need the whole
+project at once (dispatch exhaustiveness) subclass :class:`ProjectRule`
+and receive every parsed module together.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: the framework's own code: a suppression comment without justification
+SUPPRESSION_CODE = "RPL000"
+
+#: ``# repro-lint: disable=RPL001,RPL002 -- justification text``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+?)\s*(?:--\s*(\S.*))?$"
+)
+
+#: file names never worth linting (generated / vendored would go here)
+_SKIP_NAMES = frozenset({"__pycache__"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is posix-relative to the scanned root, ``snippet`` is the
+    stripped source line — the baseline fingerprints hash the snippet,
+    not the line number, so grandfathered findings survive unrelated
+    line drift in the same file.
+    """
+
+    code: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro-lint: disable`` comment."""
+
+    line: int
+    codes: frozenset
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+class ModuleContext:
+    """One parsed module plus the shared indices every rule reads.
+
+    The tree is parsed once and walked once: ``nodes(ast.Call)`` returns
+    the pre-indexed node list, ``parent``/``ancestors`` read the parent
+    map, and ``enclosing_class``/``enclosing_function`` resolve lexical
+    containment without re-walking.
+    """
+
+    def __init__(self, root: Path, path: Path, source: str) -> None:
+        self.root = root
+        self.abs_path = path
+        self.path = path.relative_to(root).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        self._by_type: Dict[type, List[ast.AST]] = defaultdict(list)
+        for parent in ast.walk(self.tree):
+            self._by_type[type(parent)].append(parent)
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.suppressions: Dict[int, List[Suppression]] = {}
+        self.malformed: List[Suppression] = []
+        self._scan_suppressions()
+
+    # -- tree access ----------------------------------------------------
+    def nodes(self, *types: type) -> List[ast.AST]:
+        """Every node of the given AST types (one shared pre-built index)."""
+        out: List[ast.AST] = []
+        for node_type in types:
+            out.extend(self._by_type.get(node_type, ()))
+        return out
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing(self, node: ast.AST, *types: type) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, types):
+                return ancestor
+        return None
+
+    def enclosing_function(self, node: ast.AST):
+        return self.enclosing(node, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        return self.enclosing(node, ast.ClassDef)
+
+    # -- source access --------------------------------------------------
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, code: str, where, message: str) -> Finding:
+        """Build a finding at an AST node (or explicit line number)."""
+        line = where if isinstance(where, int) else where.lineno
+        return Finding(
+            code=code,
+            path=self.path,
+            line=line,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+    # -- suppressions ---------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        """Parse disable comments; standalone ones bind to the next code line."""
+        pending: List[Suppression] = []
+        for number, text in enumerate(self.lines, start=1):
+            stripped = text.strip()
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                if stripped and not stripped.startswith("#") and pending:
+                    for suppression in pending:
+                        self._register(number, suppression)
+                    pending = []
+                continue
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",")
+                if code.strip()
+            )
+            suppression = Suppression(
+                line=number, codes=codes,
+                justification=match.group(2) or "",
+            )
+            if stripped.startswith("#"):
+                pending.append(suppression)  # binds to the next code line
+            else:
+                self._register(number, suppression)
+        self.malformed.extend(pending)  # trailing standalone: binds nothing
+
+    def _register(self, line: int, suppression: Suppression) -> None:
+        if not suppression.justified:
+            self.malformed.append(suppression)
+            return
+        self.suppressions.setdefault(line, []).append(suppression)
+
+    def suppressed(self, finding: Finding) -> bool:
+        for suppression in self.suppressions.get(finding.line, ()):
+            if finding.code in suppression.codes:
+                return True
+        return False
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed module of one analysis run (for project-wide rules)."""
+
+    root: Path
+    modules: List[ModuleContext] = field(default_factory=list)
+
+    def module(self, path_fragment: str) -> Optional[ModuleContext]:
+        for module in self.modules:
+            if path_fragment in module.path:
+                return module
+        return None
+
+
+class Rule:
+    """A module-local rule: sees one :class:`ModuleContext` at a time.
+
+    ``code`` is the stable ``RPLxxx`` identity (suppressions, baselines
+    and ``--explain`` key off it); ``scope`` — when set — is a tuple of
+    path fragments the rule confines itself to (engine paths for the
+    determinism rules); the class docstring is the ``--explain`` text.
+    """
+
+    code: str = ""
+    name: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if self.scope is None:
+            return True
+        path = "/" + module.path
+        return any(fragment in path for fragment in self.scope)
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def explain(cls) -> str:
+        doc = cls.__doc__ or "(no documentation)"
+        return f"{cls.code} · {cls.name}\n\n{doc.strip()}"
+
+
+class ProjectRule(Rule):
+    """A rule that needs every module at once (cross-file invariants)."""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: the rule registry: RPLxxx code → rule instance
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    if not rule_cls.code or not re.fullmatch(r"RPL\d{3}", rule_cls.code):
+        raise ValueError(f"rule {rule_cls.__name__} needs an RPLxxx code")
+    if rule_cls.code in RULES:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    RULES[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def iter_python_files(targets: Sequence[Path]) -> Iterator[Path]:
+    for target in targets:
+        if target.is_file() and target.suffix == ".py":
+            yield target
+        elif target.is_dir():
+            for path in sorted(target.rglob("*.py")):
+                if not _SKIP_NAMES.intersection(path.parts):
+                    yield path
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one :func:`run_analysis` pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    def by_code(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = defaultdict(list)
+        for finding in self.findings:
+            grouped[finding.code].append(finding)
+        return dict(grouped)
+
+
+def run_analysis(
+    root: Path,
+    targets: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Run every (selected) rule over the target tree.
+
+    ``root`` anchors relative finding paths (and baseline identity);
+    ``targets`` defaults to the root itself.  Files that fail to parse
+    are reported as errors, not skipped silently.
+    """
+    root = root.resolve()
+    if targets is None:
+        targets = [root]
+    active = list(rules) if rules is not None else list(RULES.values())
+    report = AnalysisReport()
+    project = ProjectContext(root=root)
+    for path in iter_python_files([Path(t).resolve() for t in targets]):
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleContext(root, path, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append(f"{path}: {exc}")
+            continue
+        project.modules.append(module)
+    for module in project.modules:
+        for suppression in module.malformed:
+            report.findings.append(module.finding(
+                SUPPRESSION_CODE, suppression.line,
+                "repro-lint disable comment without justification text "
+                "(write `# repro-lint: disable=RPLxxx -- why`); "
+                "an unjustified disable suppresses nothing",
+            ))
+        for rule in active:
+            if isinstance(rule, ProjectRule) or not rule.applies_to(module):
+                continue
+            for finding in rule.check_module(module):
+                _deliver(module, finding, report)
+    modules_by_path = {module.path: module for module in project.modules}
+    for rule in active:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(project):
+            module = modules_by_path.get(finding.path)
+            _deliver(module, finding, report)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.code))
+    return report
+
+
+def _deliver(
+    module: Optional[ModuleContext], finding: Finding, report: AnalysisReport
+) -> None:
+    if module is not None and module.suppressed(finding):
+        report.suppressed.append(finding)
+    else:
+        report.findings.append(finding)
+
+
+# -- shared AST helpers used by several rules ---------------------------
+
+def call_name(node: ast.Call) -> str:
+    """The called name: ``foo`` for ``foo(...)``, ``bar`` for ``a.bar(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def dotted_path(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``("self", "_service", "_cond")`` for ``self._service._cond``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def keyword_value(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_true_constant(node: Optional[ast.expr]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True

@@ -1,0 +1,166 @@
+"""Lock-discipline rule: ``#: guarded-by:`` annotations, enforced.
+
+PR 2's shared caches grew their thread-safety bugs the usual way: the
+lock was added with the class, then a later accessor read the guarded
+dict outside it.  The cure production codebases use (Java's
+``@GuardedBy``, abseil's ``GUARDED_BY``) is to make the *association*
+between attribute and lock explicit and machine-checked.  The
+convention here:
+
+* declare, on (or directly above) the attribute's ``__init__``
+  assignment::
+
+      self._entries = {}  #: guarded-by: _lock
+
+  Several locks may be listed (``#: guarded-by: _lock, _cond``) and a
+  lock may live behind another attribute (``#: guarded-by:
+  _service._cond``).
+* every *lexical* ``self.<attr>`` touch of a guarded attribute inside
+  the declaring class must then sit inside ``with self.<lock>:`` (any
+  one of the listed locks), except in ``__init__``/``__del__``.
+* a helper that is only ever called with the lock held declares that
+  contract instead of acquiring::
+
+      def _entry(self, key):  #: holds: _lock
+
+The check is intraprocedural and lexical on purpose: it cannot prove
+the ``#: holds:`` contract, but it forces the contract to be *written*,
+which is what was missing every time this bug recurred.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .framework import Finding, ModuleContext, Rule, dotted_path, register
+
+_GUARDED_RE = re.compile(r"#:\s*guarded-by:\s*([A-Za-z0-9_.,\s]+?)\s*$")
+_HOLDS_RE = re.compile(r"#:\s*holds:\s*([A-Za-z0-9_.,\s]+?)\s*$")
+
+#: a lock spec: dotted attribute path relative to ``self``
+LockPath = Tuple[str, ...]
+
+
+def _parse_lock_list(text: str) -> FrozenSet[LockPath]:
+    locks: Set[LockPath] = set()
+    for item in text.split(","):
+        item = item.strip()
+        if item:
+            locks.add(tuple(item.split(".")))
+    return frozenset(locks)
+
+
+def _annotation_on(module: ModuleContext, line: int, pattern) -> Optional[str]:
+    """Match ``pattern`` on ``line`` or the standalone comment above it."""
+    for candidate in (line, line - 1):
+        if not (1 <= candidate <= len(module.lines)):
+            continue
+        text = module.lines[candidate - 1]
+        if candidate != line and not text.strip().startswith("#"):
+            continue
+        match = pattern.search(text)
+        if match is not None:
+            return match.group(1)
+    return None
+
+
+@register
+class GuardedByRule(Rule):
+    """``#: guarded-by:`` attributes may only be touched under their lock.
+
+    An attribute annotated ``#: guarded-by: _lock`` at its ``__init__``
+    assignment is mutable shared state; this rule flags every
+    ``self.<attr>`` access in the declaring class that is not lexically
+    inside ``with self._lock:`` (or a listed alternative), not in
+    ``__init__``/``__del__``, and not in a method annotated
+    ``#: holds: _lock``.  PR 2 shipped exactly this hole — accessors
+    added after the lock, reading the cache dict unguarded.
+    """
+
+    code = "RPL010"
+    name = "guarded-by-lock-discipline"
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls in module.nodes(ast.ClassDef):
+            guarded = self._guarded_attrs(module, cls)
+            if guarded:
+                self._check_class(module, cls, guarded, findings)
+        return findings
+
+    # -- declaration scan ----------------------------------------------
+    def _guarded_attrs(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Dict[str, FrozenSet[LockPath]]:
+        """``{attr: {lock paths}}`` from the class's annotated assignments."""
+        guarded: Dict[str, FrozenSet[LockPath]] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            if module.enclosing_class(node) is not cls:
+                continue
+            spec = _annotation_on(module, node.lineno, _GUARDED_RE)
+            if spec is None:
+                continue
+            locks = _parse_lock_list(spec)
+            for target in targets:
+                path = dotted_path(target)
+                if path is not None and len(path) == 2 and path[0] == "self":
+                    guarded[path[1]] = guarded.get(path[1], frozenset()) | locks
+        return guarded
+
+    # -- access check --------------------------------------------------
+    def _check_class(self, module, cls, guarded, findings) -> None:
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Attribute):
+                continue
+            path = dotted_path(node)
+            if path is None or len(path) != 2 or path[0] != "self":
+                continue
+            attr = path[1]
+            if attr not in guarded:
+                continue
+            if module.enclosing_class(node) is not cls:
+                continue  # a nested class's own namespace
+            func = module.enclosing_function(node)
+            if func is None or func.name in ("__init__", "__del__"):
+                continue
+            locks = guarded[attr]
+            if self._holds_declared(module, func, locks):
+                continue
+            if self._under_lock(module, node, locks):
+                continue
+            lock_text = " or ".join(
+                "self." + ".".join(lock) for lock in sorted(locks)
+            )
+            findings.append(module.finding(
+                self.code, node,
+                f"`self.{attr}` is `#: guarded-by: "
+                f"{', '.join('.'.join(lock) for lock in sorted(locks))}` "
+                f"but is accessed outside `with {lock_text}:` "
+                f"(method `{func.name}`); acquire the lock or annotate the "
+                "method `#: holds: ...` with a one-line safety argument",
+            ))
+
+    def _holds_declared(self, module, func, locks) -> bool:
+        spec = _annotation_on(module, func.lineno, _HOLDS_RE)
+        if spec is None:
+            return False
+        return bool(_parse_lock_list(spec) & locks)
+
+    def _under_lock(self, module, node, locks) -> bool:
+        want = {("self",) + lock for lock in locks}
+        for ancestor in module.ancestors(node):
+            if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                continue
+            for item in ancestor.items:
+                held = dotted_path(item.context_expr)
+                if held in want:
+                    return True
+        return False

@@ -1,0 +1,64 @@
+"""Shipping-discipline rule: one serialisation point, one measurement.
+
+The paper's workload-assignment argument prices every unit in *shipped
+bytes*; the repo's accounting (``ShippingStats``) must therefore agree with
+what actually crosses the process boundary.  PR 7 deleted a
+``payload_size`` field that re-measured ``len(pickle.dumps(payload))``
+on a path that then shipped through a *different* serialisation — the
+two numbers drifted and the balancer optimised a fiction.  The repair
+made ``pack_shard`` the single choke point: everything shipped goes
+through it, and the bytes it returns are the bytes accounted.
+
+:class:`PickleOutsidePackRule` (RPL030) bans ``pickle.dumps`` /
+``ForkingPickler.dumps`` everywhere else, re-banning the
+double-measurement shape forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .framework import Finding, ModuleContext, Rule, dotted_path, register
+
+#: the single allowed serialisation choke point
+PACK_FUNCTION = "pack_shard"
+
+#: attribute bases that mean "a pickler" when ``.dumps`` is called on them
+_PICKLER_BASES = frozenset({"pickle", "ForkingPickler", "cPickle"})
+
+
+@register
+class PickleOutsidePackRule(Rule):
+    """``pickle.dumps`` lives in ``pack_shard`` and nowhere else.
+
+    Any second serialisation site is a second byte-count: the shipping
+    accounting (``ShippingStats.shard_bytes``) then disagrees with the
+    bytes actually shipped, exactly the ``payload_size`` drift PR 7
+    removed.  Serialise through ``pack_shard`` (and measure its return)
+    instead.
+    """
+
+    code = "RPL030"
+    name = "pickle-outside-pack-shard"
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in module.nodes(ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "dumps"):
+                continue
+            base = dotted_path(func.value)
+            if base is None or base[-1] not in _PICKLER_BASES:
+                continue
+            enclosing = module.enclosing_function(node)
+            if enclosing is not None and enclosing.name == PACK_FUNCTION:
+                continue
+            findings.append(module.finding(
+                self.code, node,
+                f"`{'.'.join(base)}.dumps` outside `{PACK_FUNCTION}`: a "
+                "second serialisation point means a second byte-count and "
+                "shipping-accounting drift; serialise via "
+                f"`{PACK_FUNCTION}` and measure its return value",
+            ))
+        return findings

@@ -1,0 +1,160 @@
+"""Shared-memory lifecycle rules: one creator, one attach door, teardown.
+
+PR 7's resource-tracker bug is the canonical lifecycle failure: worker
+processes attached to coordinator-owned segments with the *tracking*
+constructor, so both sides registered the segment and teardown
+double-unlinked.  The fix centralised the lifecycle — only
+``ShardPlane`` creates segments, every attach routes through
+``_attach_untracked`` (which unregisters the attach from the resource
+tracker), and the creating class owns an ``unlink``-bearing teardown.
+These rules freeze that architecture:
+
+* :class:`ShmCreateRule` (RPL020) — ``SharedMemory(create=True)``
+  outside ``ShardPlane``;
+* :class:`ShmAttachRule` (RPL021) — an attach (``SharedMemory(name=...)``)
+  outside ``_attach_untracked``;
+* :class:`ShmTeardownRule` (RPL022) — a class that creates segments but
+  has no method calling ``unlink`` (publish paths must be dominated by
+  an unlink-bearing teardown in the same class).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    is_true_constant,
+    keyword_value,
+    register,
+)
+
+#: the one class allowed to create segments
+CREATOR_CLASS = "ShardPlane"
+#: the one function allowed to attach to existing segments
+ATTACH_DOOR = "_attach_untracked"
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    return call_name(node) == "SharedMemory"
+
+
+@register
+class ShmCreateRule(Rule):
+    """``SharedMemory(create=True)`` is ``ShardPlane``'s privilege.
+
+    Segment creation implies ownership: a name to account for, a
+    resource-tracker registration, and an ``unlink`` obligation.  The
+    shard plane centralises all three; a create call anywhere else
+    re-opens the split-ownership lifecycle that produced PR 7's
+    double-unlink.
+    """
+
+    code = "RPL020"
+    name = "shm-create-outside-plane"
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in module.nodes(ast.Call):
+            if not _is_shared_memory_call(node):
+                continue
+            if not is_true_constant(keyword_value(node, "create")):
+                continue
+            cls = module.enclosing_class(node)
+            if cls is not None and cls.name == CREATOR_CLASS:
+                continue
+            where = (
+                f"class `{cls.name}`" if cls is not None else "module scope"
+            )
+            findings.append(module.finding(
+                self.code, node,
+                f"SharedMemory(create=True) in {where}: segment creation "
+                f"(and the unlink obligation that comes with it) belongs to "
+                f"`{CREATOR_CLASS}` only",
+            ))
+        return findings
+
+
+@register
+class ShmAttachRule(Rule):
+    """Attaches must route through ``_attach_untracked``.
+
+    ``SharedMemory(name=...)`` *registers the attach with the resource
+    tracker*; when the attaching process is not the owner, interpreter
+    exit then unlinks a segment it never created — PR 7's bug.  The
+    ``_attach_untracked`` door attaches and immediately unregisters, so
+    every other site must go through it.
+    """
+
+    code = "RPL021"
+    name = "shm-attach-outside-door"
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in module.nodes(ast.Call):
+            if not _is_shared_memory_call(node):
+                continue
+            if is_true_constant(keyword_value(node, "create")):
+                continue  # creation is RPL020's concern
+            if keyword_value(node, "name") is None and not node.args:
+                continue  # neither attach nor create: not a lifecycle event
+            func = module.enclosing_function(node)
+            if func is not None and func.name == ATTACH_DOOR:
+                continue
+            findings.append(module.finding(
+                self.code, node,
+                "attaching with SharedMemory(name=...) registers the "
+                "segment with this process's resource tracker (double-"
+                f"unlink on exit); route the attach through "
+                f"`{ATTACH_DOOR}` instead",
+            ))
+        return findings
+
+
+@register
+class ShmTeardownRule(Rule):
+    """A segment-creating class must own an ``unlink``-bearing teardown.
+
+    Publishing a segment without a same-class teardown path leaks the
+    backing file past process exit (``/dev/shm`` fills until reboot).
+    The rule accepts any method of the creating class that calls
+    ``unlink`` — ``close()``, ``__exit__``, a ``finally`` block — it
+    only insists the obligation lives *somewhere in the class that took
+    it on*.
+    """
+
+    code = "RPL022"
+    name = "shm-create-without-teardown"
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls in module.nodes(ast.ClassDef):
+            creates = [
+                node for node in ast.walk(cls)
+                if isinstance(node, ast.Call)
+                and _is_shared_memory_call(node)
+                and is_true_constant(keyword_value(node, "create"))
+                and module.enclosing_class(node) is cls
+            ]
+            if not creates:
+                continue
+            if self._has_unlink(cls):
+                continue
+            findings.append(module.finding(
+                self.code, cls,
+                f"class `{cls.name}` creates SharedMemory segments but no "
+                "method of it calls `unlink`; every publish path must be "
+                "dominated by an unlink-bearing teardown in the same class",
+            ))
+        return findings
+
+    @staticmethod
+    def _has_unlink(cls: ast.ClassDef) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call) and call_name(node) == "unlink":
+                return True
+        return False

@@ -421,7 +421,7 @@ def _positive_int(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
@@ -434,7 +434,7 @@ def _nonnegative_int(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"must be a non-negative integer, got {value}"
@@ -447,7 +447,7 @@ def _unit_float(text: str) -> float:
     try:
         value = float(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
     if not 0.0 <= value <= 1.0:
         raise argparse.ArgumentTypeError(
             f"must be between 0 and 1, got {value}"

@@ -229,6 +229,7 @@ class FactorisedPlan:
             elif len(pins) > 1:
                 return None  # merged block pinned to two distinct nodes
             else:
+                # repro-lint: disable=RPL001 -- pins is a singleton here (len>1 returned above), so the pick is deterministic
                 pin = next(iter(pins))
                 members = (pin,) if pin in quotient.cand_sets[cls] else ()
             if not members:

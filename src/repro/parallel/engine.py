@@ -176,9 +176,10 @@ class BlockMaterialiser:
         self.evictions = 0
         #: cumulative in-place block patches (see :meth:`apply_ops`)
         self.patched = 0
-        self._retained = 0
+        self._retained = 0  #: guarded-by: _lock
         self._lock = threading.RLock()
-        self._run_stats = MaterialiserStats()
+        self._run_stats = MaterialiserStats()  #: guarded-by: _lock
+        #: guarded-by: _lock
         self._cache: "OrderedDict[FrozenSet[NodeId], Tuple[PropertyGraph, Dict[object, SubgraphMatcher]]]" = (
             OrderedDict()
         )

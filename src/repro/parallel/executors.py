@@ -514,18 +514,21 @@ class MatchStore:
         #: cumulative entries dropped by targeted invalidation
         #: (:meth:`apply_ops`) — distinct from budget ``evicted``
         self.invalidated = 0
-        self._retained = 0
+        self._retained = 0  #: guarded-by: _lock
         self._lock = threading.RLock()
-        self._run_stats = MatchStoreStats()
+        self._run_stats = MatchStoreStats()  #: guarded-by: _lock
+        #: guarded-by: _lock
         self._entries: "OrderedDict[tuple, Tuple[int, tuple]]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def retained(self) -> int:
         """Summed entry charges currently resident (the budgeted quantity)."""
-        return self._retained
+        with self._lock:
+            return self._retained
 
     def get(self, key: tuple) -> Optional[Tuple[int, tuple]]:
         """The ``(steps, matches)`` entry for ``key``, counting hit/miss."""
@@ -733,9 +736,10 @@ class ShardCache:
     MAX_FORWARD_OPS = 4096
 
     def __init__(self) -> None:
-        self._slots: Dict[int, _SlotState] = {}
-        self._log: List[Tuple] = []
-        self._marked_version: Optional[int] = None
+        self._lock = threading.RLock()
+        self._slots: Dict[int, _SlotState] = {}  #: guarded-by: _lock
+        self._log: List[Tuple] = []  #: guarded-by: _lock
+        self._marked_version: Optional[int] = None  #: guarded-by: _lock
 
     def record(self, op: Tuple) -> None:
         """Append one session-routed update op to the forwarding log.
@@ -745,11 +749,12 @@ class ShardCache:
         keeping up (or none exists), so reshipping beats forwarding and
         everything is dropped cold.
         """
-        self._log.append(op)
-        if len(self._log) > 4 * self.MAX_FORWARD_OPS:
-            self.invalidate()
+        with self._lock:
+            self._log.append(op)
+            if len(self._log) > 4 * self.MAX_FORWARD_OPS:
+                self.invalidate()
 
-    def _compact(self) -> None:
+    def _compact(self) -> None:  #: holds: _lock
         """Drop the log prefix every slot has already consumed."""
         if not self._slots:
             self._log.clear()
@@ -762,12 +767,14 @@ class ShardCache:
 
     def mark_version(self, version: int) -> None:
         """Declare the graph's structural version after session updates."""
-        self._marked_version = version
+        with self._lock:
+            self._marked_version = version
 
     def invalidate(self) -> None:
         """Drop every slot cold (next run reships full shards)."""
-        self._slots.clear()
-        self._log.clear()
+        with self._lock:
+            self._slots.clear()
+            self._log.clear()
 
     def sync(self, graph: PropertyGraph) -> None:
         """Reconcile with the graph before a run.
@@ -775,11 +782,12 @@ class ShardCache:
         A structural version the session did not announce means someone
         mutated the graph out-of-band: every resident shard is stale.
         """
-        if self._marked_version != graph._version:
-            self.invalidate()
-            self._marked_version = graph._version
-        else:
-            self._compact()
+        with self._lock:
+            if self._marked_version != graph._version:
+                self.invalidate()
+                self._marked_version = graph._version
+            else:
+                self._compact()
 
     def plan(
         self,
@@ -799,29 +807,32 @@ class ShardCache:
         the worker holds for the slot — the caller then sends Σ along
         (a full shipment always carries Σ, so there it is ``False``).
         """
-        state = self._slots.get(slot)
-        if state is not None and state.epoch == epoch:
-            ops = self._forward_ops(state.resident, state.seq)
-            if ops is not None:
-                ship_sigma = state.sigma_key != sigma_key
-                state.sigma_key = sigma_key
-                missing = needed - state.resident
-                state.seq = len(self._log)
-                if not ops and not missing:
-                    return "reuse", None, ship_sigma
-                add_nodes, add_edges = self._add_payload(
-                    graph, state.resident, missing
-                )
-                state.resident |= missing
-                return "delta", (ops, add_nodes, add_edges), ship_sigma
-        shard = graph.induced_subgraph(needed)
-        self._slots[slot] = _SlotState(
-            epoch=epoch, resident=set(needed), seq=len(self._log),
-            sigma_key=sigma_key,
-        )
-        return "full", shard, False
+        with self._lock:
+            state = self._slots.get(slot)
+            if state is not None and state.epoch == epoch:
+                ops = self._forward_ops(state.resident, state.seq)
+                if ops is not None:
+                    ship_sigma = state.sigma_key != sigma_key
+                    state.sigma_key = sigma_key
+                    missing = needed - state.resident
+                    state.seq = len(self._log)
+                    if not ops and not missing:
+                        return "reuse", None, ship_sigma
+                    add_nodes, add_edges = self._add_payload(
+                        graph, state.resident, missing
+                    )
+                    state.resident |= missing
+                    return "delta", (ops, add_nodes, add_edges), ship_sigma
+            shard = graph.induced_subgraph(needed)
+            self._slots[slot] = _SlotState(
+                epoch=epoch, resident=set(needed), seq=len(self._log),
+                sigma_key=sigma_key,
+            )
+            return "full", shard, False
 
-    def _forward_ops(self, resident: Set, seq: int) -> Optional[List[Tuple]]:
+    def _forward_ops(  #: holds: _lock
+        self, resident: Set, seq: int
+    ) -> Optional[List[Tuple]]:
         """Log ops since ``seq`` restricted to the resident share.
 
         ``None`` means the backlog is too large — reshipping is cheaper.

@@ -53,7 +53,7 @@ def _search_order(pattern: GraphPattern) -> List[Variable]:
     """Order variables so each (when possible) touches an earlier one."""
     order: List[Variable] = []
     placed: set = set()
-    remaining = [v for v in pattern.nodes()]
+    remaining = list(pattern.nodes())
     # Stable greedy: repeatedly take the unplaced variable with the most
     # already-placed neighbours (ties: higher degree, then name).
     while remaining:

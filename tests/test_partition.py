@@ -19,7 +19,7 @@ def graph():
 class TestFragmentationInvariants:
     def test_every_node_owned_once(self, graph):
         fr = hash_partition(graph, 4)
-        owners = [frag for frag in fr.fragments]
+        owners = list(fr.fragments)
         total = sum(len(frag.owned) for frag in owners)
         assert total == graph.num_nodes
         for node in graph.nodes():

@@ -104,7 +104,7 @@ class TestPairIndex:
         snap = GraphSnapshot(graph)
         names = snap.node_label_names
         elabels = snap.edge_label_names
-        for (src_lab, elab, dst_lab), members in snap.pair_src.items():
+        for (_src_lab, elab, dst_lab), members in snap.pair_src.items():
             for src_idx in members:
                 src = snap.node_of(src_idx)
                 assert any(
@@ -112,7 +112,7 @@ class TestPairIndex:
                     for dst, labels in graph.out_neighbors(src).items()
                     for label in labels
                 )
-        for (src_lab, elab, dst_lab), members in snap.pair_dst.items():
+        for (src_lab, elab, _dst_lab), members in snap.pair_dst.items():
             for dst_idx in members:
                 dst = snap.node_of(dst_idx)
                 assert any(

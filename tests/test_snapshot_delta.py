@@ -181,7 +181,7 @@ class TestRandomisedDifferential:
         labels = tuple(f"L{i}" for i in range(6))
         elabels = tuple(f"e{i}" for i in range(4)) + ("e-new",)
         graph.snapshot()  # warm the cache so deltas are exercised
-        for step in range(40):
+        for _step in range(40):
             random_op(rng, graph, labels, elabels)
             assert_delta_snapshot_exact(graph)
 
