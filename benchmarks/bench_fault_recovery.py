@@ -1,0 +1,122 @@
+"""Fault-recovery overhead: a crashed-and-recovered run vs fault-free.
+
+PR 10's supervised execution plane promises that a worker crash costs a
+bounded detour — detect the dead pipe, respawn the slot, re-ship its
+shard, requeue the in-flight units — rather than the run.  This bench
+pins that promise as a wall-clock ceiling: a run with one injected hard
+crash (deterministic :class:`~repro.parallel.faults.FaultPlan`) must
+stay within ``OVERHEAD_CEILING`` times the fault-free run *plus* a
+fixed ``RESPAWN_ALLOWANCE`` (a replacement worker costs one interpreter
+start-up regardless of workload size, so a pure ratio would be
+meaningless against a tiny baseline), with violations asserted
+identical on every round and ``ShippingStats.faults`` proving the
+crash actually fired.
+
+The ratio bar is enforced whenever ≥ 2 CPUs are usable; single-core
+runners (where wall clock is mostly scheduler noise) only report.
+``benchmarks/results/fault_recovery.json`` accumulates the trajectory
+across PRs via the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+import warnings
+
+from repro import ValidationSession, det_vio, generate_gfds, power_law_graph
+from repro.parallel import FaultPlan, FaultPolicy
+from repro.parallel.executors import usable_cpus
+
+from _bench_utils import emit_json, emit_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: a recovered run may cost at most this multiple of the fault-free run,
+#: plus the fixed respawn allowance below
+OVERHEAD_CEILING = 3.0
+
+#: fixed per-recovery budget (seconds): respawning one worker costs an
+#: interpreter start-up + one shard re-ship whatever the workload size
+RESPAWN_ALLOWANCE = 1.0
+
+ROUNDS = 3 if QUICK else 5
+
+
+def test_crash_recovery_overhead():
+    nodes, edges = (900, 1800) if QUICK else (2000, 4000)
+    graph = power_law_graph(nodes, edges, seed=10, domain_size=25)
+    sigma = generate_gfds(graph, count=5, pattern_edges=2, seed=10)
+    expected = det_vio(sigma, graph)
+
+    def run_once(plan):
+        """One cold validate under ``plan``; returns (seconds, run)."""
+        policy = FaultPolicy(
+            plan=plan, backoff=0.01, heartbeat_interval=0.05
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with ValidationSession(
+                graph, sigma, executor="process", processes=2,
+                fault_policy=policy,
+            ) as session:
+                started = time.perf_counter()
+                run = session.validate(n=2)
+                elapsed = time.perf_counter() - started
+        assert run.violations == expected
+        return elapsed, run
+
+    clean_times, fault_times = [], []
+    faults = None
+    for _ in range(ROUNDS):
+        seconds, run = run_once(None)
+        assert not run.shipping.faults.faulted
+        clean_times.append(seconds)
+
+        seconds, run = run_once(FaultPlan(crashes=((0, 0, 1),)))
+        faults = run.shipping.faults
+        assert faults.crashes >= 1  # the injection actually fired
+        assert faults.respawns >= 1
+        assert faults.retried_units > 0
+        fault_times.append(seconds)
+
+    clean = statistics.median(clean_times)
+    recovered = statistics.median(fault_times)
+    ceiling = clean * OVERHEAD_CEILING + RESPAWN_ALLOWANCE
+    enforced = usable_cpus() >= 2
+
+    emit_table(
+        "fault_recovery",
+        ["run", "median s", "crashes", "respawns", "retried units"],
+        [
+            ["fault-free", f"{clean:.3f}", 0, 0, 0],
+            [
+                "crash+recover", f"{recovered:.3f}", faults.crashes,
+                faults.respawns, faults.retried_units,
+            ],
+            ["ceiling", f"{ceiling:.3f}", "", "",
+             f"{OVERHEAD_CEILING}x + {RESPAWN_ALLOWANCE}s"],
+        ],
+    )
+    emit_json("fault_recovery", {
+        "nodes": nodes,
+        "edges": edges,
+        "rounds": ROUNDS,
+        "fault_free_s": clean,
+        "recovered_s": recovered,
+        "overhead_ratio": recovered / clean,
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "respawn_allowance_s": RESPAWN_ALLOWANCE,
+        "ceiling_s": ceiling,
+        "ceiling_enforced": enforced,
+        "crashes": faults.crashes,
+        "respawns": faults.respawns,
+        "retried_units": faults.retried_units,
+    })
+    if enforced:
+        assert recovered <= ceiling, (
+            f"crash recovery took {recovered:.3f}s against a "
+            f"{ceiling:.3f}s ceiling ({OVERHEAD_CEILING}x fault-free "
+            f"+ {RESPAWN_ALLOWANCE}s respawn allowance)"
+        )

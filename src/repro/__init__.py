@@ -76,6 +76,9 @@ from .core.gfd import denial
 from .parallel import (
     ClusterReport,
     CostModel,
+    FaultPlan,
+    FaultPolicy,
+    FaultStats,
     MatchStoreStats,
     MaterialiserStats,
     ShippingStats,
@@ -159,6 +162,9 @@ __all__ = [
     "MatchStoreStats",
     "MaterialiserStats",
     "ShippingStats",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultStats",
     "UnitResult",
     "ValidationRun",
     "ValidationSession",

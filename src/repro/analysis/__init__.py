@@ -4,8 +4,9 @@ An AST-based lint pass whose rules encode this codebase's *own*
 invariants — the bug classes PRs 1–8's differential suites kept
 re-catching dynamically: order-dependent iteration (RPL001/002),
 lock-discipline holes (RPL010), shm lifecycle splits (RPL020–022),
-shipping-accounting drift (RPL030), and non-exhaustive work-unit
-dispatch (RPL040/041).  Run it with::
+shipping-accounting drift (RPL030), non-exhaustive work-unit
+dispatch (RPL040/041), and silently swallowed exceptions in the
+fault-tolerant execution plane (RPL050).  Run it with::
 
     PYTHONPATH=src python -m repro.analysis
 
@@ -32,6 +33,7 @@ from . import locking  # noqa: F401
 from . import shm  # noqa: F401
 from . import shipping  # noqa: F401
 from . import dispatch  # noqa: F401
+from . import faults  # noqa: F401
 
 __all__ = [
     "SUPPRESSION_CODE",

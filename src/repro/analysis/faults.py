@@ -1,0 +1,76 @@
+"""Fault-channel rule: no silently swallowed exceptions in engine paths.
+
+PR 10 made the execution plane fault-*tolerant*: worker crashes, stalls
+and applier exceptions are detected, counted on a stats channel
+(``FaultStats``), and recovered from — or re-raised with their cause
+chained.  That contract dies quietly the moment an ``except`` block in a
+supervised path swallows an exception whole: the fault neither recovers
+nor surfaces, and the differential suites that pin recovered ≡
+fault-free have nothing to catch.  The pre-PR-10 code had exactly this
+shape in several places (a bare ``except Exception: pass`` around
+segment unlinks, pipe sends, thread teardown), each one a spot where a
+real fault would have vanished.
+
+:class:`SwallowedExceptRule` (RPL050) flags ``except`` handlers in the
+execution-plane paths (``parallel/``, ``service.py``) whose body does
+nothing but ``pass``/``break``/``continue`` — the handler neither
+re-raises, nor records to a stats/fault channel, nor does *any* work
+with the failure.  Handlers that genuinely must drop an exception (a
+dead pipe whose EOF the poll loop will surface, an already-unlinked
+segment) carry a justified suppression::
+
+    except (BrokenPipeError, OSError):
+        break  # repro-lint: disable=RPL050 -- coordinator went away; ...
+
+which is precisely the documentation such a site owes its reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from .framework import Finding, ModuleContext, Rule, register
+
+#: the supervised execution-plane paths where a swallowed exception is a
+#: lost fault (the session/service engine and everything under parallel/)
+FAULT_SCOPE: Tuple[str, ...] = ("/parallel/", "/service.py")
+
+#: statement types that constitute "doing nothing with the failure"
+_INERT = (ast.Pass, ast.Break, ast.Continue)
+
+
+@register
+class SwallowedExceptRule(Rule):
+    """``except`` handlers in engine paths must not swallow silently.
+
+    A handler whose body is only ``pass``/``break``/``continue`` turns a
+    fault into nothing: no re-raise, no ``FaultStats`` count, no log —
+    the supervised execution plane's recovery and accounting never see
+    it, and the fault-injection differential suites cannot pin it.
+    Either handle the exception (record it to a stats/fault channel,
+    requeue the work, chain it onto a raised error) or — when dropping
+    it is genuinely correct — say *why* with a justified suppression:
+    ``# repro-lint: disable=RPL050 -- <why the drop is safe>``.
+    """
+
+    code = "RPL050"
+    name = "swallowed-exception"
+    scope = FAULT_SCOPE
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for handler in module.nodes(ast.ExceptHandler):
+            if not all(isinstance(stmt, _INERT) for stmt in handler.body):
+                continue
+            # Anchor to the inert statement, not the ``except`` line: the
+            # pass/break *is* the swallow, and an inline suppression lives
+            # naturally on that line.
+            findings.append(module.finding(
+                self.code, handler.body[0],
+                "except block swallows the exception (body is only "
+                "pass/break/continue): a fault here neither recovers nor "
+                "reaches a stats/fault channel; re-raise, record it, or "
+                "justify the drop with a suppression",
+            ))
+        return findings

@@ -113,6 +113,7 @@ def _detect(graph, rules, args):
     with ValidationSession(
         graph, rules, executor=args.executor, processes=args.processes,
         persistent=False, ship_mode=args.ship_mode,
+        fault_policy=_fault_policy(args),
     ) as session:
         return session.validate(n=n).violations
 
@@ -175,7 +176,7 @@ def cmd_bench(args, out: TextIO) -> int:
     fragmentation = greedy_edge_cut_partition(graph, args.workers, seed=0)
     with ValidationSession(
         graph, rules, executor=args.executor, processes=args.processes,
-        ship_mode=args.ship_mode,
+        ship_mode=args.ship_mode, fault_policy=_fault_policy(args),
     ) as session:
         for iteration in range(args.repeat):
             started = time.perf_counter()
@@ -248,15 +249,17 @@ def cmd_serve(args, out: TextIO) -> int:
     workers = args.processes or max(1, usable_cpus())
     source = open(args.replay) if args.replay else sys.stdin
     try:
+        fault_policy = _fault_policy(args)
         with ValidationSession(
             graph, rules, executor=args.executor, processes=args.processes,
-            ship_mode=args.ship_mode,
+            ship_mode=args.ship_mode, fault_policy=fault_policy,
         ) as session:
             session.validate(n=workers)  # warm pool, shards and caches
             with ValidationService(
                 session,
                 max_batch_ops=args.batch_ops,
                 max_batch_age=args.batch_age,
+                fault_policy=fault_policy,
             ) as service:
                 subscriber = service.subscribe()
                 for raw in source:
@@ -336,7 +339,8 @@ def cmd_discover(args, out: TextIO) -> int:
         session_options["match_store_budget"] = args.match_budget
     with ValidationSession(
         graph, [], executor=args.executor, processes=args.processes,
-        ship_mode=args.ship_mode, **session_options,
+        ship_mode=args.ship_mode, fault_policy=_fault_policy(args),
+        **session_options,
     ) as session:
         run = session.discover(
             min_support=args.support,
@@ -429,6 +433,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _fault_plan_spec(text: str):
+    """Argparse type for ``--fault-plan``: parse at the CLI boundary so
+    a malformed plan fails loudly on *every* subcommand, including runs
+    that end up on the sequential backend and would never consult it."""
+    from .parallel.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _nonnegative_int(text: str) -> int:
     """Argparse type for budgets where 0 is meaningful (disables)."""
     try:
@@ -471,6 +487,63 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                              "pickled blobs over the pipe, zero-copy "
                              "shared-memory arenas, or size-based "
                              "auto-selection")
+    parser.add_argument("--fault-retries", type=_nonnegative_int,
+                        default=None, dest="fault_retries",
+                        help="per-batch retry budget after a worker "
+                             "crash/stall before the run fails "
+                             "(default: 2)")
+    parser.add_argument("--fault-backoff", type=float, default=None,
+                        dest="fault_backoff",
+                        help="base pre-retry backoff in seconds, doubled "
+                             "per attempt (default: 0.05)")
+    parser.add_argument("--heartbeat-interval", type=float, default=None,
+                        dest="heartbeat_interval",
+                        help="worker liveness beat cadence in seconds; "
+                             "silence past 10 intervals means dead "
+                             "(default: 0.5)")
+    parser.add_argument("--unit-deadline", type=float, default=None,
+                        dest="unit_deadline",
+                        help="declare a worker stalled when one unit "
+                             "makes no progress for this many seconds "
+                             "(default: off)")
+    parser.add_argument("--degrade-floor", type=_positive_int,
+                        default=None, dest="degrade_floor",
+                        help="minimum live pool slots before a "
+                             "degrading run fails outright (default: 1)")
+    parser.add_argument("--fault-plan", type=_fault_plan_spec,
+                        default=None, dest="fault_plan",
+                        help="JSON fault-injection plan (the "
+                             "REPRO_FAULT_PLAN format) — deterministic "
+                             "crash/stall/drop/applier faults for "
+                             "recovery testing")
+
+
+def _fault_policy(args):
+    """The explicit FaultPolicy the flags describe, or ``None``.
+
+    ``None`` (no flag given) lets the library resolve defaults plus any
+    ``REPRO_FAULT_PLAN`` environment plan; any explicit flag builds a
+    full policy (unset fields keep their defaults).  ``--fault-plan``
+    arrives already parsed (see :func:`_fault_plan_spec`).
+    """
+    from .parallel.faults import FaultPolicy
+
+    plan = args.fault_plan
+    overrides = {
+        name: value
+        for name, value in (
+            ("max_retries", args.fault_retries),
+            ("backoff", args.fault_backoff),
+            ("heartbeat_interval", args.heartbeat_interval),
+            ("unit_deadline", args.unit_deadline),
+            ("degrade_floor", args.degrade_floor),
+            ("plan", plan),
+        )
+        if value is not None
+    }
+    if not overrides:
+        return None
+    return FaultPolicy(**overrides)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -43,6 +43,13 @@ from .executors import (
     shm_available,
     worker_graph,
 )
+from .faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultPolicy,
+    FaultStats,
+    resolve_fault_policy,
+)
 from .repval import rep_nop, rep_ran, rep_val
 from .disval import dis_nop, dis_ran, dis_val
 from .reduction import reduce_rules, reduction_ratio
@@ -87,6 +94,11 @@ __all__ = [
     "ShardPlane",
     "ShippingStats",
     "SimulatedExecutor",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultPolicy",
+    "FaultStats",
+    "resolve_fault_policy",
     "execute_plan",
     "resolve_executor",
     "shm_available",

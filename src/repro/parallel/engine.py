@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         ShardCache,
         ShippingStats,
     )
+    from .faults import FaultPolicy
 
 from ..graph.graph import NodeId, PropertyGraph
 from ..matching.locality import candidate_permutations
@@ -979,6 +980,7 @@ def run_assignment(
     epoch: Optional[str] = None,
     sigma_key: Optional[object] = None,
     ship_mode: str = "auto",
+    fault_policy: Optional["FaultPolicy"] = None,
 ) -> Set[Violation]:
     """Execute a per-worker unit assignment, charging costs as measured.
 
@@ -1004,7 +1006,11 @@ def run_assignment(
     mapping; lent pools keep their own configured mode).  Cost
     charging happens on the coordinator from the per-unit measurements
     either way, so all backends yield identical violations *and*
-    identical cluster reports.
+    identical cluster reports.  ``fault_policy`` configures the process
+    backend's supervision plane (see
+    :class:`~repro.parallel.faults.FaultPolicy`); recovered runs stay
+    on this same canonical folding path, so the guarantee extends to
+    runs that lost and respawned workers mid-flight.
     """
     from .executors import execute_plan
 
@@ -1025,6 +1031,7 @@ def run_assignment(
         epoch=epoch,
         sigma_key=sigma_key,
         ship_mode=ship_mode,
+        fault_policy=fault_policy,
     )
     for worker, worker_units in enumerate(assignment):
         for unit, result in zip(worker_units, results[worker]):
@@ -1074,6 +1081,7 @@ def run_units(
     sigma_key: Optional[object] = None,
     match_store: Optional["MatchStore"] = None,
     ship_mode: str = "auto",
+    fault_policy: Optional["FaultPolicy"] = None,
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan and return the per-unit results, charging costs.
 
@@ -1100,6 +1108,7 @@ def run_units(
         sigma_key=sigma_key,
         match_store=match_store,
         ship_mode=ship_mode,
+        fault_policy=fault_policy,
     )
     for worker, worker_units in enumerate(plan):
         for unit, result in zip(worker_units, results[worker]):

@@ -73,6 +73,31 @@ that is the point of shipping them); a delta against a mapped shard
 demotes the worker's copy to private storage and retires the segment.
 Both modes produce byte-identical results — the differential suite pins
 ``shm`` ≡ ``pickle`` across the executor matrix.
+
+Fault tolerance (the supervised execution plane)
+------------------------------------------------
+
+Persistent runs are *supervised*: every worker batch runs under a
+heartbeat (a daemon beat thread in the worker reports liveness and
+per-batch unit progress at ``FaultPolicy.heartbeat_interval``), and the
+coordinator's dispatch loop (:class:`_PersistentRun`) detects dead
+workers (pipe EOF), silent workers (missed heartbeats) and stalled
+units (``unit_deadline`` overrun on the progress counter).  A failed
+worker is killed, respawned into the same pool slot, and its in-flight
+batch is requeued with exponential backoff up to
+``FaultPolicy.max_retries``: full payloads are re-sent as-is (a pickle
+blob re-ships, a still-published shm segment re-attaches), while
+delta/reuse payloads — which assumed resident state that died with the
+worker — are rebuilt as full shipments.  When respawning itself fails
+repeatedly the slot is retired and its work rerouted to surviving
+workers, down to ``FaultPolicy.degrade_floor``.  Because the engine's
+results are canonical (violations compare by value, step counts are
+enumeration-order free, payload folding is per-(slot, group)) a
+re-executed unit yields the identical result, so recovered runs are
+byte-identical to fault-free ones — the differential fault suite
+(``tests/test_faults.py``) and the CI ``REPRO_FAULT_PLAN`` matrix
+re-runs pin exactly that.  :class:`~repro.parallel.faults.FaultStats`
+on ``ShippingStats.faults`` proves the faults actually fired.
 """
 
 from __future__ import annotations
@@ -83,17 +108,28 @@ import os
 import pickle
 import sys
 import threading
+import time
 import traceback
 import warnings
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _connection_wait
 from multiprocessing.reduction import ForkingPickler
-from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+from typing import (
+    Deque, Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING,
+)
 
 from ..graph.graph import PropertyGraph
 from ..graph.snapshot import GraphSnapshot
 from ..core.gfd import GFD
+from .faults import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    FaultPolicy,
+    FaultStats,
+    WorkerFaultContext,
+    resolve_fault_policy,
+)
 from .workload import WorkUnit
 
 try:  # pragma: no cover - present on every supported CPython
@@ -122,6 +158,11 @@ AUTO_SHM_MIN_SIZE = 256
 
 #: name prefix of every shard-plane segment (leak checks grep for it)
 SHM_NAME_PREFIX = "rgfd"
+
+#: per-stage patience when reaping a worker process: ``join`` →
+#: ``terminate`` → ``kill``, each given this many seconds before
+#: escalating, so a wedged worker can never block shutdown forever
+SHUTDOWN_GRACE = 5.0
 
 _SEG_IDS = itertools.count()
 _SHM_WORKS: Optional[bool] = None
@@ -340,7 +381,7 @@ class ShardPlane:
             try:
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+                pass  # repro-lint: disable=RPL050 -- segment already unlinked (a crashed worker's residue sweep beat us); nothing left to retire
 
     def close(self) -> None:
         """Retire every published segment (idempotent)."""
@@ -671,6 +712,10 @@ class ShippingStats:
     payload_bytes: int = 0
     match_store: Optional[MatchStoreStats] = None
     block_cache: Optional["MaterialiserStats"] = None
+    #: fault-handling activity (``None`` on unsupervised paths); a
+    #: recovered run's shipping counters include recovery re-shipments —
+    #: the fault differential suite pins *results*, not volume
+    faults: Optional[FaultStats] = None
     worker_pids: Dict[int, int] = field(default_factory=dict)
 
     def merge(self, other: "ShippingStats") -> "ShippingStats":
@@ -698,6 +743,10 @@ class ShippingStats:
 
                 self.block_cache = MaterialiserStats()
             self.block_cache.merge(other.block_cache)
+        if other.faults is not None:
+            if self.faults is None:
+                self.faults = FaultStats()
+            self.faults.merge(other.faults)
         self.worker_pids.update(other.worker_pids)
         return self
 
@@ -775,6 +824,24 @@ class ShardCache:
         with self._lock:
             self._slots.clear()
             self._log.clear()
+
+    def slots(self) -> List[int]:
+        """Slots with a live resident-shard mirror (for recovery sweeps)."""
+        with self._lock:
+            return list(self._slots)
+
+    def drop_slots(self, slots: Sequence[int]) -> None:
+        """Drop specific slots cold — their worker process died or moved.
+
+        Unlike :meth:`invalidate` every other slot stays warm; the op
+        log survives (and is compacted at the next :meth:`sync`) so
+        surviving slots still forward deltas.
+        """
+        with self._lock:
+            for slot in slots:
+                self._slots.pop(slot, None)
+            if not self._slots:
+                self._log.clear()
 
     def sync(self, graph: PropertyGraph) -> None:
         """Reconcile with the graph before a run.
@@ -952,8 +1019,17 @@ def _run_slot(
     payload,
     units: Sequence[WorkUnit],
     unit_payloads: Optional[bytes] = None,
+    faults: Optional[WorkerFaultContext] = None,
+    progress: Optional[List[int]] = None,
 ) -> List["UnitResult"]:
-    """Worker-side execution of one plan slot with shard-cache handling."""
+    """Worker-side execution of one plan slot with shard-cache handling.
+
+    ``faults`` is the worker's compiled fault-injection triggers
+    (consulted before every unit and right after an shm attach);
+    ``progress`` is the shared per-batch unit counter the heartbeat
+    thread reports, so the coordinator's ``unit_deadline`` watches real
+    per-unit advancement.
+    """
     from .engine import (
         BlockMaterialiser,
         consolidate_slot_results,
@@ -964,8 +1040,14 @@ def _run_slot(
     if mode == "full":
         epoch, sigma_blob, shard_ref, match_budget = payload
         shard, segment = attach_shard_ref(shard_ref)
-        for key in [k for k in cache if k[1] == slot and k[0] != epoch]:
-            cache.pop(key).release_segment()  # one resident shard per slot
+        if faults is not None:
+            faults.after_attach()
+        # One resident shard per slot: every prior entry is released,
+        # same-epoch ones included — a crash-recovery requeue can ship
+        # the same slot full twice within one epoch, and the replaced
+        # entry's segment must be detached, not dropped to the GC.
+        for key in [k for k in cache if k[1] == slot]:
+            cache.pop(key).release_segment()
         entry = _ResidentShard(
             unpack_shard(sigma_blob), shard, BlockMaterialiser(shard),
             MatchStore(match_budget), segment,
@@ -1012,13 +1094,18 @@ def _run_slot(
             entry.materialiser.drop_matchers()
     units = _restore_unit_payloads(units, unit_payloads)
     units = expand_count_payloads(units)
-    results = [
-        execute_unit(
-            entry.sigma, entry.shard, unit, entry.materialiser,
-            match_store=entry.match_store,
+    results = []
+    for unit in units:
+        if faults is not None:
+            faults.before_unit()
+        results.append(
+            execute_unit(
+                entry.sigma, entry.shard, unit, entry.materialiser,
+                match_store=entry.match_store,
+            )
         )
-        for unit in units
-    ]
+        if progress is not None:
+            progress[0] += 1
     consolidate_slot_results(units, results)
     return results
 
@@ -1042,22 +1129,72 @@ def _pack_result_payloads(
     return blob
 
 
-def _persistent_worker_main(conn) -> None:
-    """Command loop of one persistent (pinned) worker process."""
+def _heartbeat_loop(
+    conn, send_lock: threading.Lock, pid: int, progress: List[int],
+    stop: threading.Event, interval: float,
+) -> None:
+    """Beat thread of one worker batch: liveness + unit progress.
+
+    Runs in its own daemon thread so the coordinator hears from a worker
+    even while a single unit computes for a long time — that is what
+    lets it tell "slow unit" (progress fresh, beats arriving) from
+    "stalled unit" (beats arriving, progress frozen past the deadline)
+    from "dead worker" (no beats at all).  The send timestamp rides
+    along; coordinator and workers share ``CLOCK_MONOTONIC`` on Linux,
+    so receive-minus-send is the pipe latency ``FaultStats`` records.
+    """
+    while not stop.wait(interval):
+        try:
+            with send_lock:
+                conn.send(("hb", pid, progress[0], time.monotonic()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            return  # repro-lint: disable=RPL050 -- coordinator went away; the batch reply send will notice and end the worker loop
+
+
+def _persistent_worker_main(
+    conn, worker_index: int = 0, incarnation: int = 0
+) -> None:
+    """Command loop of one persistent (pinned) worker process.
+
+    ``worker_index`` and ``incarnation`` identify this process to the
+    fault-injection harness (a respawned worker carries the next
+    incarnation, which is what stops single-shot fault triggers from
+    re-firing forever).  Batch messages optionally carry the heartbeat
+    cadence and the run's :class:`~repro.parallel.faults.FaultPlan`;
+    the beat thread is stopped and joined *before* the reply is sent,
+    so a reply is always the last message of its batch.
+    """
     cache: Dict[Tuple[str, int], _ResidentShard] = {}
     pid = os.getpid()
+    send_lock = threading.Lock()
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):  # pragma: no cover - coordinator died
-            break
+            break  # repro-lint: disable=RPL050 -- no coordinator left to tell; the loop exit below releases every segment
         if message[0] == "stop":
             break
+        tasks = message[1]
+        hb_interval = (
+            message[2] if len(message) > 2 else DEFAULT_HEARTBEAT_INTERVAL
+        )
+        plan = message[3] if len(message) > 3 else None
+        faults = WorkerFaultContext(plan, worker_index, incarnation)
+        progress = [0]
+        stop_beat = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, send_lock, pid, progress, stop_beat, hb_interval),
+            daemon=True,
+            name="worker-heartbeat",
+        )
+        beat.start()
         try:
             replies = []
-            for slot, mode, payload, units, unit_payloads in message[1]:
+            for slot, mode, payload, units, unit_payloads in tasks:
                 slot_results = _run_slot(
-                    cache, slot, mode, payload, units, unit_payloads
+                    cache, slot, mode, payload, units, unit_payloads,
+                    faults=faults, progress=progress,
                 )
                 replies.append(
                     (slot, slot_results, _pack_result_payloads(slot_results))
@@ -1076,13 +1213,40 @@ def _persistent_worker_main(conn) -> None:
             reply = ("ok", pid, replies, store_stats, cache_stats)
         except BaseException:
             reply = ("err", pid, traceback.format_exc())
+        finally:
+            stop_beat.set()
+            beat.join()
+        if faults.drop_reply:
+            # Injected wedged-after-work fault: the batch computed but
+            # the reply never leaves — the coordinator must detect the
+            # silence and recover by requeue.
+            continue
         try:
-            conn.send(reply)
+            with send_lock:
+                conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover
-            break  # coordinator went away mid-run
+            break  # repro-lint: disable=RPL050 -- coordinator went away mid-run; loop exit releases every segment
     for entry in cache.values():
         entry.release_segment()
     conn.close()
+
+
+def _reap_process(proc, grace: float = SHUTDOWN_GRACE) -> None:
+    """Collect one worker process, escalating until it is really gone.
+
+    ``join(timeout)`` → ``terminate()`` (SIGTERM) → ``kill()`` (SIGKILL),
+    each stage bounded by ``grace`` seconds, so a wedged worker — blocked
+    in a syscall, spinning with signals masked, or deliberately
+    fault-injected — can never block :meth:`MultiprocessExecutor.shutdown`
+    or a crash-recovery respawn forever.
+    """
+    proc.join(timeout=grace)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=grace)
+    if proc.is_alive():  # pragma: no cover - SIGTERM-immune worker
+        proc.kill()
+        proc.join(timeout=grace)
 
 
 class SimulatedExecutor:
@@ -1142,6 +1306,421 @@ class SimulatedExecutor:
         return results
 
 
+@dataclass
+class _BatchState:
+    """One batch of tasks bound for one pool worker, plus its liveness.
+
+    ``tasks`` are ``(slot, mode, payload, units, inputs_blob)`` tuples
+    (the worker protocol's batch entries).  ``attempts`` counts how
+    often this batch has been requeued after a fault; ``progress`` /
+    ``progress_at`` track the worker's reported per-batch unit counter
+    (for the ``unit_deadline``), ``last_signal`` the last heartbeat or
+    dispatch (for the missed-heartbeat stall detector).  Timers only
+    start ticking once the batch is actually sent (:meth:`mark_sent`) —
+    a batch queued behind another on the same worker is not "running".
+    """
+
+    tasks: List[Tuple]
+    attempts: int = 0
+    progress: int = -1
+    progress_at: float = 0.0
+    last_signal: float = 0.0
+
+    def mark_sent(self) -> None:
+        now = time.monotonic()
+        self.last_signal = now
+        self.progress_at = now
+        self.progress = -1
+
+    @property
+    def unit_count(self) -> int:
+        return sum(len(task[3]) for task in self.tasks)
+
+
+class _PersistentRun:
+    """One supervised run over the persistent pool: ship, watch, recover.
+
+    The coordinator half of the fault-tolerant execution plane.  It
+    builds per-slot shipping payloads (exactly as unsupervised runs
+    did), dispatches one batch message per pool worker, then *polls*
+    the worker pipes instead of blocking on replies: heartbeats refresh
+    liveness and per-unit progress, ``"ok"`` completes a batch,
+    ``"err"``/pipe-EOF/silence/deadline-overrun trigger recovery — kill
+    and respawn the slot's worker (next incarnation), requeue its
+    batches after an exponential backoff, re-using self-contained full
+    payloads (pickle blobs re-ship; still-published shm segments
+    re-attach) and rebuilding delta/reuse payloads whose resident base
+    died with the worker.  A slot whose respawn fails is retired and
+    its work rerouted to surviving workers (``degrade_floor`` bounds
+    how far); an exhausted retry budget tears the pool down exactly
+    like the old fail-stop path did.
+
+    Determinism: recovery changes *where and how often* units execute,
+    never their results — violations compare by value, step counts are
+    enumeration-order free, and the coordinator folds replies by slot,
+    so a recovered run is byte-identical to a fault-free one.  Shipping
+    counters do include recovery re-shipments, and a slot that crashed
+    mid-run re-ships full on the *next* run too (its cache mirror is
+    dropped rather than re-registered — simpler, and only a warm-path
+    pessimisation).
+    """
+
+    def __init__(
+        self,
+        pool: "MultiprocessExecutor",
+        sigma: Sequence[GFD],
+        graph: PropertyGraph,
+        primaries: List[List[WorkUnit]],
+        busy: List[int],
+        shard_cache: Optional[ShardCache],
+        epoch: str,
+        sigma_key: Optional[object],
+        stats: ShippingStats,
+        policy: FaultPolicy,
+    ) -> None:
+        self.pool = pool
+        self.sigma = sigma
+        self.graph = graph
+        self.primaries = primaries
+        self.busy = busy
+        self.shard_cache = shard_cache
+        self.epoch = epoch
+        self.sigma_key = sigma_key
+        self.stats = stats
+        self.policy = policy
+        plan = policy.plan
+        #: the injection plan shipped to workers (``None`` when it has
+        #: no worker-side triggers — applier-only plans stay out of band)
+        self.worker_plan = (
+            plan if plan is not None and not plan.worker_empty else None
+        )
+        self._sigma_blob: Optional[bytes] = None
+        #: per pool slot: batches dispatched (head) or queued behind it
+        self.pending: Dict[int, Deque[_BatchState]] = {}
+        #: raw ``"ok"`` replies collected so far
+        self.replies: List[Tuple] = []
+
+    # -- shipping ------------------------------------------------------
+    def _route_slot(self, slot: int) -> int:
+        """Pool slot serving plan slot ``slot`` (degrade-aware).
+
+        The classic pinning ``slot % size`` — except that retired pool
+        slots fall through to the live ones, deterministically, so a
+        degraded pool keeps a stable slot→process mapping across runs.
+        """
+        procs = self.pool._procs
+        index = slot % len(procs)
+        if procs[index] is not None:
+            return index
+        live = self.pool._live_indices()
+        return live[slot % len(live)] if live else index
+
+    def _build_task(self, worker: int) -> Tuple:
+        """Build plan slot ``worker``'s task: shard plan + payloads.
+
+        This is the shipping decision (full / delta / reuse via the
+        :class:`ShardCache`, shm vs pickle via the ship mode) plus the
+        serialise-once accounting; recovery calls it again when a
+        requeued slot needs its payload rebuilt from scratch.
+        """
+        stats = self.stats
+        needed: Set = set()
+        for unit in self.primaries[worker]:
+            needed |= unit.block_nodes
+        if self.shard_cache is None:
+            mode, data, ship_sigma = (
+                "full", self.graph.induced_subgraph(needed), False
+            )
+        else:
+            mode, data, ship_sigma = self.shard_cache.plan(
+                worker, self.epoch, needed, self.graph,
+                sigma_key=self.sigma_key,
+            )
+        if ship_sigma or mode == "full":
+            if self._sigma_blob is None:
+                self._sigma_blob = pack_shard(self.sigma)
+            stats.sigma_bytes += len(self._sigma_blob)
+        sigma_update = self._sigma_blob if ship_sigma else None
+        if ship_sigma:
+            stats.shipped_sigma += 1
+        if mode == "full":
+            if self.pool._map_shard(data):
+                ref, segment_bytes = self.pool._plane_for_run().publish(
+                    worker, data
+                )
+                stats.mapped += 1
+                stats.mapped_bytes += segment_bytes
+            else:
+                blob = pack_shard(data)
+                ref = ("pickle", blob)
+                stats.shard_bytes += len(blob)
+            payload = (
+                self.epoch, self._sigma_blob, ref,
+                self.pool.match_store_budget,
+            )
+            stats.full += 1
+            stats.shipped_nodes += data.num_nodes
+        elif mode == "delta":
+            # A delta always travels the pipe (it is small by
+            # construction); the slot's mapped segment — if any —
+            # is retired here and the worker demotes its shard to a
+            # private copy before patching.
+            if self.pool._plane is not None:
+                self.pool._plane.unlink(worker)
+            ops, add_nodes, add_edges = data
+            blob = pack_shard((ops, add_nodes, add_edges))
+            payload = (self.epoch, blob, sigma_update)
+            stats.delta += 1
+            stats.shipped_nodes += len(add_nodes)
+            stats.shipped_ops += len(ops)
+            stats.shard_bytes += len(blob)
+        else:
+            payload = (self.epoch, sigma_update)
+            stats.reused += 1
+        units = self.primaries[worker]
+        unit_inputs = tuple(unit.payload for unit in units)
+        if any(payload_in is not None for payload_in in unit_inputs):
+            inputs_blob = pack_shard(unit_inputs)
+            stats.payload_bytes += len(inputs_blob)
+            units = [
+                replace(unit, payload=None)
+                if unit.payload is not None else unit
+                for unit in units
+            ]
+        else:
+            inputs_blob = None
+        return (worker, mode, payload, units, inputs_blob)
+
+    def _requeue_tasks(self, tasks: List[Tuple]) -> List[Tuple]:
+        """Re-shippable versions of a dead worker's tasks.
+
+        Full payloads are self-contained — the pickle blob re-ships and
+        a still-published shm segment re-attaches as-is (the zero-cost
+        recovery path).  Delta/reuse payloads assumed resident state
+        that died with the worker, so their slots are dropped cold and
+        rebuilt (the cache then plans a full shipment).
+        """
+        out = []
+        for task in tasks:
+            worker, mode = task[0], task[1]
+            if mode == "full":
+                out.append(task)
+            else:
+                if self.shard_cache is not None:
+                    self.shard_cache.drop_slots([worker])
+                out.append(self._build_task(worker))
+        return out
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(self, index: int, batch: _BatchState) -> None:
+        """Queue ``batch`` on pool slot ``index``; send it when it is head.
+
+        At most one batch message sits unread in a worker's pipe at a
+        time (queued batches are sent as their predecessors complete),
+        so the coordinator never blocks writing a large batch while a
+        worker blocks writing a large reply.
+        """
+        queue = self.pending.setdefault(index, deque())
+        queue.append(batch)
+        if queue[0] is batch:
+            self._send(index, batch)
+
+    def _send(self, index: int, batch: _BatchState) -> None:
+        conn = self.pool._conns[index]
+        try:
+            conn.send(
+                (
+                    "batch", batch.tasks,
+                    self.policy.heartbeat_interval, self.worker_plan,
+                )
+            )
+        except (BrokenPipeError, OSError):
+            pass  # repro-lint: disable=RPL050 -- dead pipe surfaces as an EOF crash in the poll loop, which requeues this batch
+        batch.mark_sent()
+
+    # -- supervision ---------------------------------------------------
+    def execute(self) -> List[Tuple]:
+        """Dispatch every slot's batch and supervise until all reply."""
+        grouped: Dict[int, List[Tuple]] = {}
+        for worker in self.busy:
+            grouped.setdefault(self._route_slot(worker), []).append(
+                self._build_task(worker)
+            )
+        for index, tasks in grouped.items():
+            self._dispatch(index, _BatchState(tasks=tasks))
+        while self.pending:
+            self._poll_once()
+        return self.replies
+
+    def _poll_timeout(self) -> float:
+        timeout = min(
+            self.policy.heartbeat_interval, self.policy.stall_timeout / 4
+        )
+        if self.policy.unit_deadline is not None:
+            timeout = min(timeout, self.policy.unit_deadline / 2)
+        return max(0.005, min(0.25, timeout))
+
+    def _poll_once(self) -> None:
+        """One supervision step: drain ready pipes, then scan deadlines.
+
+        Any recovery action mutates the pending map and possibly the
+        pool itself, so the step returns right after handling one
+        failure and the outer loop recomputes its view.
+        """
+        conn_index = {
+            self.pool._conns[index]: index
+            for index in self.pending
+            if self.pool._conns[index] is not None
+        }
+        ready = _connection_wait(
+            list(conn_index), timeout=self._poll_timeout()
+        )
+        for conn in ready:
+            if self._consume(conn_index[conn], conn):
+                return
+        now = time.monotonic()
+        for index in list(self.pending):
+            queue = self.pending.get(index)
+            if not queue:  # pragma: no cover - defensive
+                self.pending.pop(index, None)
+                continue
+            head = queue[0]
+            if now - head.last_signal > self.policy.stall_timeout:
+                self._on_failure(index, "stall")
+                return
+            deadline = self.policy.unit_deadline
+            if deadline is not None and (
+                now - head.progress_at
+                > deadline + self.policy.heartbeat_interval
+            ):
+                # Progress is sampled at heartbeat cadence, so one
+                # interval of slack keeps a just-under-deadline unit
+                # from being misread as stalled.
+                self._on_failure(index, "stall")
+                return
+
+    def _consume(self, index: int, conn) -> bool:
+        """Handle one message from pool slot ``index``.
+
+        Returns ``True`` when a failure was handled (the caller's view
+        of the pending map is stale and must be recomputed).
+        """
+        queue = self.pending.get(index)
+        if not queue:  # pragma: no cover - raced a completed batch
+            return False
+        head = queue[0]
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            self._on_failure(index, "crash")
+            return True
+        kind = message[0]
+        now = time.monotonic()
+        if kind == "hb":
+            head.last_signal = now
+            self.stats.faults.record_heartbeat(now - message[3])
+            progress = message[2]
+            if progress != head.progress:
+                head.progress = progress
+                head.progress_at = now
+        elif kind == "ok":
+            queue.popleft()
+            if queue:
+                self._send(index, queue[0])
+            else:
+                self.pending.pop(index, None)
+            self.replies.append(message)
+        elif kind == "err":
+            self.stats.faults.worker_errors += 1
+            self._on_failure(index, "err", tb=message[2])
+            return True
+        return False
+
+    # -- recovery ------------------------------------------------------
+    def _abort(self, message: str) -> None:
+        """Terminal failure: tear down exactly like the fail-stop path.
+
+        The cache mirror and the pool state are unknowable, so the next
+        run must restart cold — and no stale reply may survive in a
+        pipe, which shutdown guarantees by closing every conn.
+        """
+        if self.shard_cache is not None:
+            self.shard_cache.invalidate()
+        self.pool.shutdown()
+        raise RuntimeError(message)
+
+    def _on_failure(self, index: int, kind: str, tb: Optional[str] = None):
+        """Recover pool slot ``index`` after a crash/stall/error.
+
+        One uniform path for all three: even an ``"err"`` reply (the
+        worker is alive and caught the exception) leaves the worker's
+        resident state uncertain — a mid-batch failure may have
+        half-patched a shard — so the slot is killed and respawned, and
+        its batches requeued, every time.
+        """
+        faults = self.stats.faults
+        if kind == "crash":
+            faults.crashes += 1
+        elif kind == "stall":
+            faults.stalls += 1
+        batches = list(self.pending.pop(index, ()))
+        if self.shard_cache is not None:
+            # Everything resident on the dead process died with it —
+            # including slots from previous runs this run merely reused.
+            dead = [
+                slot for slot in self.shard_cache.slots()
+                if self._route_slot(slot) == index
+            ]
+            self.shard_cache.drop_slots(dead)
+        head = batches[0] if batches else None
+        if head is not None:
+            head.attempts += 1
+            if head.attempts > self.policy.max_retries:
+                if kind == "err":
+                    self._abort(f"worker process failed:\n{tb}")
+                self._abort(
+                    f"persistent worker pool lost a process (pool slot "
+                    f"{index} {kind} survived {self.policy.max_retries} "
+                    "retries); pool shut down — the next run restarts it "
+                    "cold"
+                )
+        if self.pool._respawn_worker(index):
+            faults.respawns += 1
+            if head is not None:
+                time.sleep(self.policy.retry_wait(head.attempts))
+            for batch in batches:
+                batch.tasks = self._requeue_tasks(batch.tasks)
+                faults.retried_units += batch.unit_count
+                self._dispatch(index, batch)
+            return
+        # Respawn failed: degrade — retire the slot and reroute its
+        # work to the surviving workers (slot routing changes for every
+        # plan slot, so the whole cache mirror goes cold).
+        self.pool._retire_worker(index)
+        faults.degraded_slots += 1
+        if self.shard_cache is not None:
+            self.shard_cache.invalidate()
+        live = self.pool._live_indices()
+        if len(live) < self.policy.degrade_floor:
+            self._abort(
+                "persistent worker pool lost a process and degraded "
+                f"below its floor ({len(live)} live slot(s) < "
+                f"degrade_floor={self.policy.degrade_floor}); pool shut "
+                "down"
+            )
+        attempts = max((batch.attempts for batch in batches), default=0)
+        rerouted: Dict[int, List[Tuple]] = {}
+        for batch in batches:
+            for task in self._requeue_tasks(batch.tasks):
+                rerouted.setdefault(self._route_slot(task[0]), []).append(
+                    task
+                )
+        for target, tasks in rerouted.items():
+            batch = _BatchState(tasks=tasks, attempts=attempts)
+            faults.retried_units += batch.unit_count
+            self._dispatch(target, batch)
+
+
 class MultiprocessExecutor:
     """Real parallel execution in worker processes, one-shot or persistent.
 
@@ -1185,6 +1764,7 @@ class MultiprocessExecutor:
         start_method: Optional[str] = None,
         match_store_budget: int = MATCH_STORE_BUDGET,
         ship_mode: str = "auto",
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if processes is not None and processes < 1:
             raise ValueError("need at least one process")
@@ -1197,9 +1777,16 @@ class MultiprocessExecutor:
                 "ship_mode='shm' requested but shared memory does not work "
                 "on this host; use 'pickle' or 'auto'"
             )
+        if fault_policy is not None and not isinstance(fault_policy, FaultPolicy):
+            raise TypeError(
+                "fault_policy must be a FaultPolicy (or None for defaults)"
+            )
         self.processes = processes
         #: how full shards travel (see the module docstring's Ship modes)
         self.ship_mode = ship_mode
+        #: default supervision knobs for persistent runs (``None`` means
+        #: defaults + any ``REPRO_FAULT_PLAN`` overrides, resolved per run)
+        self.fault_policy = fault_policy
         self._plane: Optional[ShardPlane] = None
         #: worker-resident match-store budget (matches retained per
         #: resident shard); shipped with every full shard payload.
@@ -1214,8 +1801,11 @@ class MultiprocessExecutor:
             else:  # pragma: no cover - non-Linux
                 start_method = multiprocessing.get_start_method()
         self.start_method = start_method
+        #: pool slots; a retired (degraded) slot holds ``None`` in both
         self._procs: List = []
         self._conns: List = []
+        #: respawn count per pool slot (the fault harness's incarnation)
+        self._incarnations: Dict[int, int] = {}
         #: shipping record of the most recent persistent run
         self.last_shipping: Optional[ShippingStats] = None
 
@@ -1228,8 +1818,9 @@ class MultiprocessExecutor:
         return bool(self._procs)
 
     def worker_pids(self) -> List[int]:
-        """PIDs of the persistent pool (empty when not started)."""
-        return [proc.pid for proc in self._procs]
+        """PIDs of the persistent pool (empty when not started;
+        degraded slots are skipped)."""
+        return [proc.pid for proc in self._procs if proc is not None]
 
     def start(self, size: Optional[int] = None) -> "MultiprocessExecutor":
         """Fork the persistent pool (idempotent).
@@ -1254,41 +1845,127 @@ class MultiprocessExecutor:
                 RuntimeWarning,
                 stacklevel=2,
             )
-        context = multiprocessing.get_context(self.start_method)
-        for _ in range(size):
-            parent, child = context.Pipe()
-            proc = context.Process(
-                target=_persistent_worker_main, args=(child,), daemon=True
-            )
-            proc.start()
-            child.close()
+        for index in range(size):
+            proc, parent = self._spawn_worker(index, 0)
             self._procs.append(proc)
             self._conns.append(parent)
         return self
 
+    @staticmethod
+    def _clean_start_method() -> str:
+        """Start method giving a replacement worker a pristine heap.
+
+        ``forkserver`` children are forked from a freshly exec'd server
+        process, so — unlike a mid-run ``fork`` — they inherit none of
+        the coordinator's published shared-memory segments or exported
+        arena views; unlike ``spawn`` they never re-run ``__main__``.
+        """
+        if "forkserver" in multiprocessing.get_all_start_methods():
+            return "forkserver"
+        return "spawn"  # pragma: no cover - no-forkserver platforms
+
+    def _spawn_worker(
+        self, index: int, incarnation: int, method: Optional[str] = None
+    ) -> Tuple:
+        """Fork one pool worker for slot ``index`` at ``incarnation``."""
+        context = multiprocessing.get_context(method or self.start_method)
+        if method == "forkserver":
+            # The default preload re-imports __main__ inside the server,
+            # which breaks under embedded/stdin entry points and buys a
+            # worker process nothing — it gets everything via messages.
+            context.set_forkserver_preload([])
+        parent, child = context.Pipe()
+        proc = context.Process(
+            target=_persistent_worker_main,
+            args=(child, index, incarnation),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return proc, parent
+
+    def _respawn_worker(self, index: int) -> bool:
+        """Replace slot ``index``'s worker after a crash/stall/error.
+
+        Kills and reaps whatever occupies the slot, closes its pipe (so
+        no stale message from the old incarnation can ever be read) and
+        forks a replacement at the next incarnation.  Returns ``False``
+        when the fork itself fails — the caller then degrades the pool.
+        """
+        conn = self._conns[index]
+        if conn is not None:
+            conn.close()
+            self._conns[index] = None
+        proc = self._procs[index]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            _reap_process(proc)
+            self._procs[index] = None
+        incarnation = self._incarnations.get(index, 0) + 1
+        self._incarnations[index] = incarnation
+        try:
+            # Replacements must not fork the coordinator mid-run: the
+            # child would inherit published shared-memory segments (and
+            # their exported arena views) it can neither use nor cleanly
+            # finalise at exit.  A clean-heap start method costs
+            # interpreter start-up once per respawn, recovery path only.
+            proc, conn = self._spawn_worker(
+                index, incarnation, self._clean_start_method()
+            )
+        except OSError:
+            return False  # caller retires the slot and reroutes its work
+        self._procs[index] = proc
+        self._conns[index] = conn
+        return True
+
+    def _retire_worker(self, index: int) -> None:
+        """Permanently retire a pool slot whose respawn failed (degrade)."""
+        conn = self._conns[index]
+        if conn is not None:
+            conn.close()
+        self._conns[index] = None
+        proc = self._procs[index]
+        if proc is not None:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.kill()
+            _reap_process(proc)
+        self._procs[index] = None
+
+    def _live_indices(self) -> List[int]:
+        """Pool slots still holding a live worker process."""
+        return [i for i, proc in enumerate(self._procs) if proc is not None]
+
     def shutdown(self) -> None:
         """Stop the persistent pool (idempotent; one-shot runs unaffected).
 
-        Retires every published shared-memory segment too — after this
+        Teardown escalates per worker — ``join(timeout)`` →
+        ``terminate()`` → ``kill()`` — so a wedged or fault-injected
+        worker can never hang session close, and retires every published
+        shared-memory segment even when reaping goes badly: after this
         no shard-plane name survives, whatever state the workers died in.
         """
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                pass
-        for conn in self._conns:
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=5)
-        self._procs.clear()
-        self._conns.clear()
-        if self._plane is not None:
-            self._plane.close()
-            self._plane = None
+        try:
+            for conn in self._conns:
+                if conn is None:
+                    continue
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass  # repro-lint: disable=RPL050 -- worker already dead; it is reaped (join/terminate/kill) just below
+            for conn in self._conns:
+                if conn is not None:
+                    conn.close()
+            for proc in self._procs:
+                if proc is not None:
+                    _reap_process(proc)
+        finally:
+            self._procs.clear()
+            self._conns.clear()
+            self._incarnations.clear()
+            if self._plane is not None:
+                self._plane.close()
+                self._plane = None
 
     def __enter__(self) -> "MultiprocessExecutor":
         return self.start()
@@ -1300,7 +1977,7 @@ class MultiprocessExecutor:
         try:
             self.shutdown()
         except Exception:
-            pass
+            pass  # repro-lint: disable=RPL050 -- interpreter teardown; raising from __del__ only produces an unraisable-error banner
 
     # ------------------------------------------------------------------
     # execution
@@ -1326,6 +2003,7 @@ class MultiprocessExecutor:
         shard_cache: Optional[ShardCache] = None,
         epoch: Optional[str] = None,
         sigma_key: Optional[object] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> List[List[Optional["UnitResult"]]]:
         """Execute every primary unit in worker processes.
 
@@ -1336,16 +2014,36 @@ class MultiprocessExecutor:
         on warm shard shipping; without one, every run ships full shards.
         ``sigma_key`` identifies the rule set so a warm slot reships Σ —
         and only Σ — when it changed since the slot's last run.
+        ``fault_policy`` overrides the executor's supervision knobs for
+        this run (see the module docstring's "Fault tolerance").
         """
         primaries: List[List[WorkUnit]] = [
             [unit for unit in worker_units if unit.primary]
             for worker_units in plan
         ]
         busy = [w for w, units in enumerate(primaries) if units]
+        policy = resolve_fault_policy(
+            fault_policy if fault_policy is not None else self.fault_policy
+        )
         if self._procs:
             results = self._run_persistent(
-                sigma, graph, primaries, busy, shard_cache, epoch, sigma_key
+                sigma, graph, primaries, busy, shard_cache, epoch,
+                sigma_key, policy,
             )
+        elif busy and policy.plan is not None and not policy.plan.worker_empty:
+            # An active worker-side fault plan on an ad-hoc run: route
+            # through a supervised temporary pool so injection — and the
+            # recovery it exercises — covers the whole differential
+            # matrix (rep_val/dis_val/execute_plan), not just session
+            # pools.  Fault-free ad-hoc runs keep the one-shot path.
+            self.start(min(self.processes or len(busy), len(busy)))
+            try:
+                results = self._run_persistent(
+                    sigma, graph, primaries, busy, shard_cache, epoch,
+                    sigma_key, policy,
+                )
+            finally:
+                self.shutdown()
         else:
             results = self._run_oneshot(sigma, graph, primaries, busy)
         aligned: List[List[Optional["UnitResult"]]] = []
@@ -1416,113 +2114,31 @@ class MultiprocessExecutor:
         shard_cache: Optional[ShardCache],
         epoch: Optional[str],
         sigma_key: Optional[object] = None,
+        policy: Optional[FaultPolicy] = None,
     ) -> Dict[int, List["UnitResult"]]:
         from .engine import MaterialiserStats
 
+        if policy is None:
+            policy = resolve_fault_policy(self.fault_policy)
         if epoch is None:
             epoch = next_epoch()
         if shard_cache is not None:
             shard_cache.sync(graph)
         stats = ShippingStats(
-            match_store=MatchStoreStats(), block_cache=MaterialiserStats()
+            match_store=MatchStoreStats(), block_cache=MaterialiserStats(),
+            faults=FaultStats(),
         )
-        size = len(self._procs)
-        # Σ is per-run: pickled exactly once, shipped as the measured
-        # blob to every slot that needs it (serialise-once accounting).
-        sigma_blob: Optional[bytes] = None
-        batches: Dict[int, List[Tuple]] = {}
-        for worker in busy:
-            needed: Set = set()
-            for unit in primaries[worker]:
-                needed |= unit.block_nodes
-            if shard_cache is None:
-                mode, data, ship_sigma = (
-                    "full", graph.induced_subgraph(needed), False
-                )
-            else:
-                mode, data, ship_sigma = shard_cache.plan(
-                    worker, epoch, needed, graph, sigma_key=sigma_key
-                )
-            if ship_sigma or mode == "full":
-                if sigma_blob is None:
-                    sigma_blob = pack_shard(sigma)
-                stats.sigma_bytes += len(sigma_blob)
-            sigma_update = sigma_blob if ship_sigma else None
-            if ship_sigma:
-                stats.shipped_sigma += 1
-            if mode == "full":
-                if self._map_shard(data):
-                    ref, segment_bytes = self._plane_for_run().publish(
-                        worker, data
-                    )
-                    stats.mapped += 1
-                    stats.mapped_bytes += segment_bytes
-                else:
-                    blob = pack_shard(data)
-                    ref = ("pickle", blob)
-                    stats.shard_bytes += len(blob)
-                payload = (epoch, sigma_blob, ref, self.match_store_budget)
-                stats.full += 1
-                stats.shipped_nodes += data.num_nodes
-            elif mode == "delta":
-                # A delta always travels the pipe (it is small by
-                # construction); the slot's mapped segment — if any —
-                # is retired here and the worker demotes its shard to a
-                # private copy before patching.
-                if self._plane is not None:
-                    self._plane.unlink(worker)
-                ops, add_nodes, add_edges = data
-                blob = pack_shard((ops, add_nodes, add_edges))
-                payload = (epoch, blob, sigma_update)
-                stats.delta += 1
-                stats.shipped_nodes += len(add_nodes)
-                stats.shipped_ops += len(ops)
-                stats.shard_bytes += len(blob)
-            else:
-                payload = (epoch, sigma_update)
-                stats.reused += 1
-            units = primaries[worker]
-            unit_inputs = tuple(unit.payload for unit in units)
-            if any(payload_in is not None for payload_in in unit_inputs):
-                inputs_blob = pack_shard(unit_inputs)
-                stats.payload_bytes += len(inputs_blob)
-                units = [
-                    replace(unit, payload=None)
-                    if unit.payload is not None else unit
-                    for unit in units
-                ]
-            else:
-                inputs_blob = None
-            batches.setdefault(worker % size, []).append(
-                (worker, mode, payload, units, inputs_blob)
-            )
-        try:
-            for proc_index, tasks in batches.items():
-                self._conns[proc_index].send(("batch", tasks))
-            # Drain every pending reply before raising so a failed run
-            # never leaves stale replies in a pipe for the next run.
-            replies = [
-                (proc_index, self._conns[proc_index].recv())
-                for proc_index in batches
-            ]
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            # A worker died hard (OOM kill, segfault): resident shards
-            # and pipe contents are unknowable — tear the pool down so
-            # the next run restarts cold instead of misreading state.
-            if shard_cache is not None:
-                shard_cache.invalidate()
-            self.shutdown()
-            raise RuntimeError(
-                f"persistent worker pool lost a process ({exc!r}); pool "
-                "shut down — the next run restarts it cold"
-            ) from exc
-        failures = [reply for _, reply in replies if reply[0] == "err"]
-        if failures:
-            if shard_cache is not None:
-                shard_cache.invalidate()  # worker state now unknown
-            raise RuntimeError(f"worker process failed:\n{failures[0][2]}")
+        # Shipping decisions, dispatch and supervision (heartbeats,
+        # retry/requeue, respawn, degrade) all live in _PersistentRun;
+        # terminal failures tear the pool down exactly like the old
+        # fail-stop path did, so the next run restarts cold.
+        run = _PersistentRun(
+            self, sigma, graph, primaries, busy, shard_cache, epoch,
+            sigma_key, stats, policy,
+        )
+        replies = run.execute()
         results: Dict[int, List["UnitResult"]] = {}
-        for _, (_, pid, pairs, store_stats, cache_stats) in replies:
+        for _, pid, pairs, store_stats, cache_stats in replies:
             stats.match_store.merge(store_stats)
             stats.block_cache.merge(cache_stats)
             for slot, slot_results, payloads_blob in pairs:
@@ -1553,6 +2169,7 @@ def execute_plan(
     sigma_key: Optional[object] = None,
     match_store: Optional[MatchStore] = None,
     ship_mode: str = "auto",
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> List[List[Optional["UnitResult"]]]:
     """Execute a plan's primary units with the chosen backend.
 
@@ -1567,7 +2184,9 @@ def execute_plan(
     process backend; ``shard_cache``/``epoch`` enable warm shard shipping
     on a started pool.  ``ship_mode`` selects how an *ad-hoc* pool ships
     full shards (see :data:`SHIP_MODES`); a caller-owned ``pool`` keeps
-    the mode it was constructed with.
+    the mode it was constructed with.  ``fault_policy`` sets this run's
+    supervision knobs (see the module docstring's "Fault tolerance");
+    the simulated backend runs in-process and ignores it.
     """
     resolved = resolve_executor(executor, plan, processes)
     if resolved == "simulated":
@@ -1581,4 +2200,5 @@ def execute_plan(
     return backend.run(
         sigma, graph, plan,
         shard_cache=shard_cache, epoch=epoch, sigma_key=sigma_key,
+        fault_policy=fault_policy,
     )

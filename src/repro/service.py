@@ -60,12 +60,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .core.incremental import UpdateDiff
 from .core.validation import Violation
 from .graph.graph import PropertyGraph
+from .parallel.faults import FaultPolicy, FaultStats, resolve_fault_policy
 from .session import ValidationSession
 
 #: update-op kinds the service accepts (the ``session.update()`` format)
@@ -142,6 +143,15 @@ class ServiceStats:
     ``diffs_emitted`` non-empty diffs fanned out to subscribers, and
     ``diffs_merged`` the backpressure coalescing events on slow
     subscribers.
+
+    ``faults`` is the applier's fault-handling slice (see
+    :class:`~repro.parallel.faults.FaultStats`): an applier exception
+    absorbed by restart-with-replay counts one ``worker_errors``, each
+    replay counts one ``respawns`` and its surviving ops count toward
+    ``retried_units``.  ``failure`` is the terminal applier exception
+    once the retry budget is exhausted (the cause chained onto the
+    ``RuntimeError`` that ``submit``/``flush``/``close`` raise) —
+    ``None`` while the service is healthy.
     """
 
     submitted: int = 0
@@ -150,6 +160,8 @@ class ServiceStats:
     batches: int = 0
     diffs_emitted: int = 0
     diffs_merged: int = 0
+    faults: FaultStats = field(default_factory=FaultStats)
+    failure: Optional[BaseException] = None
 
 
 def coalesce_ops(
@@ -316,6 +328,17 @@ class ValidationService:
     applies what remains, stops the applier thread and wakes every
     subscriber; the underlying session stays open and warm — worker
     pools and resident shards survive for the next ``validate()``.
+
+    The applier is supervised, not fail-stop: an exception while
+    applying a batch is retried up to ``fault_policy.max_retries``
+    times (exponential backoff), replaying only the ops the failed
+    attempt did not get through (:meth:`_surviving_ops` — replay is
+    idempotent against a half-applied graph) and recomputing the
+    emitted :class:`ViolationDiff` from the violation *sets*, so a
+    recovered stream carries exactly the diffs and epoch numbers a
+    fault-free run would have.  Only an exhausted retry budget closes
+    the stream, with the original cause chained
+    (``ServiceStats.failure``).
     """
 
     def __init__(
@@ -325,6 +348,7 @@ class ValidationService:
         max_batch_age: float = DEFAULT_MAX_BATCH_AGE,
         max_pending_ops: int = DEFAULT_MAX_PENDING_OPS,
         clock: Callable[[], float] = time.monotonic,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if max_batch_ops < 1:
             raise ValueError("max_batch_ops must be >= 1")
@@ -333,6 +357,9 @@ class ValidationService:
         if max_pending_ops < max_batch_ops:
             raise ValueError("max_pending_ops must be >= max_batch_ops")
         self.session = session
+        #: resolved applier-supervision knobs (retry budget, backoff and
+        #: — for tests/CI — the injection plan; see ``parallel/faults.py``)
+        self.fault_policy = resolve_fault_policy(fault_policy)
         self.max_batch_ops = max_batch_ops
         self.max_batch_age = max_batch_age
         self.max_pending_ops = max_pending_ops
@@ -447,7 +474,9 @@ class ValidationService:
     def stats(self) -> ServiceStats:
         """A snapshot of the service's counters."""
         with self._lock:
-            return replace(self._stats)
+            return replace(
+                self._stats, faults=replace(self._stats.faults)
+            )
 
     def latency_quantile(self, q: float) -> Optional[float]:
         """The ``q``-quantile of per-op apply latency (seconds).
@@ -477,8 +506,9 @@ class ValidationService:
         """Stop the applier (idempotent); the session stays open.
 
         With ``drain=True`` (default) queued ops are applied before the
-        thread exits; ``drain=False`` discards them.  If the applier hit
-        an error, it is re-raised here (once).
+        thread exits; ``drain=False`` discards them.  If the applier
+        died (retry budget exhausted), the failure is re-raised here
+        with its original cause chained.
         """
         with self._cond:
             if not drain:
@@ -494,11 +524,14 @@ class ValidationService:
 
     def _raise_if_failed(self) -> None:  #: holds: _lock, _cond
         if self._error is not None:
-            error, self._error = self._error, None
+            # Not consumed: every blocked producer/flusher/closer gets
+            # the same failure, with the applier's original exception
+            # chained as the cause (it also stays readable on
+            # ``stats().failure``).
             raise RuntimeError(
                 "validation-service applier failed; the service is closed "
                 "and the session may need a full validate() to reconcile"
-            ) from error
+            ) from self._error
 
     # ------------------------------------------------------------------
     # the applier thread
@@ -532,7 +565,103 @@ class ValidationService:
             self._cond.notify_all()  # wake producers blocked on the bound
             return batch
 
+    def _surviving_ops(self, ops: Sequence[tuple]) -> List[tuple]:
+        """The ops a failed apply attempt did not get through.
+
+        Replay after a mid-batch failure must be idempotent: the failed
+        attempt may have applied any prefix of the batch before raising,
+        and ``Vio(Σ, G)`` depends only on the final graph state — so an
+        op whose effect is already the graph's current state is dropped
+        rather than re-applied (a re-add of a present edge or a re-remove
+        of an absent one would raise; a re-write of an attr is a no-op
+        the session would still pay for).  Node insertions of
+        already-present nodes are likewise dropped.  Runs in the applier
+        thread, which owns the graph — the reads are race-free.
+        """
+        graph = self.session.graph
+        out: List[tuple] = []
+        for op in ops:
+            kind = op[0]
+            if kind == "attr":
+                if op[1] not in graph or graph.attrs(op[1]).get(op[2]) != op[3]:
+                    out.append(op)
+            elif kind == "edge+":
+                if not graph.has_edge(op[1], op[2], op[3]):
+                    out.append(op)
+            elif kind == "edge-":
+                if graph.has_edge(op[1], op[2], op[3]):
+                    out.append(op)
+            elif op[1] not in graph:  # node insertion
+                out.append(op)
+        return out
+
+    def _apply_with_retry(
+        self,
+        ops: List[tuple],
+        epoch: int,
+        before: frozenset,
+        fired: Dict[int, int],
+    ) -> Tuple[frozenset, frozenset, int, int]:
+        """Apply one batch, surviving applier faults by replay.
+
+        ``epoch`` is the epoch this batch becomes when it lands;
+        ``before`` is the violation set of the epoch before; ``fired``
+        tracks injected applier failures already delivered (applier-
+        local state, threaded through by :meth:`_run`).  Returns
+        ``(added, removed, failures, retried_ops)``: the batch's exact
+        violation delta plus the fault accounting.  The fault-free path
+        is byte-for-byte the old fail-stop apply; a retried batch
+        recomputes its delta from the violation *sets*, which is exact
+        whatever prefix of the ops the failed attempts applied.  Raises
+        once ``fault_policy.max_retries`` replays are exhausted.
+        """
+        policy = self.fault_policy
+        plan = policy.plan
+        failures = 0
+        retried_ops = 0
+        attempt = 0
+        while True:
+            try:
+                if plan is not None:
+                    for at_epoch, times in plan.applier_failures:
+                        if at_epoch == epoch and fired.get(epoch, 0) < times:
+                            fired[epoch] = fired.get(epoch, 0) + 1
+                            raise RuntimeError(
+                                f"injected applier failure at epoch {epoch}"
+                            )
+                if attempt == 0:
+                    diff = self.session.update(ops) if ops else UpdateDiff()
+                    return (
+                        frozenset(diff), frozenset(diff.removed),
+                        failures, retried_ops,
+                    )
+                survivors = self._surviving_ops(ops)
+                retried_ops += len(survivors)
+                if survivors:
+                    self.session.update(survivors)
+                after = frozenset(self.session.violations)
+                return after - before, before - after, failures, retried_ops
+            except BaseException:
+                failures += 1
+                attempt += 1
+                if attempt > policy.max_retries:
+                    # Terminal: the retry accounting must still land on
+                    # the stats channel before the failure surfaces —
+                    # a fault that kills the service is a fault that
+                    # fired.  (The last failure aborts rather than
+                    # replays, hence one fewer respawn than error.)
+                    with self._cond:
+                        self._stats.faults.worker_errors += failures
+                        self._stats.faults.respawns += failures - 1
+                        self._stats.faults.retried_units += retried_ops
+                    raise
+                time.sleep(policy.retry_wait(attempt))
+
     def _run(self) -> None:
+        with self._cond:
+            current = self._current
+            epoch = self._epoch
+        fired: Dict[int, int] = {}
         while True:
             try:
                 batch = self._cut_batch()
@@ -545,28 +674,32 @@ class ValidationService:
                 ops, cancelled = coalesce_ops(
                     [op for _, op, _ in batch], self.session.graph
                 )
-                diff = (
-                    self.session.update(ops) if ops else UpdateDiff()
+                added, removed, failures, retried_ops = (
+                    self._apply_with_retry(ops, epoch + 1, current, fired)
                 )
             except BaseException as exc:
                 self._fail(exc)
                 return
             now = self._clock()
+            current = (current - removed) | added
+            epoch += 1
             with self._cond:
-                self._epoch += 1
+                self._epoch = epoch
                 self._applied_seq = batch[-1][0]
                 self._stats.batches += 1
                 self._stats.applied += len(ops)
                 self._stats.cancelled += cancelled
+                if failures:
+                    self._stats.faults.worker_errors += failures
+                    self._stats.faults.respawns += failures
+                    self._stats.faults.retried_units += retried_ops
                 self._latencies.extend(
                     now - enqueued for _, _, enqueued in batch
                 )
-                self._current = frozenset(diff.apply(self._current))
-                if diff or diff.removed:
+                self._current = current
+                if added or removed:
                     emitted = ViolationDiff(
-                        epoch=self._epoch,
-                        added=frozenset(diff),
-                        removed=frozenset(diff.removed),
+                        epoch=epoch, added=added, removed=removed
                     )
                     for sub in self._subs:
                         sub._offer(emitted)
@@ -576,6 +709,7 @@ class ValidationService:
     def _fail(self, exc: BaseException) -> None:
         with self._cond:
             self._error = exc
+            self._stats.failure = exc
             self._closed = True
             for sub in self._subs:
                 sub.closed = True

@@ -108,6 +108,7 @@ from .parallel.executors import (
     resolve_executor,
     shm_available,
 )
+from .parallel.faults import FaultPolicy
 from .parallel.multiquery import (
     GroupMember,
     SharedGroup,
@@ -230,6 +231,7 @@ class ValidationSession:
         persistent: bool = True,
         match_store_budget: int = MATCH_STORE_BUDGET,
         ship_mode: str = "auto",
+        fault_policy: Optional["FaultPolicy"] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -248,6 +250,13 @@ class ValidationSession:
                 "ship_mode='shm' requested but shared memory does not work "
                 "on this platform; use 'pickle' or 'auto'"
             )
+        if fault_policy is not None and not isinstance(
+            fault_policy, FaultPolicy
+        ):
+            raise TypeError(
+                "fault_policy must be a FaultPolicy (or None for the "
+                "defaults, overridable via REPRO_FAULT_PLAN)"
+            )
         self.graph = graph
         self.sigma = list(sigma)
         self.executor = executor
@@ -257,6 +266,12 @@ class ValidationSession:
         #: shared-memory arenas) or ``"auto"`` (shm for large shards when
         #: available; see ``parallel/executors.py``).
         self.ship_mode = ship_mode
+        #: supervision knobs for process-backed runs — retry budget,
+        #: backoff, heartbeat cadence, unit deadline, degrade floor (and
+        #: optionally an injection plan); ``None`` resolves to the
+        #: defaults plus any ``REPRO_FAULT_PLAN`` environment plan at
+        #: run time (see ``parallel/faults.py``).
+        self.fault_policy = fault_policy
         self.cost_model = cost_model
         self.persistent = persistent
         #: matches retained per resident match store (worker-side on the
@@ -576,7 +591,7 @@ class ValidationSession:
             materialiser=materialiser, executor=resolved,
             processes=processes, pool=pool, shard_cache=shard_cache,
             epoch=epoch, sigma_key=probe_key, match_store=match_store,
-            ship_mode=self.ship_mode,
+            ship_mode=self.ship_mode, fault_policy=self.fault_policy,
         )
         # Mine units fold matches into mergeable evidence aggregates by
         # default — O(vars × attrs) per unit on the wire instead of
@@ -1007,6 +1022,7 @@ class ValidationSession:
                 processes=processes,
                 match_store_budget=self.match_store_budget,
                 ship_mode=self.ship_mode,
+                fault_policy=self.fault_policy,
             )
         self._pool.start()
         return self._pool, self._shard_cache, self._epoch
@@ -1096,6 +1112,7 @@ class ValidationSession:
             epoch=epoch,
             sigma_key=_BASE_SIGMA_KEY,
             ship_mode=self.ship_mode,
+            fault_policy=self.fault_policy,
         )
         return ValidationRun(
             violations=violations,
@@ -1191,6 +1208,7 @@ class ValidationSession:
             epoch=epoch,
             sigma_key=_BASE_SIGMA_KEY,
             ship_mode=self.ship_mode,
+            fault_policy=self.fault_policy,
         )
         return ValidationRun(
             violations=violations,

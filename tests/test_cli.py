@@ -145,6 +145,37 @@ class TestValidateCommand:
         out = io.StringIO()
         assert main(["validate", str(path), str(rules_file)], out=out) == 0
 
+    def test_malformed_fault_plan_rejected_at_parse(
+        self, graph_file, rules_file, capsys
+    ):
+        # The plan must fail on every subcommand — including sequential
+        # runs that would never consult it — so it is an argparse type.
+        with pytest.raises(SystemExit):
+            main(["validate", str(graph_file), str(rules_file),
+                  "--fault-plan", '{"bogus": 1}'], out=io.StringIO())
+        assert "unknown fault-plan key" in capsys.readouterr().err
+
+    def test_fault_flags_build_a_policy(self, graph_file, rules_file):
+        from repro.cli import _fault_policy, build_parser
+
+        args = build_parser().parse_args([
+            "validate", str(graph_file), str(rules_file),
+            "--fault-retries", "4", "--fault-backoff", "0.2",
+            "--unit-deadline", "9.5", "--degrade-floor", "2",
+            "--fault-plan", '{"crashes": [[0, 0, 1]]}',
+        ])
+        policy = _fault_policy(args)
+        assert policy.max_retries == 4
+        assert policy.backoff == pytest.approx(0.2)
+        assert policy.unit_deadline == pytest.approx(9.5)
+        assert policy.degrade_floor == 2
+        assert policy.plan.crashes == ((0, 0, 1),)
+        # and no flags at all means "library defaults decide"
+        bare = build_parser().parse_args(
+            ["validate", str(graph_file), str(rules_file)]
+        )
+        assert _fault_policy(bare) is None
+
 
 class TestReasonCommand:
     def test_satisfiable_rules(self, rules_file):

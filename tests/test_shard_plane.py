@@ -26,6 +26,8 @@ from repro.core import det_vio, generate_gfds
 from repro.graph import GraphSnapshot, hash_partition, power_law_graph
 from repro.matching import SubgraphMatcher
 from repro.parallel import (
+    FaultPlan,
+    FaultPolicy,
     MultiprocessExecutor,
     ShardPlane,
     dis_val,
@@ -300,10 +302,44 @@ class TestSegmentLifecycle:
         session.close()
         assert leaked_segments() == []
 
-    def test_worker_crash_leaves_no_residue(self):
+    def test_worker_crash_recovers_with_no_residue(self):
+        """A SIGKILL'd worker is respawned mid-run; /dev/shm stays clean.
+
+        Under the default :class:`FaultPolicy` the supervised pool
+        detects the pipe EOF, respawns the slot, re-ships its shard and
+        requeues the in-flight units — the run completes with the
+        fault-free answer and the dead worker's segments are retired,
+        not leaked.
+        """
+        graph, sigma = workload()
+        expected = det_vio(sigma, graph)
+        session = quiet_session(
+            graph, sigma, executor="process", processes=2, ship_mode="shm",
+            fault_policy=FaultPolicy(backoff=0.01),
+        )
+        try:
+            session.validate(n=2)
+            victim = session._pool._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            run = session.validate(n=2)
+            assert run.violations == expected
+            assert run.shipping.faults is not None
+            assert run.shipping.faults.crashes >= 1
+            assert run.shipping.faults.respawns >= 1
+            # One resident segment per slot, recovery or not.
+            assert len(leaked_segments()) == 2
+        finally:
+            session.close()
+        assert leaked_segments() == []
+
+    def test_worker_crash_without_retries_fails_clean(self):
+        """``max_retries=0`` pins the old fail-stop contract — and even
+        the failing path must leave /dev/shm spotless."""
         graph, sigma = workload()
         session = quiet_session(
             graph, sigma, executor="process", processes=2, ship_mode="shm",
+            fault_policy=FaultPolicy(max_retries=0, backoff=0.01),
         )
         try:
             session.validate(n=2)
@@ -314,6 +350,61 @@ class TestSegmentLifecycle:
                 session.validate(n=2)
             # The failed run tore the pool down — plane included.
             assert leaked_segments() == []
+        finally:
+            session.close()
+        assert leaked_segments() == []
+
+    def test_death_mid_attach_recovers_with_no_residue(self):
+        """A worker dying *between* shm attach and first use is the
+        lifecycle's nastiest window: the segment is mapped in a process
+        that will never unmap it deliberately.  Recovery must re-ship,
+        re-attach cleanly and leave zero residue."""
+        graph, sigma = workload()
+        expected = det_vio(sigma, graph)
+        plan = FaultPlan(die_mid_attach=((0, 1),))
+        session = quiet_session(
+            graph, sigma, executor="process", processes=2, ship_mode="shm",
+            fault_policy=FaultPolicy(plan=plan, backoff=0.01),
+        )
+        try:
+            run = session.validate(n=2)
+            assert run.violations == expected
+            assert run.shipping.faults.crashes >= 1
+            assert len(leaked_segments()) == 2
+            # The respawned worker re-attached for real.  Its slot's
+            # cache mirror was dropped (not re-registered) by recovery,
+            # so the warm rerun re-ships that one slot full and reuses
+            # the survivor's resident shard.
+            warm = session.validate(n=2)
+            assert warm.violations == expected
+            assert warm.shipping.full == 1
+            assert warm.shipping.reused == 1
+        finally:
+            session.close()
+        assert leaked_segments() == []
+
+    def test_death_mid_unit_reattaches_cleanly(self):
+        """An injected hard exit mid-batch (after attach, between units)
+        must requeue onto a respawned worker that re-attaches the same
+        published segment — and retire the replaced attachment without
+        dropping mapped buffers to the GC."""
+        graph, sigma = workload()
+        expected = det_vio(sigma, graph)
+        plan = FaultPlan(crashes=((0, 1, 1),))  # die before its 2nd unit
+        session = quiet_session(
+            graph, sigma, executor="process", processes=2, ship_mode="shm",
+            fault_policy=FaultPolicy(plan=plan, backoff=0.01),
+        )
+        try:
+            run = session.validate(n=2)
+            assert run.violations == expected
+            assert run.shipping.faults.crashes >= 1
+            assert run.shipping.faults.retried_units > 0
+            assert len(leaked_segments()) == 2
+            warm = session.validate(n=2)
+            assert warm.violations == expected
+            assert warm.shipping.full == 1  # recovered slot went cold
+            assert warm.shipping.reused == 1
         finally:
             session.close()
         assert leaked_segments() == []
